@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""A fault-tolerant virtual disk on PRISM-RS (§7's block-store scenario).
+
+A tiny "filesystem" stores fixed-size blocks on a 3-replica PRISM-RS
+group: a journal of writes, a crash of one replica mid-run, and a full
+read-back verification afterwards — demonstrating that the ABD quorum
+protocol keeps the disk linearizable and available through f = 1
+failures with no replica-CPU involvement on the data path.
+
+Run:  python examples/replicated_virtual_disk.py
+"""
+
+from repro.apps.blockstore import PrismRsClient, PrismRsReplica
+from repro.net.topology import RACK, make_fabric
+from repro.prism import SoftwarePrismBackend
+from repro.sim import SeededRng, Simulator
+
+N_BLOCKS = 256
+BLOCK_SIZE = 512
+N_WRITERS = 3
+WRITES_PER_CLIENT = 60
+
+
+def block_payload(block, generation):
+    header = f"blk={block:04d} gen={generation:04d} ".encode()
+    return header + bytes((block * 7 + generation + i) % 256
+                          for i in range(BLOCK_SIZE - len(header)))
+
+
+def main():
+    sim = Simulator()
+    hosts = [f"disk{i}" for i in range(3)] + [
+        f"host{i}" for i in range(N_WRITERS + 1)]
+    fabric = make_fabric(sim, RACK, hosts)
+    replicas = [PrismRsReplica(sim, fabric, f"disk{i}",
+                               SoftwarePrismBackend, n_blocks=N_BLOCKS,
+                               block_size=BLOCK_SIZE)
+                for i in range(3)]
+    print("formatting virtual disk "
+          f"({N_BLOCKS} blocks x {BLOCK_SIZE} B on 3 replicas)...")
+    for block in range(N_BLOCKS):
+        initial = block_payload(block, 0)
+        for replica in replicas:
+            replica.load(block, initial)
+
+    journal = {}  # block -> latest generation this run wrote
+
+    def writer(index):
+        client = PrismRsClient(sim, fabric, f"host{index}", replicas,
+                               client_id=index + 1)
+        rng = SeededRng(13).fork(index).stream("io")
+        for generation in range(1, WRITES_PER_CLIENT + 1):
+            block = rng.randrange(N_BLOCKS)
+            yield from client.put(block,
+                                  block_payload(block, generation))
+            previous = journal.get(block, (0, 0))
+            journal[block] = max(previous, (sim.now, generation))
+
+    def grim_reaper():
+        yield sim.timeout(300.0)
+        print(f"t={sim.now:7.1f} us  !! replica disk2 crashes "
+              "(f=1 of n=3; the disk stays available)")
+        replicas[2].prism.fail()
+
+    processes = [sim.spawn(writer(i)) for i in range(N_WRITERS)]
+    sim.spawn(grim_reaper())
+    waiter = sim.spawn((lambda done: (yield done))(sim.all_of(processes)))
+    sim.run_until_complete(waiter, limit=1e8)
+    print(f"t={sim.now:7.1f} us  {N_WRITERS * WRITES_PER_CLIENT} writes "
+          f"complete across {len(journal)} distinct blocks")
+
+    # Full scrub from a fresh client: every journaled block must hold a
+    # complete, correctly-formatted payload (no torn writes, no lost
+    # updates visible through the surviving majority).
+    scrubber = PrismRsClient(sim, fabric, f"host{N_WRITERS}", replicas,
+                             client_id=N_WRITERS + 1)
+    stats = {"scrubbed": 0}
+
+    def scrub():
+        for block in sorted(journal):
+            data = yield from scrubber.get(block)
+            tag = data[:18].decode(errors="replace")
+            assert tag.startswith(f"blk={block:04d} "), tag
+            generation = int(tag[13:17])
+            assert data == block_payload(block, generation)
+            stats["scrubbed"] += 1
+
+    sim.run_until_complete(sim.spawn(scrub()), limit=1e8)
+    print(f"t={sim.now:7.1f} us  scrub OK: {stats['scrubbed']} blocks "
+          "verified byte-for-byte through the surviving quorum")
+    dropped = replicas[2].prism.requests_dropped
+    print(f"               (crashed replica silently dropped {dropped} "
+          "requests)")
+
+
+if __name__ == "__main__":
+    main()

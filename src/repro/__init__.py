@@ -1,0 +1,18 @@
+"""Reproduction of *PRISM: Rethinking the RDMA Interface for
+Distributed Systems* (SOSP 2021).
+
+A discrete-event simulated RDMA/PRISM stack plus the paper's three
+applications (PRISM-KV, PRISM-RS, PRISM-TX) and their baselines (Pilaf,
+lock-based ABD, FaRM). See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Quick tour:
+
+* :mod:`repro.core` -- the PRISM interface (Table 1).
+* :mod:`repro.prism` -- execution engine + timing backends + client/server.
+* :mod:`repro.apps` -- PRISM-KV / PRISM-RS / PRISM-TX and baselines.
+* :mod:`repro.workload` -- YCSB-style drivers for the evaluation.
+* :mod:`repro.bench` -- harnesses that regenerate each figure.
+"""
+
+__version__ = "1.0.0"

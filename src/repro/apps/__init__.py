@@ -1,0 +1,6 @@
+"""The paper's three applications and their baselines.
+
+* :mod:`repro.apps.kv` — PRISM-KV (§6) and Pilaf.
+* :mod:`repro.apps.blockstore` — PRISM-RS (§7) and lock-based ABD.
+* :mod:`repro.apps.tx` — PRISM-TX (§8) and FaRM.
+"""

@@ -1,0 +1,11 @@
+"""Replicated block storage: PRISM-RS (§7) and lock-based ABD."""
+
+from repro.apps.blockstore.abd_lock import AbdLockClient, AbdLockReplica
+from repro.apps.blockstore.prism_rs import PrismRsClient, PrismRsReplica
+
+__all__ = [
+    "AbdLockClient",
+    "AbdLockReplica",
+    "PrismRsClient",
+    "PrismRsReplica",
+]

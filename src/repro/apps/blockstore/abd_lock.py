@@ -1,0 +1,190 @@
+"""ABDLOCK: multi-writer ABD over *standard* RDMA with locks (§7.2).
+
+The baseline the paper adapts from the DrTM family: clients mediate
+concurrent access with per-block spinlocks acquired by classic 64-bit
+CAS. Every GET/PUT costs four quorum round trips — lock, read, write,
+unlock — plus backoff and retry under contention, which is exactly the
+penalty Figs. 6 and 7 quantify.
+
+Protocol per operation:
+
+1. CAS ``lock: 0 -> client_id`` at all replicas; proceed with the
+   majority that succeeded. On failure to reach a majority, release
+   acquired locks and retry after randomized exponential backoff.
+2. READ ``tag | value`` from the locked replicas.
+3. WRITE ``tag' | value'`` to the locked replicas (GET writes back the
+   max it saw; PUT installs a bumped tag).
+4. CAS ``lock: client_id -> 0`` to release.
+"""
+
+from repro.apps.blockstore.layout import AbdLockLayout
+from repro.apps.blockstore.quorum import QuorumError, quorum
+from repro.apps.common import bump_tag, make_tag
+from repro.prism.client import PrismClient
+from repro.prism.server import PrismServer
+from repro.sim.rng import SeededRng
+
+
+class AbdLockReplica:
+    """One replica: a flat array of lock|tag|value blocks."""
+
+    def __init__(self, sim, fabric, host_name, backend_cls, config=None,
+                 n_blocks=100_000, block_size=512, backend_kwargs=None):
+        self.sim = sim
+        probe = AbdLockLayout(0, n_blocks, block_size)
+        memory_bytes = probe.blocks_bytes + (1 << 20)
+        self.prism = PrismServer(sim, fabric, host_name, backend_cls,
+                                 config=config, memory_bytes=memory_bytes,
+                                 service="rdma",
+                                 backend_kwargs=backend_kwargs)
+        blocks_base, self.blocks_rkey = self.prism.add_region(
+            probe.blocks_bytes)
+        self.layout = AbdLockLayout(blocks_base, n_blocks, block_size)
+
+    @property
+    def host_name(self):
+        return self.prism.host_name
+
+    def load(self, block_id, value, tag=None):
+        """Install an initial value directly (setup time)."""
+        tag = make_tag(1, 0) if tag is None else tag
+        space = self.prism.space
+        addr = self.layout.block_addr(block_id)
+        space.write_uint(addr, 0, 8)  # lock free
+        space.write(addr + 8, AbdLockLayout.pack_tagged_value(tag, value))
+
+
+class AbdLockClient:
+    """A client of an ``n = 2f+1`` lock-based replica group."""
+
+    def __init__(self, sim, fabric, client_name, replicas, client_id,
+                 backoff_base_us=4.0, backoff_max_us=256.0, seed=0):
+        if len(replicas) % 2 == 0:
+            raise ValueError("replica count must be odd (n = 2f + 1)")
+        self.sim = sim
+        self.replicas = list(replicas)
+        self.f = (len(replicas) - 1) // 2
+        self.client_id = client_id
+        self.layout = replicas[0].layout
+        self.clients = [PrismClient(sim, fabric, client_name, r.prism)
+                        for r in replicas]
+        self.backoff_base_us = backoff_base_us
+        self.backoff_max_us = backoff_max_us
+        self._rng = SeededRng(seed).stream(f"abdlock.{client_id}")
+        self.gets = 0
+        self.puts = 0
+        self.lock_retries = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def get(self, block_id):
+        """Process helper: linearizable read (4 round trips + locking)."""
+        value, _retries = yield from self._locked_operation(block_id, None)
+        self.gets += 1
+        return value
+
+    def put(self, block_id, value):
+        """Process helper: linearizable write (4 round trips + locking)."""
+        _value, _retries = yield from self._locked_operation(block_id, value)
+        self.puts += 1
+        return None
+
+    def execute(self, op):
+        """Driver adapter for :class:`~repro.workload.ycsb.KvOp`."""
+        if op.kind == "get":
+            _value, retries = yield from self._locked_operation(op.key, None)
+            self.gets += 1
+        else:
+            _value, retries = yield from self._locked_operation(op.key,
+                                                                op.value)
+            self.puts += 1
+        return {"retries": retries}
+
+    # -- protocol ------------------------------------------------------------
+
+    def _locked_operation(self, block_id, new_value):
+        """Lock a majority, read, write (back), unlock. Retries locking."""
+        attempt = 0
+        while True:
+            locked = yield from self._acquire_locks(block_id)
+            if locked is not None:
+                break
+            attempt += 1
+            self.lock_retries += 1
+            yield self.sim.timeout(self._backoff(attempt))
+        try:
+            replies = yield from quorum(
+                self.sim,
+                [self.clients[i].read(self.layout.tag_addr(block_id),
+                                      8 + self.layout.block_size,
+                                      rkey=self.replicas[i].blocks_rkey)
+                 for i in locked],
+                len(locked), name=f"abd-read[{block_id}]")
+            best_tag, best_value = -1, b""
+            for _slot, data in replies:
+                tag, value = AbdLockLayout.unpack_tagged_value(data)
+                if tag > best_tag:
+                    best_tag, best_value = tag, value
+            if new_value is None:
+                write_tag, write_value = best_tag, best_value
+            else:
+                write_tag = bump_tag(best_tag, self.client_id)
+                write_value = new_value
+            payload = AbdLockLayout.pack_tagged_value(write_tag, write_value)
+            yield from quorum(
+                self.sim,
+                [self.clients[i].write(self.layout.tag_addr(block_id),
+                                       payload,
+                                       rkey=self.replicas[i].blocks_rkey)
+                 for i in locked],
+                len(locked), name=f"abd-write[{block_id}]")
+            return best_value if new_value is None else write_value, attempt
+        finally:
+            yield from self._release_locks(block_id, locked)
+
+    def _acquire_locks(self, block_id):
+        """CAS the lock at every replica; returns indices of a majority
+        actually acquired, or None (after releasing strays).
+
+        Waits for *all* replicas' lock replies (not just a quorum)
+        before deciding, so the set of locks we hold is known exactly —
+        a stray late-acquired lock would deadlock other clients.
+        """
+        generators = [self._cas_lock(index, block_id,
+                                     expect=0, install=self.client_id)
+                      for index in range(len(self.replicas))]
+        try:
+            replies = yield from quorum(self.sim, generators,
+                                        len(self.replicas),
+                                        name=f"abd-lock[{block_id}]")
+        except QuorumError:
+            replies = []
+        acquired = [index for index, ok in replies if ok]
+        if len(acquired) >= self.f + 1:
+            return acquired
+        if acquired:
+            yield from self._release_locks(block_id, acquired)
+        return None
+
+    def _cas_lock(self, index, block_id, expect, install):
+        """Classic IB atomic CmpSwap on the lock word."""
+        swapped, _old = yield from self.clients[index].cas(
+            self.layout.lock_addr(block_id),
+            data=install.to_bytes(8, "little"),
+            compare_data=expect.to_bytes(8, "little"),
+            rkey=self.replicas[index].blocks_rkey)
+        return swapped
+
+    def _release_locks(self, block_id, indices):
+        """CAS the lock back to 0 at ``indices`` (must hold it)."""
+        yield from quorum(
+            self.sim,
+            [self._cas_lock(index, block_id,
+                            expect=self.client_id, install=0)
+             for index in indices],
+            len(indices), name=f"abd-unlock[{block_id}]")
+
+    def _backoff(self, attempt):
+        ceiling = min(self.backoff_max_us,
+                      self.backoff_base_us * (2 ** min(attempt - 1, 6)))
+        return self._rng.uniform(self.backoff_base_us / 2, ceiling)

@@ -1,0 +1,183 @@
+"""PRISM-RS: multi-writer ABD over PRISM primitives (§7.3).
+
+Every GET and PUT is two quorum round trips with zero replica-CPU
+involvement on the data path:
+
+* **Read phase** — one indirect READ of ``metadata[i].addr`` per
+  replica returns a consistent ⟨tag, value⟩ (the tag is duplicated in
+  the buffer); wait for f+1, take the maximum tag.
+* **Write phase** — per replica, one chained request::
+
+      WRITE    t'                  -> tmp
+      ALLOCATE t' | v'             -> redirect address to tmp + 8
+      CAS      metadata[i], data = *tmp, 16-byte operand,
+               CAS_GT on the tag field, swap tag+addr, conditional
+
+  wait for f+1 acks. A CAS miss means the replica already stores a
+  newer tag — which satisfies the ABD write-phase obligation just as
+  well, so it counts toward the quorum.
+
+Retired buffers (the old addr on a swap, the fresh allocation on a
+miss) are reported to the replica's recycler daemon asynchronously.
+"""
+
+from repro.apps.blockstore.layout import META_SIZE, META_TAG_MASK, RsLayout
+from repro.apps.blockstore.quorum import quorum
+from repro.apps.common import bump_tag, make_tag, split_tag
+from repro.core.ops import AllocateOp, CasMode, CasOp, ReadOp, WriteOp
+from repro.hw.layout import pack_uint
+from repro.prism.client import PrismClient
+from repro.prism.engine import OpStatus
+from repro.prism.recycler import RecyclerClient, RecyclerDaemon
+from repro.prism.server import PrismServer
+from repro.rpc.erpc import RpcClient, RpcServer
+
+
+class PrismRsReplica:
+    """One replica: metadata array, buffer free list, recycler daemon."""
+
+    def __init__(self, sim, fabric, host_name, backend_cls, config=None,
+                 n_blocks=100_000, block_size=512, spare_buffers=4096,
+                 rpc_config=None, recycler_batch=64, backend_kwargs=None):
+        self.sim = sim
+        probe = RsLayout(0, n_blocks, block_size)
+        memory_bytes = (probe.meta_bytes
+                        + (n_blocks + spare_buffers) * probe.buffer_bytes
+                        + (1 << 20))
+        self.prism = PrismServer(sim, fabric, host_name, backend_cls,
+                                 config=config, memory_bytes=memory_bytes,
+                                 backend_kwargs=backend_kwargs)
+        meta_base, self.meta_rkey = self.prism.add_region(probe.meta_bytes)
+        self.layout = RsLayout(meta_base, n_blocks, block_size)
+        self.freelist_id, self.buffer_rkey = self.prism.create_freelist(
+            probe.buffer_bytes, n_blocks + spare_buffers, name="rs-buffers")
+        self.rpc = RpcServer(sim, fabric, host_name, config=rpc_config)
+        self.recycler = RecyclerDaemon(sim, self.prism, self.rpc,
+                                       batch_size=recycler_batch)
+
+    @property
+    def host_name(self):
+        return self.prism.host_name
+
+    def load(self, block_id, value, tag=None):
+        """Install an initial value directly (setup time)."""
+        tag = make_tag(1, 0) if tag is None else tag
+        space = self.prism.space
+        addr = self.prism.freelist(self.freelist_id).pop()
+        space.write(addr, RsLayout.pack_buffer(tag, value))
+        space.write(self.layout.meta_addr(block_id),
+                    RsLayout.pack_meta(tag, addr))
+
+
+class PrismRsClient:
+    """A client of an ``n = 2f+1`` replica group."""
+
+    def __init__(self, sim, fabric, client_name, replicas, client_id,
+                 recycle_batch=16):
+        if len(replicas) % 2 == 0:
+            raise ValueError("replica count must be odd (n = 2f + 1)")
+        self.sim = sim
+        self.replicas = list(replicas)
+        self.f = (len(replicas) - 1) // 2
+        self.client_id = client_id
+        self.layout = replicas[0].layout
+        self.clients = [PrismClient(sim, fabric, client_name, r.prism)
+                        for r in replicas]
+        rpc = RpcClient(sim, fabric, client_name,
+                        channel=self.clients[0].channel)
+        self.recyclers = [RecyclerClient(rpc, r.host_name,
+                                         batch_size=recycle_batch)
+                          for r in replicas]
+        self.gets = 0
+        self.puts = 0
+
+    # -- public API --------------------------------------------------------
+
+    def get(self, block_id):
+        """Process helper: linearizable read; returns the value bytes."""
+        tag, value = yield from self._read_phase(block_id)
+        # Write-back phase: propagate ⟨tag_max, v_max⟩ so later readers
+        # cannot observe an older value (ABD's read write-phase).
+        yield from self._write_phase(block_id, tag, value)
+        self.gets += 1
+        return value
+
+    def put(self, block_id, value):
+        """Process helper: linearizable write."""
+        tag, _old_value = yield from self._read_phase(block_id)
+        new_tag = bump_tag(tag, self.client_id)
+        yield from self._write_phase(block_id, new_tag, value)
+        self.puts += 1
+        return None
+
+    def execute(self, op):
+        """Driver adapter for :class:`~repro.workload.ycsb.KvOp`."""
+        if op.kind == "get":
+            yield from self.get(op.key)
+        else:
+            yield from self.put(op.key, op.value)
+        return None
+
+    # -- ABD phases ----------------------------------------------------------
+
+    def _read_phase(self, block_id):
+        """Indirect READ at f+1 replicas; returns ⟨tag_max, v_max⟩."""
+        read_len = 8 + self.layout.block_size
+        generators = [
+            client.read(self.layout.addr_field(block_id), read_len,
+                        rkey=replica.meta_rkey, indirect=True)
+            for client, replica in zip(self.clients, self.replicas)
+        ]
+        replies = yield from quorum(self.sim, generators, self.f + 1,
+                                    name=f"rs-read[{block_id}]")
+        best_tag, best_value = -1, b""
+        for _index, data in replies:
+            tag, value = RsLayout.unpack_buffer(data)
+            if tag > best_tag:
+                best_tag, best_value = tag, value
+        return best_tag, best_value
+
+    def _write_phase(self, block_id, tag, value):
+        """Chained ALLOCATE/CAS_GT install at f+1 replicas."""
+        generators = [
+            self._install_at(index, block_id, tag, value)
+            for index in range(len(self.replicas))
+        ]
+        yield from quorum(self.sim, generators, self.f + 1,
+                          name=f"rs-write[{block_id}]")
+
+    def _install_at(self, index, block_id, tag, value):
+        client = self.clients[index]
+        replica = self.replicas[index]
+        tmp = client.sram_slot
+        sram_rkey = replica.prism.sram_rkey
+        result = yield from client.execute(
+            WriteOp(addr=tmp, data=pack_uint(tag, 8), rkey=sram_rkey),
+            AllocateOp(freelist=replica.freelist_id,
+                       data=RsLayout.pack_buffer(tag, value),
+                       rkey=replica.buffer_rkey, redirect_to=tmp + 8,
+                       conditional=True),
+            CasOp(target=self.layout.meta_addr(block_id),
+                  data=tmp.to_bytes(8, "little"), rkey=replica.meta_rkey,
+                  mode=CasMode.GT, compare_mask=META_TAG_MASK,
+                  data_indirect=True, operand_width=META_SIZE,
+                  conditional=True),
+        )
+        result.raise_on_nak()
+        cas = result[2]
+        if cas.status is OpStatus.OK:
+            _old_tag, old_addr = RsLayout.unpack_meta(cas.value)
+            if old_addr:
+                self._retire(index, old_addr)
+        else:
+            # Replica already holds a newer tag; retire our allocation.
+            new_addr = int.from_bytes(
+                replica.prism.space.read(tmp + 8, 8), "little")
+            self._retire(index, new_addr)
+        return True
+
+    def _retire(self, index, addr):
+        flush = self.recyclers[index].retire(
+            self.replicas[index].freelist_id, addr)
+        if flush is not None:
+            self.sim.spawn(flush, name="rs-retire")

@@ -1,0 +1,45 @@
+"""Quorum completion: wait for the first f+1 of n replica operations.
+
+ABD progresses as soon as a majority responds; the stragglers' replies
+still arrive and are consumed in the background. This helper spawns one
+process per replica operation and triggers when ``need`` of them have
+succeeded, delivering their values as ``(replica_index, value)`` pairs.
+"""
+
+from repro.core.errors import PrismError
+
+
+class QuorumError(PrismError):
+    """Fewer than the required number of replica operations succeeded."""
+
+
+def quorum(sim, generators, need, name="quorum"):
+    """Process helper: run replica ops concurrently, return the first
+    ``need`` successful ``(index, value)`` pairs."""
+    event = sim.event()
+    state = {"successes": [], "failures": 0}
+    total = len(generators)
+    if need > total:
+        raise QuorumError(f"need {need} of only {total} replicas")
+
+    def make_callback(index):
+        def on_done(process):
+            if event.triggered:
+                return
+            if process.ok:
+                state["successes"].append((index, process.value))
+                if len(state["successes"]) == need:
+                    event.succeed(list(state["successes"]))
+            else:
+                state["failures"] += 1
+                if state["failures"] > total - need:
+                    event.fail(QuorumError(
+                        f"{state['failures']} replica ops failed; quorum of "
+                        f"{need}/{total} unreachable: {process.value!r}"))
+        return on_done
+
+    for index, generator in enumerate(generators):
+        process = sim.spawn(generator, name=f"{name}[{index}]")
+        process.add_callback(make_callback(index))
+    results = yield event
+    return results

@@ -1,0 +1,14 @@
+"""A remote B-tree index (the Cell scenario from the paper's §9).
+
+Cell (Mitchell et al., ATC '16) serves a B-tree over RDMA; every
+lookup walks the tree with one READ per level, "though caching can be
+effective". The paper notes "PRISM's indirection primitives can help
+many of these systems": with inner nodes cached client-side, a lookup
+degenerates to Pilaf's two reads (leaf slot, then value) — which one
+bounded indirect READ collapses to a single round trip, and PRISM's
+out-of-place updates keep those cached slot addresses stable.
+"""
+
+from repro.apps.btree.remote_btree import BTreeClient, BTreeServer
+
+__all__ = ["BTreeClient", "BTreeServer"]

@@ -1,0 +1,35 @@
+"""Utilities shared by the application case studies."""
+
+CLIENT_ID_BITS = 16
+_CLIENT_ID_MASK = (1 << CLIENT_ID_BITS) - 1
+
+
+def make_tag(counter, client_id):
+    """Build a 64-bit lexicographic tag ⟨counter, client_id⟩ (§7.1).
+
+    Counter occupies the high bits so integer comparison orders first
+    by counter, then by client id — the ABD tag order, also used for
+    PRISM-KV versions and PRISM-TX timestamps.
+    """
+    if not 0 <= client_id <= _CLIENT_ID_MASK:
+        raise ValueError(f"client_id {client_id} out of range")
+    if counter < 0 or counter >= 1 << (64 - CLIENT_ID_BITS):
+        raise ValueError(f"counter {counter} out of range")
+    return (counter << CLIENT_ID_BITS) | client_id
+
+
+def split_tag(tag):
+    """Inverse of :func:`make_tag`; returns ``(counter, client_id)``."""
+    return tag >> CLIENT_ID_BITS, tag & _CLIENT_ID_MASK
+
+
+def bump_tag(tag, client_id):
+    """Smallest tag with this client id strictly greater than ``tag``."""
+    counter, _ = split_tag(tag)
+    return make_tag(counter + 1, client_id)
+
+
+def field_mask(offset_bytes, width_bytes):
+    """Bitmask selecting ``width_bytes`` at ``offset_bytes`` of a
+    little-endian multi-byte CAS operand."""
+    return ((1 << (8 * width_bytes)) - 1) << (8 * offset_bytes)

@@ -1,0 +1,13 @@
+"""Key-value stores: PRISM-KV (§6) and the Pilaf baseline."""
+
+from repro.apps.kv.layout import KvLayout
+from repro.apps.kv.pilaf import PilafClient, PilafServer
+from repro.apps.kv.prism_kv import PrismKvClient, PrismKvServer
+
+__all__ = [
+    "KvLayout",
+    "PilafClient",
+    "PilafServer",
+    "PrismKvClient",
+    "PrismKvServer",
+]

@@ -1,0 +1,119 @@
+"""Memory layout for PRISM-KV (§6.1).
+
+Hash table slot (24 bytes, CAS-able as one ≤32 B operand)::
+
+    +0   ver    u64   version tag ⟨counter, client_id⟩; 0 = empty
+    +8   ptr    u64   address of the value buffer; 0 = empty
+    +16  bound  u64   bytes valid in the buffer (for bounded reads)
+
+The ``(ptr, bound)`` pair at offset 8 is exactly the ⟨ptr, bound⟩
+struct bounded indirect READs dereference, so a GET is a single
+bounded indirect READ of ``slot + 8``.
+
+Value buffer::
+
+    +0   ver   u64    duplicated version (same trick as PRISM-RS §7.3:
+                      the copy makes one indirect READ return a
+                      consistent ⟨version, key, value⟩ snapshot)
+    +8   klen  u16
+    +10  vlen  u32
+    +14  pad   u16
+    +16  key   klen bytes
+    ...  value vlen bytes
+
+Note on the install CAS: the paper's prose compares the slot's *old
+address*; a single enhanced CAS cannot compare against one value and
+swap in a different value over the same bits, so — like PRISM-RS — we
+version the slot and use CAS_GT on the version field, swapping the
+whole 24-byte slot. Conflict detection is equivalent: the CAS fails
+exactly when a concurrent client installed a newer version.
+"""
+
+from repro.apps.common import field_mask
+from repro.hw.layout import pack_uint, unpack_uint
+
+SLOT_SIZE = 24
+SLOT_VER_OFF = 0
+SLOT_PTR_OFF = 8
+SLOT_BOUND_OFF = 16
+
+HEADER_SIZE = 16  # ver + klen + vlen + pad
+
+#: CAS compare mask selecting the version field of a packed slot.
+SLOT_VER_MASK = field_mask(SLOT_VER_OFF, 8)
+
+
+class KvLayout:
+    """Addresses and codecs for a PRISM-KV table."""
+
+    def __init__(self, table_base, n_slots, max_key_bytes=8,
+                 max_value_bytes=512):
+        self.table_base = table_base
+        self.n_slots = n_slots
+        self.max_key_bytes = max_key_bytes
+        self.max_value_bytes = max_value_bytes
+
+    @property
+    def table_bytes(self):
+        return self.n_slots * SLOT_SIZE
+
+    @property
+    def buffer_bytes(self):
+        """Free-list buffer size covering the largest possible entry."""
+        return HEADER_SIZE + self.max_key_bytes + self.max_value_bytes
+
+    def slot_addr(self, slot_index):
+        return self.table_base + slot_index * SLOT_SIZE
+
+    def probe_read_len(self):
+        """Bytes needed to check a slot's key: header + key."""
+        return HEADER_SIZE + self.max_key_bytes
+
+    def full_read_len(self):
+        """Bytes covering header + key + the largest value."""
+        return self.buffer_bytes
+
+    # -- buffer codec ---------------------------------------------------------
+
+    @staticmethod
+    def pack_entry(ver, key, value):
+        return (pack_uint(ver, 8) + pack_uint(len(key), 2)
+                + pack_uint(len(value), 4) + b"\x00\x00" + key + value)
+
+    @staticmethod
+    def unpack_entry(data):
+        """Returns ``(ver, key, value)``; value may be truncated if the
+        read was shorter than the entry (callers size reads to avoid
+        this)."""
+        ver = unpack_uint(data, 0, 8)
+        klen = unpack_uint(data, 8, 2)
+        vlen = unpack_uint(data, 10, 4)
+        key = bytes(data[16:16 + klen])
+        value = bytes(data[16 + klen:16 + klen + vlen])
+        return ver, key, value
+
+    @staticmethod
+    def entry_key(data):
+        """Extract just the key from a probe-sized read."""
+        klen = unpack_uint(data, 8, 2)
+        return bytes(data[16:16 + klen])
+
+    @staticmethod
+    def entry_ver(data):
+        return unpack_uint(data, 0, 8)
+
+    @staticmethod
+    def pack_slot(ver, ptr, bound):
+        return pack_uint(ver, 8) + pack_uint(ptr, 8) + pack_uint(bound, 8)
+
+    @staticmethod
+    def unpack_slot(data):
+        return (unpack_uint(data, 0, 8), unpack_uint(data, 8, 8),
+                unpack_uint(data, 16, 8))
+
+    @staticmethod
+    def encode_key(key):
+        """Keys are 8-byte strings; integers are encoded little-endian."""
+        if isinstance(key, int):
+            return key.to_bytes(8, "little")
+        return bytes(key)

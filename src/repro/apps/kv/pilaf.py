@@ -1,0 +1,219 @@
+"""Pilaf baseline (Mitchell et al., ATC '13), as described in §2.1/§6.
+
+GETs are one-sided: READ the hash-table slot (pointer + CRC), then
+READ the extent it points to (entry + CRC), verifying both checksums
+client-side — two round trips plus ~2 µs of CRC work. PUTs are
+two-sided RPCs executed by the server CPU.
+
+Runs over either the hardware RDMA NIC backend or the software RDMA
+stack, giving the paper's "Pilaf" and "Pilaf (software RDMA)" curves.
+
+Layout. Hash table slot (16 B): ``ptr u64 | crc u64`` (crc over the
+pointer bytes). Extent (fixed stride): ``klen u16 | vlen u32 | pad u16
+| key[max] | value[max] | crc u64`` with the CRC over the preceding
+fixed span, so a GET's second READ is one fixed-size transfer.
+"""
+
+from repro.apps.kv.crc import crc_bytes, crc_time_us, verify
+from repro.hw.layout import pack_uint, unpack_uint
+from repro.prism.client import PrismClient
+from repro.prism.server import PrismServer
+from repro.rpc.erpc import RpcClient, RpcServer
+
+SLOT_SIZE = 16
+
+
+class PilafLayout:
+    """Addresses and codecs for Pilaf's table and extents."""
+
+    def __init__(self, table_base, extents_base, n_slots, max_key_bytes=8,
+                 max_value_bytes=512):
+        self.table_base = table_base
+        self.extents_base = extents_base
+        self.n_slots = n_slots
+        self.max_key_bytes = max_key_bytes
+        self.max_value_bytes = max_value_bytes
+
+    @property
+    def entry_stride(self):
+        return 8 + self.max_key_bytes + self.max_value_bytes + 8
+
+    @property
+    def entry_data_bytes(self):
+        """The CRC-covered prefix of an extent."""
+        return self.entry_stride - 8
+
+    @property
+    def table_bytes(self):
+        return self.n_slots * SLOT_SIZE
+
+    def slot_addr(self, slot_index):
+        return self.table_base + slot_index * SLOT_SIZE
+
+    def extent_addr(self, extent_index):
+        return self.extents_base + extent_index * self.entry_stride
+
+    def pack_entry(self, key, value):
+        body = (pack_uint(len(key), 2) + pack_uint(len(value), 4)
+                + b"\x00\x00" + key + value)
+        body += b"\x00" * (self.entry_data_bytes - len(body))
+        return body + crc_bytes(body)
+
+    @staticmethod
+    def unpack_entry(data):
+        klen = unpack_uint(data, 0, 2)
+        vlen = unpack_uint(data, 2, 4)
+        key = bytes(data[8:8 + klen])
+        value = bytes(data[8 + klen:8 + klen + vlen])
+        return key, value
+
+    @staticmethod
+    def pack_slot(ptr):
+        ptr_bytes = pack_uint(ptr, 8)
+        return ptr_bytes + crc_bytes(ptr_bytes)
+
+
+class PilafServer:
+    """Server side: registered table + extents, RPC PUT handler."""
+
+    PUT_METHOD = "pilaf.put"
+    #: server-CPU handler cost for a PUT (µs): hash, copy, CRC update
+    PUT_SERVICE_US = 1.60
+
+    def __init__(self, sim, fabric, host_name, backend_cls, config=None,
+                 n_keys=100_000, max_value_bytes=512, slots_per_key=1,
+                 hash_fn="identity", rpc_config=None, backend_kwargs=None,
+                 rpc_core_pool=None):
+        self.sim = sim
+        self.n_keys = n_keys
+        self.hash_fn = hash_fn
+        probe = PilafLayout(0, 0, n_keys * slots_per_key,
+                            max_value_bytes=max_value_bytes)
+        memory_bytes = (probe.table_bytes
+                        + (n_keys + 1024) * probe.entry_stride + (1 << 20))
+        self.prism = PrismServer(sim, fabric, host_name, backend_cls,
+                                 config=config, memory_bytes=memory_bytes,
+                                 service="rdma",
+                                 backend_kwargs=backend_kwargs)
+        table_base, self.table_rkey = self.prism.add_region(probe.table_bytes)
+        extents_base, self.extents_rkey = self.prism.add_region(
+            (n_keys + 1024) * probe.entry_stride)
+        self.layout = PilafLayout(table_base, extents_base,
+                                  n_keys * slots_per_key,
+                                  max_value_bytes=max_value_bytes)
+        self._next_extent = 0
+        self._key_to_extent = {}
+        self.rpc = RpcServer(sim, fabric, host_name, config=rpc_config,
+                             core_pool=rpc_core_pool)
+        self.rpc.register(self.PUT_METHOD, self._handle_put,
+                          service_us=self.PUT_SERVICE_US)
+
+    @property
+    def host_name(self):
+        return self.prism.host_name
+
+    def slot_index(self, key_bytes):
+        if self.hash_fn == "identity":
+            return int.from_bytes(key_bytes, "little") % self.layout.n_slots
+        from repro.apps.kv.prism_kv import fnv1a_64
+        return fnv1a_64(key_bytes) % self.layout.n_slots
+
+    # -- server-CPU state manipulation (functional) -----------------------
+
+    def _store(self, key_bytes, value):
+        space = self.prism.space
+        extent_index = self._key_to_extent.get(key_bytes)
+        is_new = extent_index is None
+        if is_new:
+            extent_index = self._next_extent
+            self._next_extent += 1
+            self._key_to_extent[key_bytes] = extent_index
+        extent = self.layout.extent_addr(extent_index)
+        space.write(extent, self.layout.pack_entry(key_bytes, value))
+        if is_new:
+            slot_index = self.slot_index(key_bytes)
+            for offset in range(self.layout.n_slots):
+                slot = self.layout.slot_addr(
+                    (slot_index + offset) % self.layout.n_slots)
+                if unpack_uint(space.read(slot, 8), 0, 8) == 0:
+                    space.write(slot, self.layout.pack_slot(extent))
+                    return
+            raise RuntimeError("pilaf hash table full")
+
+    def _handle_put(self, args):
+        key_bytes, value = args
+        self._store(key_bytes, value)
+        return True, 8
+
+    def load(self, key, value):
+        """Bulk load at setup time (no simulated traffic)."""
+        if isinstance(key, int):
+            key = key.to_bytes(8, "little")
+        self._store(bytes(key), value)
+
+
+class PilafClient:
+    """Client side: 2-READ GETs with CRC checks, RPC PUTs."""
+
+    def __init__(self, sim, fabric, client_name, server, max_probes=None):
+        self.sim = sim
+        self.server = server
+        self.layout = server.layout
+        self.client = PrismClient(sim, fabric, client_name, server.prism)
+        self.rpc = RpcClient(sim, fabric, client_name)
+        self.max_probes = max_probes or (
+            1 if server.hash_fn == "identity" else 64)
+        self.gets = 0
+        self.puts = 0
+        self.crc_failures = 0
+
+    def get(self, key):
+        """Process helper: two one-sided READs plus CRC verification."""
+        if isinstance(key, int):
+            key = key.to_bytes(8, "little")
+        key = bytes(key)
+        start = self.server.slot_index(key)
+        for offset in range(self.max_probes):
+            slot_addr = self.layout.slot_addr(
+                (start + offset) % self.layout.n_slots)
+            slot = yield from self.client.read(slot_addr, SLOT_SIZE,
+                                               rkey=self.server.table_rkey)
+            yield self.sim.timeout(crc_time_us(SLOT_SIZE))
+            if not verify(slot[:8], slot[8:]):
+                self.crc_failures += 1
+                continue  # racing update: retry this probe
+            ptr = unpack_uint(slot, 0, 8)
+            if ptr == 0:
+                self.gets += 1
+                return None
+            entry = yield from self.client.read(
+                ptr, self.layout.entry_stride, rkey=self.server.extents_rkey)
+            yield self.sim.timeout(crc_time_us(self.layout.entry_stride))
+            data = entry[:self.layout.entry_data_bytes]
+            if not verify(data, entry[self.layout.entry_data_bytes:]):
+                self.crc_failures += 1
+                continue
+            stored_key, value = PilafLayout.unpack_entry(data)
+            if stored_key == key:
+                self.gets += 1
+                return value
+        self.gets += 1
+        return None
+
+    def put(self, key, value):
+        """Process helper: a single two-sided RPC."""
+        if isinstance(key, int):
+            key = key.to_bytes(8, "little")
+        yield from self.rpc.call(
+            self.server.host_name, PilafServer.PUT_METHOD,
+            (bytes(key), bytes(value)),
+            request_payload_bytes=8 + len(key) + len(value))
+        self.puts += 1
+
+    def execute(self, op):
+        """Driver adapter for :class:`~repro.workload.ycsb.KvOp`."""
+        if op.kind == "get":
+            yield from self.get(op.key)
+        else:
+            yield from self.put(op.key, op.value)
+        return None

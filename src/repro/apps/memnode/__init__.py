@@ -1,0 +1,12 @@
+"""Network-attached memory node applications (paper §10).
+
+The paper's conclusion argues a hardware PRISM NIC would enable "new
+deployment options such as network-attached memory nodes" — hosts that
+are *pure memory*: no application CPU at all, every data-path operation
+one-sided. :mod:`repro.apps.memnode.shared_log` demonstrates the idea
+with a multi-writer shared log built exclusively from PRISM primitives.
+"""
+
+from repro.apps.memnode.shared_log import SharedLogClient, SharedLogNode
+
+__all__ = ["SharedLogClient", "SharedLogNode"]

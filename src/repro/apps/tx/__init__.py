@@ -1,0 +1,6 @@
+"""Distributed transactions: PRISM-TX (§8) and the FaRM baseline."""
+
+from repro.apps.tx.farm import FarmClient, FarmServer
+from repro.apps.tx.prism_tx import PrismTxClient, PrismTxServer
+
+__all__ = ["FarmClient", "FarmServer", "PrismTxClient", "PrismTxServer"]

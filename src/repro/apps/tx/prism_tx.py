@@ -1,0 +1,343 @@
+"""PRISM-TX: one-sided optimistic concurrency control (§8.2).
+
+A transaction touches the server CPU *zero* times:
+
+* **Execution** — buffered writes, reads via one indirect READ per key
+  (all keys of a partition batched into a single request).
+* **Prepare** (1 round trip) — per key, CAS-based validation against
+  the ``[PR | PW]`` metadata pair:
+
+  - read validation: one CAS_GT comparing RC|TS against PW|PR and
+    swapping PR := TS (the single-CAS trick of §8.2);
+  - write validation: one CAS_GT on the PW half swapping PW := TS,
+    chained *conditionally* behind the read validation when the key is
+    both read and written; the returned old PR is checked client-side.
+
+* **Commit** (1 round trip) — per written key, the PRISM-RS install
+  chain (WRITE tag to scratch, ALLOCATE buffer with the address
+  redirected to scratch, CAS_GT on ``[C | addr]``).
+
+On abort the prepared PR/PW stamps are *left in place* (safe, §8.2) and
+C is advanced to TS for keys that passed write validation, limiting how
+long the conservative stamps can block others.
+
+The 32-byte per-connection scratch slot holds two 16-byte install
+temporaries, so up to two written keys commit in one request; larger
+write sets are split across parallel requests (still one round trip).
+"""
+
+from repro.apps.common import split_tag
+from repro.apps.tx.layout import (
+    CADDR_C_MASK,
+    META_SIZE,
+    PRPW_PW_MASK,
+    PRPW_PR_MASK,
+    TxLayout,
+)
+from repro.apps.tx.timestamps import LooselySynchronizedClock
+from repro.core.constants import REDIRECT_SLOT_BYTES
+from repro.core.ops import AllocateOp, CasMode, CasOp, ReadOp, WriteOp
+from repro.hw.layout import pack_uint
+from repro.prism.client import PrismClient
+from repro.prism.engine import OpStatus
+from repro.prism.recycler import RecyclerClient, RecyclerDaemon
+from repro.prism.server import PrismServer
+from repro.rpc.erpc import RpcClient, RpcServer
+
+_INSTALL_TMP_BYTES = 16
+_INSTALLS_PER_REQUEST = REDIRECT_SLOT_BYTES // _INSTALL_TMP_BYTES
+
+
+class PrismTxServer:
+    """One partition: metadata array, buffer free list, recycler."""
+
+    def __init__(self, sim, fabric, host_name, backend_cls, config=None,
+                 n_keys=100_000, value_size=512, spare_buffers=4096,
+                 rpc_config=None, recycler_batch=64, backend_kwargs=None):
+        self.sim = sim
+        probe = TxLayout(0, n_keys, value_size)
+        memory_bytes = (probe.meta_bytes
+                        + (n_keys + spare_buffers) * probe.buffer_bytes
+                        + (1 << 20))
+        self.prism = PrismServer(sim, fabric, host_name, backend_cls,
+                                 config=config, memory_bytes=memory_bytes,
+                                 backend_kwargs=backend_kwargs)
+        meta_base, self.meta_rkey = self.prism.add_region(probe.meta_bytes)
+        self.layout = TxLayout(meta_base, n_keys, value_size)
+        self.freelist_id, self.buffer_rkey = self.prism.create_freelist(
+            probe.buffer_bytes, n_keys + spare_buffers, name="tx-buffers")
+        self.rpc = RpcServer(sim, fabric, host_name, config=rpc_config)
+        self.recycler = RecyclerDaemon(sim, self.prism, self.rpc,
+                                       batch_size=recycler_batch)
+
+    @property
+    def host_name(self):
+        return self.prism.host_name
+
+    def load(self, key, value, version=1):
+        """Install an initial version directly (setup time).
+
+        PW is seeded to the initial version: the protocol invariant is
+        PW >= C (a committed write was always prepared first), and read
+        validation checks RC == PW.
+        """
+        space = self.prism.space
+        addr = self.prism.freelist(self.freelist_id).pop()
+        space.write(addr, TxLayout.pack_buffer(version, key, value))
+        space.write(self.layout.meta_addr(key),
+                    TxLayout.pack_prpw(0, version)
+                    + TxLayout.pack_caddr(version, addr))
+
+
+class TxAborted(Exception):
+    """Internal: validation failed; the caller retries with a new TS."""
+
+
+class PrismTxClient:
+    """A transaction client of one partition (single shard, as §8.3)."""
+
+    def __init__(self, sim, fabric, client_name, server, client_id,
+                 clock_skew_us=0.0, recycle_batch=16,
+                 backoff_base_us=3.0, backoff_max_us=128.0):
+        self.sim = sim
+        self.server = server
+        self.layout = server.layout
+        self.client = PrismClient(sim, fabric, client_name, server.prism)
+        self.client_id = client_id
+        self.clock = LooselySynchronizedClock(sim, client_id, clock_skew_us)
+        rpc = RpcClient(sim, fabric, client_name,
+                        channel=self.client.channel)
+        self.recycler = RecyclerClient(rpc, server.host_name,
+                                       batch_size=recycle_batch)
+        from repro.sim.rng import SeededRng
+        self._rng = SeededRng(client_id).stream("prismtx.backoff")
+        self.backoff_base_us = backoff_base_us
+        self.backoff_max_us = backoff_max_us
+        self.commits = 0
+        self.aborts = 0
+        #: optional hook called on every commit with
+        #: ``(timestamp, reads_dict, writes_dict, start, finish)`` —
+        #: used by the serializability checker in the test suite.
+        self.on_commit = None
+
+    # -- public API -------------------------------------------------------
+
+    def run_transaction(self, read_keys, write_keys, value):
+        """Process helper: one attempt writing ``value`` to every write
+        key; returns the committed read values dict.
+
+        Raises :class:`TxAborted` when validation fails.
+        """
+        return (yield from self.run_transaction_kv(
+            read_keys, {key: value for key in write_keys}))
+
+    def run_transaction_kv(self, read_keys, writes):
+        """Process helper: one attempt with per-key write values.
+
+        ``writes`` maps key -> value. Raises :class:`TxAborted` when
+        validation fails.
+        """
+        read_keys = tuple(read_keys)
+        writes = dict(writes)
+        start = self.sim.now
+        read_versions, values = yield from self._execute_reads(read_keys)
+        ts = self.clock.timestamp(read_versions.values())
+        yield from self._prepare(read_keys, tuple(writes), read_versions, ts)
+        yield from self._commit(writes, ts)
+        self.commits += 1
+        if self.on_commit is not None:
+            self.on_commit(ts, dict(values), dict(writes), start,
+                           self.sim.now)
+        return values
+
+    def transact(self, read_keys, write_keys, value, max_attempts=None):
+        """Process helper: retry loop with randomized backoff."""
+        return (yield from self.transact_kv(
+            read_keys, {key: value for key in write_keys},
+            max_attempts=max_attempts))
+
+    def transact_kv(self, read_keys, writes, max_attempts=None):
+        """Retry loop around :meth:`run_transaction_kv`."""
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                values = yield from self.run_transaction_kv(read_keys,
+                                                            writes)
+                return values, attempts - 1
+            except TxAborted:
+                self.aborts += 1
+                if max_attempts is not None and attempts >= max_attempts:
+                    raise
+                ceiling = min(self.backoff_max_us,
+                              self.backoff_base_us
+                              * (2 ** min(attempts - 1, 6)))
+                yield self.sim.timeout(
+                    self._rng.uniform(self.backoff_base_us / 2, ceiling))
+
+    def execute(self, op):
+        """Driver adapter for :class:`~repro.workload.ycsb.TxnOp`."""
+        _values, retries = yield from self.transact(
+            op.read_keys, op.write_keys, op.value)
+        return {"retries": retries, "aborts": retries}
+
+    # -- phases ------------------------------------------------------------
+
+    def _execute_reads(self, read_keys):
+        """One batched request per partition: for each key, READ the
+        metadata C word and indirect-READ the committed buffer.
+
+        RC is ``max(C_meta, C_buffer)``: after an abort advanced C past
+        the buffer's embedded tag (§8.2), the old value stands in for
+        the aborted write at the higher version; when an install races
+        between the two READs, the buffer's (newer) tag is the
+        consistent one. Either mismatch direction yields a value/version
+        pair that validation treats correctly (at worst conservatively).
+        """
+        if not read_keys:
+            return {}, {}
+        read_len = self.layout.buffer_bytes
+        ops = []
+        for key in read_keys:
+            ops.append(ReadOp(addr=self.layout.caddr_addr(key), length=8,
+                              rkey=self.server.meta_rkey))
+            ops.append(ReadOp(addr=self.layout.addr_field(key),
+                              length=read_len,
+                              rkey=self.server.meta_rkey, indirect=True))
+        result = yield from self.client.execute(*ops)
+        result.raise_on_nak()
+        versions, values = {}, {}
+        for index, key in enumerate(read_keys):
+            c_meta = int.from_bytes(result[2 * index].value, "little")
+            c_buf, stored_key, value = TxLayout.unpack_buffer(
+                result[2 * index + 1].value)
+            assert stored_key == key, "hash is collisionless by construction"
+            versions[key] = max(c_meta, c_buf)
+            values[key] = value
+        return versions, values
+
+    def _prepare(self, read_keys, write_keys, read_versions, ts):
+        """One batched request of validation CASes; raises TxAborted."""
+        write_set = set(write_keys)
+        ops = []
+        kinds = []  # parallel list: ("rv"|"wv", key)
+        for key in read_keys:
+            ops.append(self._read_validation_op(key, read_versions[key], ts))
+            kinds.append(("rv", key))
+            if key in write_set:
+                ops.append(self._write_validation_op(key, ts,
+                                                     conditional=True))
+                kinds.append(("wv", key))
+        for key in write_keys:
+            if key not in read_versions:
+                ops.append(self._write_validation_op(key, ts,
+                                                     conditional=False))
+                kinds.append(("wv", key))
+        result = yield from self.client.execute(*ops)
+        result.raise_on_nak()
+        ok = True
+        write_checked = []
+        for (kind, key), op_result in zip(kinds, result):
+            if op_result.status is OpStatus.SKIPPED:
+                ok = False
+                continue
+            old_pr, old_pw = TxLayout.unpack_prpw(op_result.value)
+            if kind == "rv":
+                # Read is valid iff it observed the latest prepared
+                # write. PR may legitimately not have moved (TS <= PR).
+                if old_pw != read_versions[key]:
+                    ok = False
+            else:
+                # PR == ts is our *own* read validation (timestamps are
+                # unique per transaction), which our write never
+                # invalidates; only a strictly greater PR aborts.
+                if op_result.status is OpStatus.OK and old_pr <= ts:
+                    write_checked.append(key)
+                else:
+                    ok = False
+        if not ok:
+            yield from self._abort(write_checked, ts)
+            raise TxAborted()
+
+    def _read_validation_op(self, key, rc, ts):
+        # Compare RC|TS > PW|PR (PW, RC in the high halves); swap PR=TS.
+        return CasOp(target=self.layout.prpw_addr(key),
+                     data=TxLayout.pack_prpw(ts, rc),
+                     rkey=self.server.meta_rkey, mode=CasMode.GT,
+                     swap_mask=PRPW_PR_MASK, operand_width=16)
+
+    def _write_validation_op(self, key, ts, conditional):
+        # Compare TS > PW on the PW half; swap PW=TS. Old PR checked
+        # client-side afterwards (§8.2: safe to raise PW optimistically).
+        return CasOp(target=self.layout.prpw_addr(key),
+                     data=TxLayout.pack_prpw(0, ts),
+                     rkey=self.server.meta_rkey, mode=CasMode.GT,
+                     compare_mask=PRPW_PW_MASK, swap_mask=PRPW_PW_MASK,
+                     operand_width=16, conditional=conditional)
+
+    def _commit(self, writes, ts):
+        """Install all writes (``writes``: key -> value); chunks of two
+        chains per request (the 32 B scratch slot holds two install
+        temporaries)."""
+        items = list(writes.items())
+        chunks = [items[i:i + _INSTALLS_PER_REQUEST]
+                  for i in range(0, len(items), _INSTALLS_PER_REQUEST)]
+        for chunk in chunks:
+            yield from self._install_chunk(chunk, ts)
+
+    def _install_chunk(self, chunk, ts):
+        tmp_base = self.client.sram_slot
+        sram_rkey = self.server.prism.sram_rkey
+        ops = []
+        cas_indices = []
+        for slot, (key, value) in enumerate(chunk):
+            tmp = tmp_base + slot * _INSTALL_TMP_BYTES
+            ops.append(WriteOp(addr=tmp, data=pack_uint(ts, 8),
+                               rkey=sram_rkey))
+            ops.append(AllocateOp(
+                freelist=self.server.freelist_id,
+                data=TxLayout.pack_buffer(ts, key, value),
+                rkey=self.server.buffer_rkey, redirect_to=tmp + 8,
+                conditional=True))
+            cas_indices.append(len(ops))
+            ops.append(CasOp(
+                target=self.layout.caddr_addr(key),
+                data=tmp.to_bytes(8, "little"), rkey=self.server.meta_rkey,
+                mode=CasMode.GT, compare_mask=CADDR_C_MASK,
+                data_indirect=True, operand_width=16, conditional=True))
+        result = yield from self.client.execute(*ops)
+        result.raise_on_nak()
+        for slot, ((key, _value), cas_index) in enumerate(
+                zip(chunk, cas_indices)):
+            cas = result[cas_index]
+            tmp = tmp_base + slot * _INSTALL_TMP_BYTES
+            if cas.status is OpStatus.OK:
+                _old_c, old_addr = TxLayout.unpack_caddr(cas.value)
+                if old_addr:
+                    self._retire(old_addr)
+            else:
+                # A transaction with a later timestamp already installed
+                # this key (Thomas write rule): drop our buffer.
+                new_addr = int.from_bytes(
+                    self.server.prism.space.read(tmp + 8, 8), "little")
+                self._retire(new_addr)
+
+    def _abort(self, write_checked_keys, ts):
+        """Advance C := TS for keys that passed write validation, so the
+        conservatively raised PW cannot block readers longer than
+        needed (§8.2)."""
+        if not write_checked_keys:
+            return
+        ops = [CasOp(target=self.layout.caddr_addr(key),
+                     data=TxLayout.pack_caddr(ts, 0),
+                     rkey=self.server.meta_rkey, mode=CasMode.GT,
+                     compare_mask=CADDR_C_MASK, swap_mask=CADDR_C_MASK,
+                     operand_width=16)
+               for key in write_checked_keys]
+        result = yield from self.client.execute(*ops)
+        result.raise_on_nak()
+
+    def _retire(self, addr):
+        flush = self.recycler.retire(self.server.freelist_id, addr)
+        if flush is not None:
+            self.sim.spawn(flush, name="tx-retire")

@@ -1,0 +1,34 @@
+"""Loosely synchronized transaction timestamps (§8.2).
+
+PRISM-TX timestamps are ⟨clock_time, cid⟩ tuples packed into 64 bits,
+chosen client-side from a loosely synchronized clock (Adya et al. '95,
+Thomas '79 — the same strategy as Meerkat). The clock_time starts from
+the client's local clock — simulated time plus a fixed per-client skew
+— and is adjusted upward so the timestamp exceeds every version the
+transaction read.
+"""
+
+from repro.apps.common import CLIENT_ID_BITS, make_tag, split_tag
+
+
+class LooselySynchronizedClock:
+    """Per-client clock with bounded skew and monotonic output."""
+
+    def __init__(self, sim, client_id, skew_us=0.0):
+        self.sim = sim
+        self.client_id = client_id
+        self.skew_us = skew_us
+        self._last_time = 0
+
+    def timestamp(self, floor_timestamps=()):
+        """A fresh timestamp greater than every timestamp in
+        ``floor_timestamps`` (the RCs of the read set) and locally
+        monotonic."""
+        local = int(self.sim.now + self.skew_us) + 1
+        floor = 0
+        for ts in floor_timestamps:
+            clock_part, _ = split_tag(ts)
+            floor = max(floor, clock_part + 1)
+        clock_time = max(local, floor, self._last_time + 1)
+        self._last_time = clock_time
+        return make_tag(clock_time, self.client_id)

@@ -1,0 +1,25 @@
+"""Benchmark harnesses regenerating the paper's figures.
+
+:mod:`repro.bench.harness` builds whole systems (server(s) + loaded
+data + client populations) and runs closed-loop measurement points;
+:mod:`repro.bench.microbench` measures single primitives (Figs. 1-2,
+§2.1); :mod:`repro.bench.reporting` prints the tables the benchmark
+suite emits and EXPERIMENTS.md records.
+"""
+
+from repro.bench.harness import run_point, sweep_clients
+from repro.bench.microbench import (
+    measure_primitive,
+    measure_rpc_read,
+    PRIMITIVES,
+)
+from repro.bench.reporting import print_table
+
+__all__ = [
+    "PRIMITIVES",
+    "measure_primitive",
+    "measure_rpc_read",
+    "print_table",
+    "run_point",
+    "sweep_clients",
+]

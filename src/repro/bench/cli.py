@@ -1,0 +1,203 @@
+"""Command-line experiment runner.
+
+Regenerate any paper figure (or run a custom point) without pytest::
+
+    python -m repro.bench.cli fig1
+    python -m repro.bench.cli fig3 --clients 1,8,32 --keys 4000
+    python -m repro.bench.cli point --kind tx --flavor prism-sw \\
+        --clients 96 --zipf 0.9
+    python -m repro.bench.cli list
+
+Figure commands print the same tables as the benchmark suite but let
+you rescale client counts / key counts for quicker (or bigger) runs.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import run_point, sweep_clients
+from repro.bench.microbench import (
+    CLASSIC_PRIMITIVES,
+    PRIMITIVES,
+    measure_one_sided_read,
+    measure_primitive,
+    measure_rpc_read,
+    measure_two_rdma_reads,
+)
+from repro.bench.reporting import CURVE_HEADERS, curve_rows, print_table
+from repro.net.topology import CLUSTER, DATACENTER, DIRECT, RACK
+from repro.workload import (
+    YCSB_A,
+    YCSB_C,
+    YcsbTransactionalWorkload,
+    YcsbWorkload,
+)
+
+DEFAULT_CLIENTS = [1, 8, 32, 96, 176]
+
+
+def _parse_int_list(text):
+    return [int(piece) for piece in text.split(",") if piece]
+
+
+def cmd_motivation(args):
+    print_table("§2.1 motivation (512 B, one ToR switch)",
+                ["operation", "latency_us"],
+                [["one-sided READ", measure_one_sided_read(profile=RACK)],
+                 ["two-sided eRPC", measure_rpc_read(profile=RACK)],
+                 ["two dependent READs", measure_two_rdma_reads(profile=RACK)]])
+
+
+def cmd_fig1(args):
+    columns = ["rdma", "prism-sw", "prism-bluefield", "prism-hw"]
+    rows = []
+    for primitive in PRIMITIVES:
+        row = [primitive]
+        for backend in columns:
+            if backend == "rdma" and primitive not in CLASSIC_PRIMITIVES:
+                row.append("-")
+            else:
+                row.append(measure_primitive(backend, primitive,
+                                             profile=DIRECT))
+        rows.append(row)
+    print_table("Fig. 1: primitive latency, direct link (µs)",
+                ["primitive"] + columns, rows)
+
+
+def cmd_fig2(args):
+    tiers = [("rack", RACK), ("cluster", CLUSTER),
+             ("datacenter", DATACENTER)]
+    rows = []
+    for name, profile in tiers:
+        rows.append([name,
+                     measure_two_rdma_reads(profile=profile),
+                     measure_primitive("prism-sw", "indirect-read",
+                                       profile=profile),
+                     measure_primitive("prism-bluefield", "indirect-read",
+                                       profile=profile),
+                     measure_primitive("prism-hw", "indirect-read",
+                                       profile=profile)])
+    print_table("Fig. 2: indirect read latency by deployment (µs)",
+                ["tier", "2x-rdma", "prism-sw", "bluefield", "prism-hw"],
+                rows)
+
+
+_FIGURE_SYSTEMS = {
+    "fig3": ("kv", ["prism-sw", "pilaf-hw", "pilaf-sw"],
+             lambda keys, zipf: (lambda i: YCSB_C(keys, zipf=zipf, seed=11,
+                                                  client_id=i))),
+    "fig4": ("kv", ["prism-sw", "pilaf-hw", "pilaf-sw"],
+             lambda keys, zipf: (lambda i: YCSB_A(keys, zipf=zipf, seed=13,
+                                                  client_id=i))),
+    "fig6": ("rs", ["prism-sw", "abdlock-hw", "abdlock-sw"],
+             lambda keys, zipf: (lambda i: YCSB_A(keys, zipf=zipf, seed=17,
+                                                  client_id=i))),
+    "fig9": ("tx", ["prism-sw", "farm-hw", "farm-sw"],
+             lambda keys, zipf: (lambda i: YcsbTransactionalWorkload(
+                 keys, keys_per_txn=1, zipf=zipf, seed=23, client_id=i))),
+}
+
+
+def cmd_figure_sweep(args):
+    kind, flavors, workload_maker = _FIGURE_SYSTEMS[args.command]
+    for flavor in flavors:
+        started = time.time()
+        results = sweep_clients(kind, flavor,
+                                workload_maker(args.keys, args.zipf),
+                                args.clients, n_keys=args.keys)
+        print_table(f"{args.command}: {flavor} "
+                    f"({time.time() - started:.0f}s wall)",
+                    CURVE_HEADERS, curve_rows(results))
+
+
+def cmd_contention(args):
+    kind = "rs" if args.command == "fig7" else "tx"
+    flavors = (["prism-sw", "abdlock-hw"] if kind == "rs"
+               else ["prism-sw", "farm-hw"])
+    rows = []
+    for zipf in args.zipfs:
+        row = [zipf]
+        for flavor in flavors:
+            if kind == "rs":
+                workload = (lambda i, z=zipf: YcsbWorkload(
+                    args.keys, read_fraction=0.5, zipf=z, seed=19,
+                    client_id=i))
+            else:
+                workload = (lambda i, z=zipf: YcsbTransactionalWorkload(
+                    args.keys, keys_per_txn=1, zipf=z, seed=29,
+                    client_id=i))
+            result = run_point(kind, flavor, workload, args.clients[0],
+                               n_keys=args.keys, measure_us=2000.0)
+            row.append(result.mean_latency_us if kind == "rs"
+                       else result.throughput_ops_per_sec / 1e6)
+        rows.append(row)
+    metric = "mean latency (µs)" if kind == "rs" else "throughput (M/s)"
+    print_table(f"{args.command}: {metric} vs zipf",
+                ["zipf"] + flavors, rows)
+
+
+def cmd_point(args):
+    if args.kind == "tx":
+        workload = (lambda i: YcsbTransactionalWorkload(
+            args.keys, keys_per_txn=1, zipf=args.zipf, seed=1, client_id=i))
+    else:
+        workload = (lambda i: YcsbWorkload(
+            args.keys, read_fraction=args.read_fraction, zipf=args.zipf,
+            seed=1, client_id=i))
+    result = run_point(args.kind, args.flavor, workload, args.clients[0],
+                       n_keys=args.keys)
+    print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
+                curve_rows([result]))
+
+
+def cmd_list(args):
+    print("figures: motivation fig1 fig2 fig3 fig4 fig6 fig7 fig9 fig10")
+    print("systems: kv={prism-sw,prism-hw,prism-bluefield,pilaf-hw,pilaf-sw}")
+    print("         rs={prism-sw,prism-hw,abdlock-hw,abdlock-sw}")
+    print("         tx={prism-sw,prism-hw,farm-hw,farm-sw}")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli",
+        description="Regenerate figures from the PRISM paper.")
+    parser.add_argument("command",
+                        choices=["motivation", "fig1", "fig2", "fig3",
+                                 "fig4", "fig6", "fig7", "fig9", "fig10",
+                                 "point", "list"])
+    parser.add_argument("--clients", type=_parse_int_list,
+                        default=DEFAULT_CLIENTS,
+                        help="comma-separated client counts")
+    parser.add_argument("--keys", type=int, default=8000)
+    parser.add_argument("--zipf", type=float, default=0.0)
+    parser.add_argument("--zipfs", type=lambda t: [float(x) for x in
+                                                   t.split(",")],
+                        default=[0.0, 0.5, 0.9, 1.2])
+    parser.add_argument("--kind", choices=["kv", "rs", "tx"], default="kv")
+    parser.add_argument("--flavor", default="prism-sw")
+    parser.add_argument("--read-fraction", type=float, default=0.5)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    dispatch = {
+        "motivation": cmd_motivation,
+        "fig1": cmd_fig1,
+        "fig2": cmd_fig2,
+        "fig3": cmd_figure_sweep,
+        "fig4": cmd_figure_sweep,
+        "fig6": cmd_figure_sweep,
+        "fig9": cmd_figure_sweep,
+        "fig7": cmd_contention,
+        "fig10": cmd_contention,
+        "point": cmd_point,
+        "list": cmd_list,
+    }
+    dispatch[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

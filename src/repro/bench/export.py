@@ -1,0 +1,102 @@
+"""Export figure data as CSV / gnuplot-ready files.
+
+The benchmark suite prints human tables; this module writes the same
+series to disk so users can regenerate the paper's plots::
+
+    from repro.bench.export import FigureData
+    fig = FigureData("fig3", x_label="throughput_mops",
+                     y_label="mean_latency_us")
+    fig.add_series("prism-kv", [(r.throughput_ops_per_sec / 1e6,
+                                 r.mean_latency_us) for r in results])
+    fig.write_csv("out/fig3.csv")
+    fig.write_gnuplot("out/fig3.gp", "out/fig3.csv")
+"""
+
+import os
+
+
+class FigureData:
+    """Named (x, y) series for one figure."""
+
+    def __init__(self, name, x_label="x", y_label="y"):
+        self.name = name
+        self.x_label = x_label
+        self.y_label = y_label
+        self.series = {}   # name -> [(x, y), ...]
+
+    def add_series(self, series_name, points):
+        if series_name in self.series:
+            raise ValueError(f"duplicate series {series_name!r}")
+        self.series[series_name] = [(float(x), float(y))
+                                    for x, y in points]
+        return self
+
+    def add_sweep(self, series_name, results,
+                  x=lambda r: r.throughput_ops_per_sec / 1e6,
+                  y=lambda r: r.mean_latency_us):
+        """Convenience for a list of RunResults (throughput/latency)."""
+        return self.add_series(series_name,
+                               [(x(result), y(result))
+                                for result in results])
+
+    # -- writers ------------------------------------------------------------
+
+    def write_csv(self, path):
+        """Long-format CSV: series,x,y — easy to pivot anywhere."""
+        _ensure_parent(path)
+        with open(path, "w") as handle:
+            handle.write(f"series,{self.x_label},{self.y_label}\n")
+            for series_name, points in self.series.items():
+                for x, y in points:
+                    handle.write(f"{series_name},{x:.6g},{y:.6g}\n")
+        return path
+
+    def write_gnuplot(self, path, csv_path, terminal="pngcairo"):
+        """A gnuplot script that plots the CSV (one line per series)."""
+        _ensure_parent(path)
+        plots = ", \\\n     ".join(
+            f"'{csv_path}' using 2:3 every :::{i}::{i} "
+            f"with linespoints title '{name}'"
+            for i, name in enumerate(self.series))
+        # every-based selection needs blank-line-separated blocks; emit
+        # a companion .dat instead for robustness.
+        dat_path = os.path.splitext(csv_path)[0] + ".dat"
+        with open(dat_path, "w") as handle:
+            for name, points in self.series.items():
+                handle.write(f"# {name}\n")
+                for x, y in points:
+                    handle.write(f"{x:.6g} {y:.6g}\n")
+                handle.write("\n\n")
+        plots = ", \\\n     ".join(
+            f"'{dat_path}' index {i} using 1:2 "
+            f"with linespoints title '{name}'"
+            for i, name in enumerate(self.series))
+        script = (
+            f"set terminal {terminal}\n"
+            f"set output '{self.name}.png'\n"
+            f"set xlabel '{self.x_label}'\n"
+            f"set ylabel '{self.y_label}'\n"
+            f"set key top left\n"
+            f"plot {plots}\n")
+        with open(path, "w") as handle:
+            handle.write(script)
+        return path
+
+
+def _ensure_parent(path):
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+
+
+def export_sweep_figure(name, curves, out_dir="figures",
+                        x_label="throughput_mops",
+                        y_label="mean_latency_us"):
+    """One-call export for a {flavor: [RunResult, ...]} dict."""
+    figure = FigureData(name, x_label=x_label, y_label=y_label)
+    for flavor, results in curves.items():
+        figure.add_sweep(flavor, results)
+    csv_path = os.path.join(out_dir, f"{name}.csv")
+    gp_path = os.path.join(out_dir, f"{name}.gp")
+    figure.write_csv(csv_path)
+    figure.write_gnuplot(gp_path, csv_path)
+    return csv_path, gp_path

@@ -1,0 +1,214 @@
+"""End-to-end system builders and closed-loop measurement points.
+
+Every figure point is an independent, deterministic simulation: build
+the fabric and servers fresh, bulk-load the data, attach N closed-loop
+clients spread over the paper's 11 client machines, run
+warmup + measurement, and report a :class:`RunResult`.
+
+``flavor`` selects the paper's comparison systems:
+
+========  =====================================  =========================
+kind      flavor                                 system
+========  =====================================  =========================
+kv        prism-sw / prism-hw / prism-bluefield  PRISM-KV on that backend
+kv        pilaf-hw / pilaf-sw                    Pilaf on hw/sw RDMA
+rs        prism-sw / prism-hw                    PRISM-RS
+rs        abdlock-hw / abdlock-sw                lock-based ABD
+tx        prism-sw / prism-hw                    PRISM-TX
+tx        farm-hw / farm-sw                      FaRM
+========  =====================================  =========================
+"""
+
+from repro.apps.blockstore import (
+    AbdLockClient,
+    AbdLockReplica,
+    PrismRsClient,
+    PrismRsReplica,
+)
+from repro.apps.kv import PilafClient, PilafServer, PrismKvClient, PrismKvServer
+from repro.apps.tx import FarmClient, FarmServer, PrismTxClient, PrismTxServer
+from repro.net.topology import RACK, make_fabric
+from repro.prism import (
+    BlueFieldPrismBackend,
+    HardwarePrismBackend,
+    HardwareRdmaBackend,
+    SoftwarePrismBackend,
+    SoftwareRdmaBackend,
+)
+from repro.sim import Simulator
+from repro.workload.driver import ClosedLoopDriver
+
+N_CLIENT_HOSTS = 11  # the paper's testbed: up to 11 client machines
+
+_PRISM_BACKENDS = {
+    "prism-sw": SoftwarePrismBackend,
+    "prism-hw": HardwarePrismBackend,
+    "prism-bluefield": BlueFieldPrismBackend,
+}
+_RDMA_BACKENDS = {
+    "hw": HardwareRdmaBackend,
+    "sw": SoftwareRdmaBackend,
+}
+
+DEFAULT_N_KEYS = 20_000
+DEFAULT_VALUE_SIZE = 512
+
+
+def _client_hosts(n):
+    return [f"client{i}" for i in range(n)]
+
+
+def _value_for(key, value_size):
+    return bytes([(key * 31 + i) % 256 for i in range(8)]) * (value_size // 8)
+
+
+class _System:
+    """A built system: knows how to hand out client executors."""
+
+    def __init__(self, sim, fabric):
+        self.sim = sim
+        self.fabric = fabric
+
+    def executor(self, index, host):
+        raise NotImplementedError
+
+
+class KvSystem(_System):
+    def __init__(self, sim, fabric, flavor, n_keys, value_size,
+                 spare_buffers=4096):
+        super().__init__(sim, fabric)
+        self.flavor = flavor
+        if flavor in _PRISM_BACKENDS:
+            self.server = PrismKvServer(sim, fabric, "server",
+                                        _PRISM_BACKENDS[flavor],
+                                        n_keys=n_keys,
+                                        max_value_bytes=value_size,
+                                        spare_buffers=spare_buffers)
+            loader = self.server.load
+            self._make = lambda host: PrismKvClient(sim, fabric, host,
+                                                    self.server)
+        elif flavor in ("pilaf-hw", "pilaf-sw"):
+            backend = _RDMA_BACKENDS[flavor.split("-")[1]]
+            self.server = PilafServer(sim, fabric, "server", backend,
+                                      n_keys=n_keys,
+                                      max_value_bytes=value_size)
+            loader = self.server.load
+            self._make = lambda host: PilafClient(sim, fabric, host,
+                                                  self.server)
+        else:
+            raise ValueError(f"unknown kv flavor {flavor!r}")
+        for key in range(n_keys):
+            loader(key, _value_for(key, value_size))
+
+    def executor(self, index, host):
+        return self._make(host).execute
+
+
+class RsSystem(_System):
+    N_REPLICAS = 3
+
+    def __init__(self, sim, fabric, flavor, n_keys, value_size,
+                 spare_buffers=4096):
+        super().__init__(sim, fabric)
+        self.flavor = flavor
+        names = [f"replica{i}" for i in range(self.N_REPLICAS)]
+        if flavor in _PRISM_BACKENDS:
+            self.replicas = [
+                PrismRsReplica(sim, fabric, name, _PRISM_BACKENDS[flavor],
+                               n_blocks=n_keys, block_size=value_size,
+                               spare_buffers=spare_buffers)
+                for name in names]
+            self._make = lambda host, cid: PrismRsClient(
+                sim, fabric, host, self.replicas, client_id=cid)
+        elif flavor in ("abdlock-hw", "abdlock-sw"):
+            backend = _RDMA_BACKENDS[flavor.split("-")[1]]
+            self.replicas = [
+                AbdLockReplica(sim, fabric, name, backend,
+                               n_blocks=n_keys, block_size=value_size)
+                for name in names]
+            self._make = lambda host, cid: AbdLockClient(
+                sim, fabric, host, self.replicas, client_id=cid, seed=cid)
+        else:
+            raise ValueError(f"unknown rs flavor {flavor!r}")
+        for key in range(n_keys):
+            value = _value_for(key, value_size)
+            for replica in self.replicas:
+                replica.load(key, value)
+
+    def executor(self, index, host):
+        return self._make(host, index + 1).execute
+
+
+class TxSystem(_System):
+    def __init__(self, sim, fabric, flavor, n_keys, value_size,
+                 spare_buffers=4096):
+        super().__init__(sim, fabric)
+        self.flavor = flavor
+        if flavor in _PRISM_BACKENDS:
+            self.server = PrismTxServer(sim, fabric, "server",
+                                        _PRISM_BACKENDS[flavor],
+                                        n_keys=n_keys, value_size=value_size,
+                                        spare_buffers=spare_buffers)
+            self._make = lambda host, cid: PrismTxClient(
+                sim, fabric, host, self.server, client_id=cid)
+        elif flavor in ("farm-hw", "farm-sw"):
+            backend = _RDMA_BACKENDS[flavor.split("-")[1]]
+            self.server = FarmServer(sim, fabric, "server", backend,
+                                     n_keys=n_keys, value_size=value_size)
+            self._make = lambda host, cid: FarmClient(
+                sim, fabric, host, self.server, client_id=cid, seed=cid)
+        else:
+            raise ValueError(f"unknown tx flavor {flavor!r}")
+        for key in range(n_keys):
+            self.server.load(key, _value_for(key, value_size))
+
+    def executor(self, index, host):
+        return self._make(host, index + 1).execute
+
+
+_KINDS = {"kv": KvSystem, "rs": RsSystem, "tx": TxSystem}
+_SERVER_HOSTS = {
+    "kv": ["server"],
+    "rs": [f"replica{i}" for i in range(RsSystem.N_REPLICAS)],
+    "tx": ["server"],
+}
+
+
+def build_system(kind, flavor, sim, n_keys=DEFAULT_N_KEYS,
+                 value_size=DEFAULT_VALUE_SIZE, profile=RACK,
+                 n_client_hosts=N_CLIENT_HOSTS, spare_buffers=4096):
+    """Create fabric + servers + loaded data; returns the system."""
+    hosts = _SERVER_HOSTS[kind] + _client_hosts(n_client_hosts)
+    fabric = make_fabric(sim, profile, hosts)
+    return _KINDS[kind](sim, fabric, flavor, n_keys, value_size,
+                        spare_buffers=spare_buffers)
+
+
+def run_point(kind, flavor, workload_factory, n_clients,
+              n_keys=DEFAULT_N_KEYS, value_size=DEFAULT_VALUE_SIZE,
+              warmup_us=300.0, measure_us=1500.0, profile=RACK,
+              n_client_hosts=N_CLIENT_HOSTS):
+    """One deterministic measurement point.
+
+    ``workload_factory(client_index)`` builds each client's workload.
+    """
+    sim = Simulator()
+    # Spare buffers must cover the recycling pipeline: retired buffers
+    # sit in client-side batches and the daemon queue before reposting.
+    system = build_system(kind, flavor, sim, n_keys=n_keys,
+                          value_size=value_size, profile=profile,
+                          n_client_hosts=n_client_hosts,
+                          spare_buffers=4096 + 48 * n_clients)
+    driver = ClosedLoopDriver(sim, warmup_us=warmup_us,
+                              measure_us=measure_us)
+    for index in range(n_clients):
+        host = f"client{index % n_client_hosts}"
+        driver.add_client(system.executor(index, host),
+                          workload_factory(index))
+    return driver.run()
+
+
+def sweep_clients(kind, flavor, workload_factory, client_counts, **kwargs):
+    """Throughput-vs-latency curve: one run_point per client count."""
+    return [run_point(kind, flavor, workload_factory, n, **kwargs)
+            for n in client_counts]

@@ -1,0 +1,154 @@
+"""Primitive-level microbenchmarks (Figs. 1-2, §2.1 motivation).
+
+Each measurement is one client issuing one operation (512-byte
+payloads, as in the paper) against a freshly built server on the given
+topology, repeated a few times and averaged — the simulator is
+deterministic, so repeats only smooth out queue-state effects.
+"""
+
+from repro.core.ops import AllocateOp, CasMode, CasOp, ReadOp, WriteOp
+from repro.net.message import ETHERNET_HEADER_BYTES
+from repro.net.topology import DIRECT, make_fabric
+from repro.prism import (
+    BlueFieldPrismBackend,
+    HardwarePrismBackend,
+    HardwareRdmaBackend,
+    PrismClient,
+    PrismServer,
+    SoftwarePrismBackend,
+)
+from repro.rpc.erpc import RpcClient, RpcServer
+from repro.sim import Simulator
+
+BACKENDS = {
+    "rdma": HardwareRdmaBackend,
+    "prism-sw": SoftwarePrismBackend,
+    "prism-bluefield": BlueFieldPrismBackend,
+    "prism-hw": HardwarePrismBackend,
+}
+
+VALUE_SIZE = 512
+
+
+def _op_read(client, addrs, rkeys):
+    return ReadOp(addr=addrs["data"], length=VALUE_SIZE,
+                  rkey=rkeys["data"])
+
+
+def _op_write(client, addrs, rkeys):
+    return WriteOp(addr=addrs["data"], data=b"w" * VALUE_SIZE,
+                   rkey=rkeys["data"])
+
+
+def _op_indirect_read(client, addrs, rkeys):
+    return ReadOp(addr=addrs["pointer"], length=VALUE_SIZE,
+                  rkey=rkeys["data"], indirect=True)
+
+
+def _op_allocate(client, addrs, rkeys):
+    return AllocateOp(freelist=addrs["freelist"], data=b"a" * VALUE_SIZE,
+                      rkey=rkeys["buffers"])
+
+
+def _op_enhanced_cas(client, addrs, rkeys):
+    # A 16-byte masked CAS_GT — the versioned-install shape (§3.3).
+    return CasOp(target=addrs["meta"], data=(1 << 120).to_bytes(16, "little"),
+                 rkey=rkeys["data"], mode=CasMode.GT,
+                 compare_mask=(1 << 64) - 1, operand_width=16)
+
+
+PRIMITIVES = {
+    "read": _op_read,
+    "write": _op_write,
+    "indirect-read": _op_indirect_read,
+    "allocate": _op_allocate,
+    "enhanced-cas": _op_enhanced_cas,
+}
+
+#: primitives expressible on a stock RDMA NIC
+CLASSIC_PRIMITIVES = ("read", "write")
+
+
+def _build(sim, backend_name, profile):
+    fabric = make_fabric(sim, profile, ["client", "server"])
+    server = PrismServer(sim, fabric, "server", BACKENDS[backend_name])
+    data_addr, data_rkey = server.add_region(1 << 20)
+    freelist, buffers_rkey = server.create_freelist(VALUE_SIZE + 16, 4096)
+    client = PrismClient(sim, fabric, "client", server)
+    # Seed: a value, a pointer to it, and a 16-byte versioned slot.
+    server.space.write(data_addr, b"v" * VALUE_SIZE)
+    server.space.write_ptr(data_addr + VALUE_SIZE, data_addr)
+    server.space.write(data_addr + VALUE_SIZE + 8, bytes(16))
+    addrs = {
+        "data": data_addr,
+        "pointer": data_addr + VALUE_SIZE,
+        "meta": data_addr + VALUE_SIZE + 8,
+        "freelist": freelist,
+    }
+    rkeys = {"data": data_rkey, "buffers": buffers_rkey}
+    return client, addrs, rkeys
+
+
+def measure_primitive(backend_name, primitive, profile=DIRECT, repeats=5):
+    """Mean latency (µs) of one primitive on one backend/topology."""
+    sim = Simulator()
+    client, addrs, rkeys = _build(sim, backend_name, profile)
+    samples = []
+
+    def run():
+        for _ in range(repeats):
+            op = PRIMITIVES[primitive](client, addrs, rkeys)
+            start = sim.now
+            result = yield from client.execute(op)
+            result.raise_on_nak()
+            samples.append(sim.now - start)
+
+    sim.run_until_complete(sim.spawn(run()), limit=1e6)
+    return sum(samples) / len(samples)
+
+
+def measure_two_rdma_reads(profile=DIRECT, repeats=5):
+    """Latency of the Pilaf-style pointer-chase: two dependent READs."""
+    sim = Simulator()
+    client, addrs, rkeys = _build(sim, "rdma", profile)
+    samples = []
+
+    def run():
+        for _ in range(repeats):
+            start = sim.now
+            pointer = yield from client.read(addrs["pointer"], 8,
+                                             rkey=rkeys["data"])
+            target = int.from_bytes(pointer, "little")
+            yield from client.read(target, VALUE_SIZE, rkey=rkeys["data"])
+            samples.append(sim.now - start)
+
+    sim.run_until_complete(sim.spawn(run()), limit=1e6)
+    return sum(samples) / len(samples)
+
+
+def measure_rpc_read(profile=DIRECT, repeats=5):
+    """Latency of a 512 B read served by a two-sided eRPC (§2.1)."""
+    sim = Simulator()
+    fabric = make_fabric(sim, profile, ["client", "server"])
+    store = {"value": b"v" * VALUE_SIZE}
+    rpc_server = RpcServer(sim, fabric, "server")
+    rpc_server.register("read", lambda args: (store["value"], VALUE_SIZE))
+    rpc_client = RpcClient(sim, fabric, "client")
+    samples = []
+
+    def run():
+        for _ in range(repeats):
+            start = sim.now
+            value = yield from rpc_client.call("server", "read", None,
+                                               request_payload_bytes=16)
+            assert len(value) == VALUE_SIZE
+            samples.append(sim.now - start)
+
+    sim.run_until_complete(sim.spawn(run()), limit=1e6)
+    return sum(samples) / len(samples)
+
+
+def measure_one_sided_read(profile=DIRECT, repeats=5):
+    """Latency of a plain hardware-RDMA 512 B READ (§2.1)."""
+    return measure_primitive("rdma", "read", profile=profile,
+                             repeats=repeats)

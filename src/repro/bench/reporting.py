@@ -1,0 +1,65 @@
+"""Plain-text tables for benchmark output (and EXPERIMENTS.md)."""
+
+import os
+
+
+def print_table(title, headers, rows, out=print):
+    """Render an aligned text table.
+
+    ``rows`` is a list of sequences; floats are formatted to two
+    decimals.
+    """
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    formatted = [[fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(headers[i]),
+                  max((len(row[i]) for row in formatted), default=0))
+              for i in range(len(headers))]
+    out("")
+    out(f"== {title} ==")
+    out("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out("  ".join("-" * w for w in widths))
+    for row in formatted:
+        out("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    out("")
+
+
+def curve_rows(results):
+    """Rows for a throughput/latency sweep table."""
+    return [[r.clients, round(r.throughput_ops_per_sec / 1e6, 3),
+             round(r.mean_latency_us, 2), round(r.p99_latency_us, 2),
+             r.aborts]
+            for r in results]
+
+
+CURVE_HEADERS = ["clients", "Mops/s", "mean_us", "p99_us", "aborts"]
+
+
+def peak_throughput(results):
+    """Max throughput across a sweep (the 'saturation' number)."""
+    return max(r.throughput_ops_per_sec for r in results)
+
+
+def maybe_export(figure_name, curves):
+    """Write a figure's sweep data when REPRO_EXPORT_DIR is set.
+
+    Benchmarks call this after printing their tables; with
+    ``REPRO_EXPORT_DIR=figures pytest benchmarks/ --benchmark-only``
+    every figure's CSV + gnuplot script lands in that directory.
+    """
+    out_dir = os.environ.get("REPRO_EXPORT_DIR")
+    if not out_dir:
+        return None
+    from repro.bench.export import export_sweep_figure
+    return export_sweep_figure(figure_name, curves, out_dir=out_dir)
+
+
+def low_load_latency(results):
+    """Mean latency of the single-client point."""
+    for r in results:
+        if r.clients == min(x.clients for x in results):
+            return r.mean_latency_us
+    raise ValueError("empty sweep")

@@ -1,0 +1,52 @@
+"""The PRISM interface (paper §3, Table 1).
+
+This package defines *what* the primitives mean — operation
+descriptors, the enhanced-CAS comparison algebra, chain composition
+rules, and the wire encoding — independent of *where* they execute.
+Execution engines and timing backends live in :mod:`repro.prism`.
+"""
+
+from repro.core.chain import Chain, chain
+from repro.core.constants import (
+    CAS_MAX_OPERAND_BYTES,
+    NIC_SRAM_BYTES,
+    REDIRECT_SLOT_BYTES,
+)
+from repro.core.errors import (
+    AccessViolation,
+    AllocationFailure,
+    CasFailure,
+    ChainAborted,
+    InvalidOperation,
+    PrismError,
+    RemoteNak,
+)
+from repro.core.ops import (
+    AllocateOp,
+    CasMode,
+    CasOp,
+    FetchAddOp,
+    ReadOp,
+    WriteOp,
+)
+
+__all__ = [
+    "AccessViolation",
+    "AllocateOp",
+    "AllocationFailure",
+    "CAS_MAX_OPERAND_BYTES",
+    "CasFailure",
+    "CasMode",
+    "CasOp",
+    "FetchAddOp",
+    "Chain",
+    "ChainAborted",
+    "InvalidOperation",
+    "NIC_SRAM_BYTES",
+    "PrismError",
+    "ReadOp",
+    "REDIRECT_SLOT_BYTES",
+    "RemoteNak",
+    "WriteOp",
+    "chain",
+]

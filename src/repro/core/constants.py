@@ -1,0 +1,22 @@
+"""Interface-level constants from the paper.
+
+* Enhanced CAS follows the Mellanox extended-atomics limit of 32-byte
+  operands (§3.3).
+* Recent NICs expose a user-accessible on-NIC memory region — 256 KB on
+  the paper's ConnectX-5 (§4.2) — used for redirect temporaries.
+* 32 bytes of redirect scratch per connection suffices for all three
+  applications (§4.2), giving 8192 connections per NIC.
+"""
+
+CAS_MAX_OPERAND_BYTES = 32
+NIC_SRAM_BYTES = 256 * 1024
+REDIRECT_SLOT_BYTES = 32
+MAX_CONNECTIONS_PER_NIC = NIC_SRAM_BYTES // REDIRECT_SLOT_BYTES
+
+# Wire-protocol sizing (bytes). The base transport header mirrors the
+# InfiniBand BTH+RETH envelope; PRISM adds five flag bits (§4.2) which
+# fit in the BTH reserved field, so the header size does not grow.
+BASE_TRANSPORT_HEADER_BYTES = 30
+ACK_BYTES = 12
+POINTER_BYTES = 8
+LENGTH_FIELD_BYTES = 4

@@ -1,0 +1,44 @@
+"""Error model for PRISM operations.
+
+Errors mirror how a NIC reports failures: NAKs for protection/flow
+problems, a distinguished status for CAS comparisons that did not take
+(which is *not* an error — callers inspect the returned old value), and
+chain aborts when a conditional's predecessor failed.
+"""
+
+
+class PrismError(Exception):
+    """Base class for all PRISM interface errors."""
+
+
+class InvalidOperation(PrismError):
+    """Malformed operation descriptor (bad flags, oversized operand...)."""
+
+
+class AccessViolation(PrismError):
+    """rkey check failed: the target (or pointee) is outside the
+    memory region the client was granted (§3.1 security discussion)."""
+
+
+class RemoteNak(PrismError):
+    """Receiver Not Ready or generic remote rejection."""
+
+
+class AllocationFailure(RemoteNak):
+    """ALLOCATE found the designated free list empty."""
+
+
+class CasFailure(PrismError):
+    """Internal marker used by engines to signal an unsuccessful
+    comparison to the chain executor. Not raised to clients: a failed
+    CAS returns the old value; only *conditional successors* see it."""
+
+
+class ChainAborted(PrismError):
+    """A conditional operation was skipped because its predecessor
+    failed. Carries the index of the first op that did not execute."""
+
+    def __init__(self, first_skipped_index, cause=None):
+        super().__init__(f"chain aborted at op {first_skipped_index}: {cause}")
+        self.first_skipped_index = first_skipped_index
+        self.cause = cause

@@ -1,0 +1,181 @@
+"""Wire-protocol encoding for PRISM requests (§4.2).
+
+The paper's extension needs five new flags in the IB base transport
+header (BTH): two indirection flags, one bounded-pointer flag, and two
+chaining flags (conditional, redirect). We encode each operation as a
+BTH-like fixed header followed by operands. This module exists to show
+the extension fits the existing envelope and to give the test suite a
+byte-exact round-trippable format; the simulator itself passes
+descriptor objects and only uses the *sizes*.
+
+Header layout (little-endian)::
+
+    u8  opcode      u8 flags        u16 reserved
+    u32 rkey        u64 target/freelist
+    u32 length      u8 mode         u8 operand_width  u16 reserved2
+
+followed by, when present: redirect address (u64), compare mask,
+swap mask, payload.
+"""
+
+import struct
+
+from repro.core.errors import InvalidOperation
+from repro.core.ops import (
+    AllocateOp,
+    CasMode,
+    CasOp,
+    FetchAddOp,
+    ReadOp,
+    WriteOp,
+)
+
+OPCODE_READ = 0x01
+OPCODE_WRITE = 0x02
+OPCODE_ALLOCATE = 0x03
+OPCODE_CAS = 0x04
+OPCODE_FETCHADD = 0x05
+
+# The five PRISM BTH flags (§4.2) plus one pre-existing bounded bit we
+# reuse for WRITE's data_indirect distinction.
+FLAG_ADDR_INDIRECT = 1 << 0
+FLAG_DATA_INDIRECT = 1 << 1
+FLAG_BOUNDED = 1 << 2
+FLAG_CONDITIONAL = 1 << 3
+FLAG_REDIRECT = 1 << 4
+FLAG_HAS_COMPARE = 1 << 5  # separate compare operand (classic CmpSwap form)
+
+_HEADER = struct.Struct("<BBHIQIBBH")
+
+_MODE_CODES = {mode: index for index, mode in enumerate(CasMode)}
+_MODES_BY_CODE = {index: mode for mode, index in _MODE_CODES.items()}
+
+
+def _mask_bytes(mask, width):
+    return mask.to_bytes(width, "little")
+
+
+def encode_op(op):
+    """Serialize one operation descriptor to bytes."""
+    if isinstance(op, ReadOp):
+        flags = ((FLAG_ADDR_INDIRECT if op.indirect else 0)
+                 | (FLAG_BOUNDED if op.bounded else 0)
+                 | (FLAG_CONDITIONAL if op.conditional else 0)
+                 | (FLAG_REDIRECT if op.redirect_to is not None else 0))
+        header = _HEADER.pack(OPCODE_READ, flags, 0, op.rkey, op.addr,
+                              op.length, 0, 0, 0)
+        tail = struct.pack("<Q", op.redirect_to) if op.redirect_to is not None else b""
+        return header + tail
+    if isinstance(op, WriteOp):
+        flags = ((FLAG_ADDR_INDIRECT if op.addr_indirect else 0)
+                 | (FLAG_DATA_INDIRECT if op.data_indirect else 0)
+                 | (FLAG_BOUNDED if op.addr_bounded else 0)
+                 | (FLAG_CONDITIONAL if op.conditional else 0))
+        header = _HEADER.pack(OPCODE_WRITE, flags, 0, op.rkey, op.addr,
+                              op.length, 0, 0, 0)
+        return header + op.data
+    if isinstance(op, AllocateOp):
+        flags = ((FLAG_CONDITIONAL if op.conditional else 0)
+                 | (FLAG_REDIRECT if op.redirect_to is not None else 0))
+        header = _HEADER.pack(OPCODE_ALLOCATE, flags, 0, op.rkey, op.freelist,
+                              len(op.data), 0, 0, 0)
+        tail = struct.pack("<Q", op.redirect_to) if op.redirect_to is not None else b""
+        return header + tail + op.data
+    if isinstance(op, CasOp):
+        flags = ((FLAG_ADDR_INDIRECT if op.target_indirect else 0)
+                 | (FLAG_DATA_INDIRECT if op.data_indirect else 0)
+                 | (FLAG_CONDITIONAL if op.conditional else 0)
+                 | (FLAG_HAS_COMPARE if op.compare_data is not None else 0))
+        width = op.operand_width
+        header = _HEADER.pack(OPCODE_CAS, flags, 0, op.rkey, op.target,
+                              len(op.data), _MODE_CODES[op.mode], width, 0)
+        compare = op.compare_data if op.compare_data is not None else b""
+        return (header + _mask_bytes(op.compare_mask, width)
+                + _mask_bytes(op.swap_mask, width) + compare + op.data)
+    if isinstance(op, FetchAddOp):
+        flags = FLAG_CONDITIONAL if op.conditional else 0
+        header = _HEADER.pack(OPCODE_FETCHADD, flags, 0, op.rkey, op.target,
+                              0, 0, 8, 0)
+        return header + struct.pack("<q", op.delta)
+    raise InvalidOperation(f"cannot encode {op!r}")
+
+
+def decode_op(buffer, offset=0):
+    """Decode one operation; returns ``(op, next_offset)``."""
+    if offset + _HEADER.size > len(buffer):
+        raise InvalidOperation("truncated operation header")
+    (opcode, flags, _r0, rkey, target, length, mode_code, width,
+     _r2) = _HEADER.unpack_from(buffer, offset)
+    cursor = offset + _HEADER.size
+
+    def take(n, what):
+        nonlocal cursor
+        if cursor + n > len(buffer):
+            raise InvalidOperation(f"truncated {what}")
+        piece = bytes(buffer[cursor:cursor + n])
+        cursor += n
+        return piece
+
+    conditional = bool(flags & FLAG_CONDITIONAL)
+    if opcode == OPCODE_READ:
+        redirect_to = None
+        if flags & FLAG_REDIRECT:
+            redirect_to = struct.unpack("<Q", take(8, "redirect address"))[0]
+        op = ReadOp(addr=target, length=length, rkey=rkey,
+                    indirect=bool(flags & FLAG_ADDR_INDIRECT),
+                    bounded=bool(flags & FLAG_BOUNDED),
+                    conditional=conditional, redirect_to=redirect_to)
+        return op, cursor
+    if opcode == OPCODE_WRITE:
+        data_indirect = bool(flags & FLAG_DATA_INDIRECT)
+        payload = take(8 if data_indirect else length, "write payload")
+        op = WriteOp(addr=target, data=payload, rkey=rkey, length=length,
+                     addr_indirect=bool(flags & FLAG_ADDR_INDIRECT),
+                     addr_bounded=bool(flags & FLAG_BOUNDED),
+                     data_indirect=data_indirect, conditional=conditional)
+        return op, cursor
+    if opcode == OPCODE_ALLOCATE:
+        redirect_to = None
+        if flags & FLAG_REDIRECT:
+            redirect_to = struct.unpack("<Q", take(8, "redirect address"))[0]
+        payload = take(length, "allocate payload")
+        op = AllocateOp(freelist=target, data=payload, rkey=rkey,
+                        conditional=conditional, redirect_to=redirect_to)
+        return op, cursor
+    if opcode == OPCODE_CAS:
+        compare_mask = int.from_bytes(take(width, "compare mask"), "little")
+        swap_mask = int.from_bytes(take(width, "swap mask"), "little")
+        compare_data = None
+        if flags & FLAG_HAS_COMPARE:
+            compare_data = take(width, "cas compare operand")
+        data_indirect = bool(flags & FLAG_DATA_INDIRECT)
+        payload = take(8 if data_indirect else width, "cas operand")
+        op = CasOp(target=target, data=payload, rkey=rkey,
+                   mode=_MODES_BY_CODE[mode_code],
+                   compare_mask=compare_mask, swap_mask=swap_mask,
+                   compare_data=compare_data,
+                   target_indirect=bool(flags & FLAG_ADDR_INDIRECT),
+                   data_indirect=data_indirect, conditional=conditional,
+                   operand_width=width)
+        return op, cursor
+    if opcode == OPCODE_FETCHADD:
+        delta = struct.unpack("<q", take(8, "fetchadd delta"))[0]
+        op = FetchAddOp(target=target, delta=delta, rkey=rkey,
+                        conditional=conditional)
+        return op, cursor
+    raise InvalidOperation(f"unknown opcode {opcode:#x}")
+
+
+def encode_chain(ops):
+    """Serialize a chain (or iterable of ops) back to back."""
+    return b"".join(encode_op(op) for op in ops)
+
+
+def decode_chain(buffer):
+    """Decode a back-to-back op sequence; returns a list of descriptors."""
+    ops = []
+    offset = 0
+    while offset < len(buffer):
+        op, offset = decode_op(buffer, offset)
+        ops.append(op)
+    return ops

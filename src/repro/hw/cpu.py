@@ -1,0 +1,46 @@
+"""CPU core pools.
+
+Two-sided RPC handlers and the software PRISM stack occupy cores for a
+per-operation service time; when offered load exceeds core capacity the
+queueing delay shows up directly in the measured latency curves, which
+is how the paper's saturation knees arise when the CPU (rather than the
+network) is the bottleneck.
+"""
+
+from repro.sim.resources import Resource
+
+
+class CorePool:
+    """A pool of identical cores, FIFO-scheduled."""
+
+    def __init__(self, sim, cores, name="cpu"):
+        self.sim = sim
+        self.cores = cores
+        self.name = name
+        self._pool = Resource(sim, capacity=cores, name=name)
+        self.ops_executed = 0
+
+    def execute(self, service_time_us, work=None):
+        """Process helper: occupy one core for ``service_time_us``.
+
+        ``work``, if given, is a plain callable run at the *end* of the
+        service interval (when the simulated instruction stream would
+        have completed); its return value is this generator's value.
+        """
+        yield self._pool.acquire()
+        try:
+            yield self.sim.timeout(service_time_us)
+            self.ops_executed += 1
+            if work is not None:
+                return work()
+            return None
+        finally:
+            self._pool.release()
+
+    @property
+    def queue_length(self):
+        return self._pool.queue_length
+
+    def utilization(self, elapsed):
+        """Mean busy fraction over ``elapsed`` microseconds."""
+        return self._pool.utilization(elapsed)

@@ -1,0 +1,90 @@
+"""Binary layout codecs shared by all applications.
+
+PRISM operations move raw bytes; the applications impose structure on
+those bytes. The codecs here centralize the little-endian packing so
+that client-side and server-side views of a structure can never drift
+apart.
+"""
+
+from repro.hw.memory import POINTER_SIZE
+
+U16 = 2
+U32 = 4
+U64 = 8
+BOUNDED_PTR_SIZE = POINTER_SIZE + U64  # ⟨ptr, bound⟩ struct of §3.1
+
+
+def pack_uint(value, width):
+    """Little-endian unsigned encode; raises if it does not fit."""
+    return value.to_bytes(width, "little")
+
+
+def unpack_uint(data, offset=0, width=U64):
+    """Little-endian unsigned decode from ``data[offset:offset+width]``."""
+    return int.from_bytes(data[offset:offset + width], "little")
+
+
+def pack_bounded_ptr(addr, bound):
+    """Encode the ⟨ptr, bound⟩ struct used by bounded indirect ops."""
+    return pack_uint(addr, POINTER_SIZE) + pack_uint(bound, U64)
+
+
+def unpack_bounded_ptr(data, offset=0):
+    """Decode a ⟨ptr, bound⟩ struct; returns (addr, bound)."""
+    addr = unpack_uint(data, offset, POINTER_SIZE)
+    bound = unpack_uint(data, offset + POINTER_SIZE, U64)
+    return addr, bound
+
+
+class FieldStruct:
+    """A tiny named-field binary struct.
+
+    Fields are ``(name, width_bytes)`` pairs laid out contiguously in
+    declaration order. Values are unsigned little-endian integers;
+    a width of None marks a trailing variable-length bytes field.
+    """
+
+    def __init__(self, *fields):
+        self.fields = list(fields)
+        self._offsets = {}
+        offset = 0
+        for index, (name, width) in enumerate(self.fields):
+            if width is None and index != len(self.fields) - 1:
+                raise ValueError("variable-length field must be last")
+            self._offsets[name] = offset
+            if width is not None:
+                offset += width
+        self.fixed_size = offset
+
+    def offset(self, name):
+        """Byte offset of ``name`` from the start of the struct."""
+        return self._offsets[name]
+
+    def width(self, name):
+        """Declared width of ``name`` (None for the variable tail)."""
+        for field_name, field_width in self.fields:
+            if field_name == name:
+                return field_width
+        raise KeyError(name)
+
+    def pack(self, **values):
+        """Encode the struct; variable tail defaults to b''."""
+        parts = []
+        for name, width in self.fields:
+            value = values.get(name, 0 if width is not None else b"")
+            if width is None:
+                parts.append(bytes(value))
+            else:
+                parts.append(pack_uint(value, width))
+        return b"".join(parts)
+
+    def unpack(self, data):
+        """Decode into a dict (variable tail under its field name)."""
+        values = {}
+        for name, width in self.fields:
+            offset = self._offsets[name]
+            if width is None:
+                values[name] = bytes(data[offset:])
+            else:
+                values[name] = unpack_uint(data, offset, width)
+        return values

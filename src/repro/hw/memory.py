@@ -1,0 +1,98 @@
+"""Byte-addressable simulated host memory.
+
+Every data structure the paper's systems build — hash tables, extent
+stores, ABD metadata arrays, OCC timestamp slots — lives in one of
+these arrays. Addresses are plain integers; address 0 is reserved as
+the NULL pointer so stored pointers can be validity-checked.
+"""
+
+POINTER_SIZE = 8
+NULL_PTR = 0
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or misaligned access to simulated memory."""
+
+
+class HostMemory:
+    """A contiguous simulated physical memory with a bump allocator.
+
+    The first ``POINTER_SIZE`` bytes are reserved (NULL page) so that no
+    valid allocation ever has address 0.
+    """
+
+    def __init__(self, size):
+        if size <= POINTER_SIZE:
+            raise MemoryError_(f"memory too small: {size}")
+        self.size = size
+        self._data = bytearray(size)
+        self._brk = POINTER_SIZE
+
+    # -- allocation (server-CPU setup-time; not simulated-time) ----------
+
+    def sbrk(self, nbytes, align=8):
+        """Carve ``nbytes`` from the bump allocator; returns the address."""
+        if nbytes < 0:
+            raise MemoryError_(f"negative allocation: {nbytes}")
+        start = self._brk
+        if align > 1:
+            start = (start + align - 1) // align * align
+        end = start + nbytes
+        if end > self.size:
+            raise MemoryError_(
+                f"out of memory: need {nbytes} bytes at {start}, size {self.size}")
+        self._brk = end
+        return start
+
+    @property
+    def bytes_allocated(self):
+        """High-water mark of the bump allocator."""
+        return self._brk
+
+    # -- raw access --------------------------------------------------------
+
+    def _check(self, addr, length):
+        if length < 0:
+            raise MemoryError_(f"negative length: {length}")
+        if addr < POINTER_SIZE or addr + length > self.size:
+            raise MemoryError_(
+                f"access [{addr}, {addr + length}) outside memory of size {self.size}")
+
+    def read(self, addr, length):
+        """Return ``length`` bytes starting at ``addr``."""
+        self._check(addr, length)
+        return bytes(self._data[addr:addr + length])
+
+    def write(self, addr, data):
+        """Store ``data`` (bytes-like) at ``addr``."""
+        self._check(addr, len(data))
+        self._data[addr:addr + len(data)] = data
+
+    # -- integer convenience ------------------------------------------------
+
+    def read_uint(self, addr, width=POINTER_SIZE):
+        """Read an unsigned little-endian integer of ``width`` bytes."""
+        return int.from_bytes(self.read(addr, width), "little")
+
+    def write_uint(self, addr, value, width=POINTER_SIZE):
+        """Write an unsigned little-endian integer of ``width`` bytes."""
+        if value < 0 or value >= 1 << (8 * width):
+            raise MemoryError_(f"value {value} does not fit in {width} bytes")
+        self.write(addr, value.to_bytes(width, "little"))
+
+    def read_ptr(self, addr):
+        """Read a stored pointer (8-byte unsigned)."""
+        return self.read_uint(addr, POINTER_SIZE)
+
+    def write_ptr(self, addr, target):
+        """Store a pointer (8-byte unsigned)."""
+        self.write_uint(addr, target, POINTER_SIZE)
+
+    def fill(self, addr, length, byte=0):
+        """Set ``length`` bytes at ``addr`` to ``byte``."""
+        self._check(addr, length)
+        self._data[addr:addr + length] = bytes([byte]) * length
+
+    def contains(self, addr, length=1):
+        """True if [addr, addr+length) is a valid (non-NULL-page) range."""
+        return addr >= POINTER_SIZE and length >= 0 and addr + length <= self.size

@@ -1,0 +1,24 @@
+"""Simulated datacenter network: hosts, links, switches, topologies."""
+
+from repro.net.fabric import Fabric, Host
+from repro.net.message import Message
+from repro.net.topology import (
+    CLUSTER,
+    DATACENTER,
+    DIRECT,
+    RACK,
+    NetworkProfile,
+    make_fabric,
+)
+
+__all__ = [
+    "CLUSTER",
+    "DATACENTER",
+    "DIRECT",
+    "Fabric",
+    "Host",
+    "Message",
+    "NetworkProfile",
+    "RACK",
+    "make_fabric",
+]

@@ -1,0 +1,92 @@
+"""Host and fabric models.
+
+Each host owns full-duplex TX/RX ports (``BandwidthPipe``). A message
+occupies the sender's TX port for its serialization time, crosses the
+path (propagation + per-switch latency), occupies the receiver's RX
+port, then is handed to the destination service handler.
+
+Service handlers are plain callables ``handler(message)`` registered
+per host; they typically spawn a process to do timed work and reply
+via :meth:`Fabric.send`.
+"""
+
+from repro.sim.resources import BandwidthPipe
+from repro.net.message import Message
+
+
+class Host:
+    """A machine on the fabric with named message services."""
+
+    def __init__(self, sim, name, bytes_per_us, per_message_us=0.0):
+        self.sim = sim
+        self.name = name
+        self.tx = BandwidthPipe(sim, bytes_per_us, per_message_us, name=f"{name}.tx")
+        self.rx = BandwidthPipe(sim, bytes_per_us, per_message_us, name=f"{name}.rx")
+        self._services = {}
+
+    def register_service(self, service, handler):
+        """Route messages addressed to ``service`` to ``handler``."""
+        if service in self._services:
+            raise ValueError(f"{self.name}: service {service!r} already registered")
+        self._services[service] = handler
+
+    def handler_for(self, service):
+        try:
+            return self._services[service]
+        except KeyError:
+            raise KeyError(f"{self.name}: no service {service!r}") from None
+
+    def __repr__(self):
+        return f"<Host {self.name}>"
+
+
+class Fabric:
+    """The network connecting a set of hosts.
+
+    ``path_latency_us(src, dst)`` gives one-way propagation plus switch
+    latency; by default it is uniform, which matches the paper's single
+    ToR/cluster/datacenter settings.
+    """
+
+    def __init__(self, sim, one_way_latency_us):
+        self.sim = sim
+        self.one_way_latency_us = one_way_latency_us
+        self.hosts = {}
+        self.messages_delivered = 0
+
+    def add_host(self, host):
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def host(self, name):
+        return self.hosts[name]
+
+    def path_latency_us(self, src_name, dst_name):
+        """One-way latency between two hosts (0 for loopback)."""
+        if src_name == dst_name:
+            return 0.0
+        return self.one_way_latency_us
+
+    def send(self, src_name, dst_name, service, payload, size_bytes):
+        """Process helper: send a message; returns when handed to RX queue.
+
+        Delivery to the service handler happens asynchronously (a
+        spawned process), so the sender is released as soon as its TX
+        port is free — matching how a NIC really behaves.
+        """
+        message = Message(src_name, dst_name, service, payload, size_bytes)
+        message.send_time = self.sim.now
+        src = self.hosts[src_name]
+        yield from src.tx.transmit(size_bytes)
+        self.sim.spawn(self._deliver(message), name=f"deliver#{message.id}")
+        return message
+
+    def _deliver(self, message):
+        yield self.sim.timeout(self.path_latency_us(message.src, message.dst))
+        dst = self.hosts[message.dst]
+        yield from dst.rx.transmit(message.size_bytes)
+        self.messages_delivered += 1
+        handler = dst.handler_for(message.service)
+        handler(message)

@@ -1,0 +1,107 @@
+"""Request/reply matching over the fabric.
+
+A :class:`RequestChannel` gives a client host an outbound RPC-style
+port: it stamps each request with a reply address and an id, registers
+a reply service on the client host, and returns the reply payload to
+the waiting process. Servers answer with :func:`send_reply`.
+
+Both the two-sided RPC layer and the one-sided verb/PRISM clients ride
+on this; they differ only in what the *server side* does with the
+request (CPU handler vs NIC engine) and in the client-side post and
+completion overheads.
+"""
+
+from itertools import count
+
+from repro.core.errors import PrismError
+
+
+class Request:
+    """Envelope body for a request expecting a reply."""
+
+    __slots__ = ("id", "reply_host", "reply_service", "body")
+
+    def __init__(self, id_, reply_host, reply_service, body):
+        self.id = id_
+        self.reply_host = reply_host
+        self.reply_service = reply_service
+        self.body = body
+
+
+class Reply:
+    """Envelope body for a reply; ``ok=False`` carries an exception."""
+
+    __slots__ = ("id", "body", "ok")
+
+    def __init__(self, id_, body, ok=True):
+        self.id = id_
+        self.body = body
+        self.ok = ok
+
+
+class RequestChannel:
+    """Client-side outbound port with request/reply matching.
+
+    ``post_overhead_us`` models the CPU cost of posting a work request
+    (doorbell, WQE build); ``completion_overhead_us`` models polling the
+    completion. These are the small constants that make a one-sided op
+    cost ~2.5 µs end to end on a direct link.
+    """
+
+    _channel_ids = count(1)
+
+    def __init__(self, sim, fabric, host_name,
+                 post_overhead_us=0.25, completion_overhead_us=0.25):
+        self.sim = sim
+        self.fabric = fabric
+        self.host_name = host_name
+        self.post_overhead_us = post_overhead_us
+        self.completion_overhead_us = completion_overhead_us
+        self.reply_service = f"reply.{next(self._channel_ids)}"
+        self._pending = {}
+        self._ids = count(1)
+        fabric.host(host_name).register_service(self.reply_service,
+                                                self._on_reply)
+
+    def _on_reply(self, message):
+        reply = message.payload
+        event = self._pending.pop(reply.id, None)
+        if event is None:
+            return  # duplicate or cancelled; drop silently like a NIC would
+        if reply.ok:
+            event.succeed(reply.body)
+        else:
+            event.fail(reply.body if isinstance(reply.body, BaseException)
+                       else PrismError(str(reply.body)))
+
+    def request(self, dst, service, body, request_size, timeout_us=None):
+        """Process helper: send ``body`` and wait for the reply payload."""
+        request_id = next(self._ids)
+        request = Request(request_id, self.host_name, self.reply_service, body)
+        reply_event = self.sim.event()
+        self._pending[request_id] = reply_event
+        if self.post_overhead_us:
+            yield self.sim.timeout(self.post_overhead_us)
+        yield from self.fabric.send(self.host_name, dst, service, request,
+                                    request_size)
+        if timeout_us is None:
+            result = yield reply_event
+        else:
+            winner = yield self.sim.any_of(
+                [reply_event, self.sim.timeout(timeout_us)])
+            index, value = winner
+            if index == 1:
+                self._pending.pop(request_id, None)
+                raise TimeoutError(
+                    f"request {request_id} to {dst}/{service} timed out")
+            result = value
+        if self.completion_overhead_us:
+            yield self.sim.timeout(self.completion_overhead_us)
+        return result
+
+
+def send_reply(fabric, server_host, request, body, size_bytes, ok=True):
+    """Process helper used by servers to answer a :class:`Request`."""
+    reply = Reply(request.id, body, ok=ok)
+    yield from fabric.send(server_host, request.reply_host,
+                           request.reply_service, reply, size_bytes)

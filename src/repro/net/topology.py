@@ -1,0 +1,51 @@
+"""Topology presets matching the paper's deployment scenarios.
+
+The paper evaluates under four network settings:
+
+* a direct NIC-to-NIC cable (§4.3 microbenchmarks, Fig. 1),
+* one Arista ToR switch adding 0.6 µs round trip (§5, Fig. 2 "Rack"),
+* a three-tier cluster network, 3 µs round trip (Fig. 2 "Cluster"),
+* reported datacenter RDMA latency of 24 µs round trip (Fig. 2).
+
+``one_way_latency_us`` below bundles propagation plus switch traversal
+so that a request/response pair accrues the paper's round-trip figure.
+"""
+
+from dataclasses import dataclass
+
+from repro.net.fabric import Fabric, Host
+
+GBIT_40_BYTES_PER_US = 5000.0  # 40 Gb/s expressed in bytes per microsecond
+GBIT_25_BYTES_PER_US = 3125.0  # the ConnectX-5 testbed NICs are 25 GbE
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """A named deployment scenario."""
+
+    name: str
+    one_way_latency_us: float
+    bytes_per_us: float = GBIT_40_BYTES_PER_US
+    #: per-message port occupancy for framing (Ethernet preamble/IFG,
+    #: IP/UDP, ICRC): ~66 B at 40 GbE. This is why Pilaf's two replies
+    #: per GET cost measurably more wire than PRISM-KV's one (§6.2).
+    per_message_us: float = 0.0132
+
+
+DIRECT = NetworkProfile("direct", one_way_latency_us=0.35)
+RACK = NetworkProfile("rack", one_way_latency_us=0.65)
+CLUSTER = NetworkProfile("cluster", one_way_latency_us=1.85)
+DATACENTER = NetworkProfile("datacenter", one_way_latency_us=12.35)
+
+PROFILES = {p.name: p for p in (DIRECT, RACK, CLUSTER, DATACENTER)}
+
+
+def make_fabric(sim, profile, host_names):
+    """Build a fabric with one host per name under ``profile``."""
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    fabric = Fabric(sim, one_way_latency_us=profile.one_way_latency_us)
+    for name in host_names:
+        fabric.add_host(
+            Host(sim, name, profile.bytes_per_us, profile.per_message_us))
+    return fabric

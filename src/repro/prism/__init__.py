@@ -1,0 +1,40 @@
+"""PRISM execution: engine semantics, timing backends, server, client.
+
+Layering:
+
+* :mod:`repro.prism.engine` — what each primitive *does* to memory
+  (byte-exact, backend-independent), plus the memory-access trace that
+  backends price.
+* :mod:`repro.prism.backend` and friends — *when* it happens: the
+  software stack (dedicated cores), the projected hardware NIC, the
+  BlueField smart NIC, and the plain hardware RDMA NIC used by
+  baselines.
+* :mod:`repro.prism.server` / :mod:`repro.prism.client` — wiring onto
+  the simulated fabric.
+"""
+
+from repro.prism.allocator import SizeClassAllocator
+from repro.prism.backend import BackendConfig, PostingGate
+from repro.prism.bluefield import BlueFieldPrismBackend
+from repro.prism.client import PrismClient
+from repro.prism.engine import Connection, OpResult, OpStatus, PrismEngine
+from repro.prism.hardware import HardwarePrismBackend, HardwareRdmaBackend
+from repro.prism.server import PrismServer
+from repro.prism.software import SoftwarePrismBackend, SoftwareRdmaBackend
+
+__all__ = [
+    "BackendConfig",
+    "PostingGate",
+    "SizeClassAllocator",
+    "BlueFieldPrismBackend",
+    "Connection",
+    "HardwarePrismBackend",
+    "HardwareRdmaBackend",
+    "OpResult",
+    "OpStatus",
+    "PrismClient",
+    "PrismEngine",
+    "PrismServer",
+    "SoftwarePrismBackend",
+    "SoftwareRdmaBackend",
+]

@@ -1,0 +1,72 @@
+"""The server's unified address space: host DRAM plus on-NIC SRAM.
+
+Recent NICs expose a small user-accessible on-NIC memory region (256 KB
+on the paper's ConnectX-5, §4.2) that chains should use for redirect
+temporaries, because the NIC reaches it without a PCIe round trip. We
+map it just past host memory so a single integer address space covers
+both, and :meth:`domain` tells timing backends which side an access
+touched.
+"""
+
+from repro.core.constants import NIC_SRAM_BYTES
+from repro.hw.memory import HostMemory, MemoryError_
+
+DOMAIN_HOST = "host"
+DOMAIN_SRAM = "sram"
+
+
+class ServerAddressSpace:
+    """Routes addresses to host memory or NIC SRAM."""
+
+    def __init__(self, host_memory_bytes, sram_bytes=NIC_SRAM_BYTES):
+        self.host = HostMemory(host_memory_bytes)
+        self.sram_base = host_memory_bytes
+        self.sram = HostMemory(sram_bytes + 8)  # +8: NULL page offset
+        self.sram_bytes = sram_bytes
+
+    def domain(self, addr):
+        """'host' or 'sram' for a valid address."""
+        return DOMAIN_SRAM if addr >= self.sram_base else DOMAIN_HOST
+
+    def _route(self, addr):
+        if addr >= self.sram_base:
+            return self.sram, addr - self.sram_base + 8
+        return self.host, addr
+
+    def read(self, addr, length):
+        memory, local = self._route(addr)
+        return memory.read(local, length)
+
+    def write(self, addr, data):
+        memory, local = self._route(addr)
+        memory.write(local, data)
+
+    def read_uint(self, addr, width=8):
+        return int.from_bytes(self.read(addr, width), "little")
+
+    def write_uint(self, addr, value, width=8):
+        self.write(addr, value.to_bytes(width, "little"))
+
+    def read_ptr(self, addr):
+        return self.read_uint(addr, 8)
+
+    def write_ptr(self, addr, target):
+        self.write_uint(addr, target, 8)
+
+    def contains(self, addr, length=1):
+        try:
+            memory, local = self._route(addr)
+        except MemoryError_:
+            return False
+        return memory.contains(local, length)
+
+    # -- setup-time allocation -------------------------------------------
+
+    def sbrk(self, nbytes, align=8):
+        """Allocate host memory (server CPU, setup time)."""
+        return self.host.sbrk(nbytes, align)
+
+    def sram_sbrk(self, nbytes, align=8):
+        """Allocate NIC SRAM; returns a global (mapped) address."""
+        local = self.sram.sbrk(nbytes, align)
+        return self.sram_base + local - 8

@@ -1,0 +1,81 @@
+"""Size-class buffer allocation (§3.2).
+
+"Applications can minimize [internal fragmentation] by registering
+multiple queues containing buffers of different sizes, and selecting
+the appropriate one. For example, using buffers sized as powers of two
+guarantees a maximum space overhead of 2×."
+
+:class:`SizeClassAllocator` manages one free-list queue pair per
+power-of-two class and picks the right ``freelist`` id for a payload —
+a *client-side* decision, exactly as on real PRISM: the NIC never
+inspects sizes, it just pops the queue named in the ALLOCATE request.
+"""
+
+from repro.core.errors import InvalidOperation
+
+
+def size_class_for(nbytes, min_class):
+    """Smallest power-of-two >= max(nbytes, min_class)."""
+    size = max(min_class, 1)
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+class SizeClassAllocator:
+    """Power-of-two free lists on one server.
+
+    Created via :meth:`install`, which carves and posts buffers for
+    every class in [min_class, max_class]. Clients call
+    :meth:`freelist_for` to pick the queue for a payload and
+    :meth:`rkey_for` for its protection domain.
+    """
+
+    def __init__(self, min_class, max_class):
+        if min_class & (min_class - 1) or max_class & (max_class - 1):
+            raise InvalidOperation("size classes must be powers of two")
+        if min_class > max_class:
+            raise InvalidOperation("min_class exceeds max_class")
+        self.min_class = min_class
+        self.max_class = max_class
+        self._classes = {}  # size -> (freelist_id, rkey)
+
+    @classmethod
+    def install(cls, server, min_class=64, max_class=4096,
+                buffers_per_class=256):
+        """Create and post every class's free list on ``server``."""
+        allocator = cls(min_class, max_class)
+        size = min_class
+        while size <= max_class:
+            freelist_id, rkey = server.create_freelist(
+                size, buffers_per_class, name=f"class{size}")
+            allocator._classes[size] = (freelist_id, rkey)
+            size <<= 1
+        return allocator
+
+    @property
+    def classes(self):
+        return sorted(self._classes)
+
+    def class_for(self, nbytes):
+        size = size_class_for(nbytes, self.min_class)
+        if size > self.max_class:
+            raise InvalidOperation(
+                f"{nbytes} bytes exceeds the largest class "
+                f"({self.max_class})")
+        return size
+
+    def freelist_for(self, nbytes):
+        """The freelist id whose buffers fit ``nbytes`` tightest."""
+        return self._classes[self.class_for(nbytes)][0]
+
+    def rkey_for(self, nbytes):
+        return self._classes[self.class_for(nbytes)][1]
+
+    def overhead(self, nbytes):
+        """Internal fragmentation for a payload of ``nbytes``."""
+        return self.class_for(nbytes) - nbytes
+
+    def worst_case_overhead_factor(self):
+        """The §3.2 bound: powers of two waste at most 2x."""
+        return 2.0

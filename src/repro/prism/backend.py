@@ -1,0 +1,213 @@
+"""Backend machinery shared by all PRISM/RDMA execution models.
+
+A backend answers one question: *how long does it take* for the ops of
+a request to execute on this kind of device? The functional work is
+delegated to :class:`~repro.prism.engine.PrismEngine`; the backend
+interleaves simulated delays around each op, so a multi-op chain is
+*not* atomic — exactly as on real hardware, where only the CAS itself
+is (§3.3).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.chain import Chain
+from repro.prism.address_space import DOMAIN_HOST
+from repro.prism.engine import ChainResult, OpResult, OpStatus
+from repro.sim.resources import Resource
+
+
+@dataclass
+class BackendConfig:
+    """Timing knobs, calibrated against the paper's §4.3 measurements.
+
+    All times in microseconds. The defaults correspond to the
+    ConnectX-5 class hardware NIC; software / BlueField backends
+    override their own subset.
+    """
+
+    # hardware NIC
+    nic_base_op_us: float = 0.35
+    nic_parallelism: int = 16
+    nic_atomic_unit_us: float = 0.10
+    sram_access_us: float = 0.05
+    pcie_round_trip_us: float = 0.85
+    pcie_bytes_per_us: float = 15_000.0
+
+    # software stack (Snap-like, §4.1)
+    sw_cores: int = 16
+    sw_pipeline_latency_us: float = 3.00
+    sw_request_occupancy_us: float = 0.60
+    sw_op_occupancy_us: float = 0.09
+    sw_access_us: float = 0.02
+    sw_bytes_per_us: float = 20_000.0
+
+    # BlueField smart NIC (§4.3)
+    bf_cores: int = 8
+    bf_pipeline_latency_us: float = 1.00
+    bf_request_occupancy_us: float = 1.30
+    bf_op_occupancy_us: float = 0.40
+    bf_host_access_us: float = 3.00
+    bf_local_access_us: float = 0.20
+    bf_bytes_per_us: float = 8_000.0
+
+    extra: dict = field(default_factory=dict)
+
+
+class PostingGate:
+    """Reader/writer synchronization between the NIC data plane and the
+    server CPU posting buffers (§3.2).
+
+    Executing operations hold the read side; posting buffers takes the
+    write side: it stalls *new op executions*, waits for the ops
+    currently executing to finish (a pipeline drain of a few µs, like a
+    real NIC), performs the post, and releases. Queued requests are not
+    counted as in-flight — only ops that have started executing —
+    so the drain is fast even under saturation.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._executing = 0
+        self._posting = False
+        self._drained = None
+        self._unblocked = None
+
+    def enter(self):
+        """Process helper (read side): begin executing one op."""
+        while self._posting:
+            if self._unblocked is None:
+                self._unblocked = self.sim.event()
+            yield self._unblocked
+        self._executing += 1
+
+    def exit(self):
+        """Read side: op execution finished."""
+        self._executing -= 1
+        if self._executing == 0 and self._drained is not None:
+            event, self._drained = self._drained, None
+            event.succeed()
+
+    def drain(self):
+        """Process helper (write side): stall new ops, wait for quiet.
+
+        Call :meth:`release` when the posting work is done.
+        """
+        while self._posting:  # one poster at a time
+            if self._unblocked is None:
+                self._unblocked = self.sim.event()
+            yield self._unblocked
+        self._posting = True
+        while self._executing > 0:
+            if self._drained is None:
+                self._drained = self.sim.event()
+            yield self._drained
+
+    def release(self):
+        """Write side: posting finished; let operations flow again."""
+        self._posting = False
+        if self._unblocked is not None:
+            event, self._unblocked = self._unblocked, None
+            event.succeed()
+
+
+class Backend:
+    """Base class: runs a request's ops with per-op timing hooks."""
+
+    #: human-readable backend label used in benchmark tables
+    label = "abstract"
+    #: whether this device implements the PRISM extensions
+    supports_extensions = True
+    #: whether CAS may use Mellanox-style masked/32-byte operands
+    supports_extended_atomics = True
+
+    def __init__(self, sim, engine, config=None):
+        self.sim = sim
+        self.engine = engine
+        self.config = config or BackendConfig()
+        self.requests_processed = 0
+        self.gate = PostingGate(sim)
+        engine.allow_extensions = self.supports_extensions
+        engine.allow_extended_atomics = self.supports_extended_atomics
+
+    # -- per-backend hooks -------------------------------------------------
+
+    def request_admission(self, ops):
+        """Delay/occupancy before any op runs (dispatch, queueing).
+
+        Subclasses yield events; base implementation does nothing.
+        """
+        return
+        yield  # pragma: no cover
+
+    def op_time(self, op, accesses, op_index=0):
+        """Simulated duration of one executed op given its access trace.
+
+        ``op_index`` is the op's position in its request; backends with
+        per-request (rather than per-op) fixed costs charge them on
+        index 0 — this is what makes a chained request barely more
+        expensive than a single op, the economics §3.4 relies on.
+        """
+        raise NotImplementedError
+
+    def acquire_execution(self, op):
+        """Acquire whatever unit executes ``op``; returns a release callable."""
+        raise NotImplementedError
+
+    # -- driver ------------------------------------------------------------
+
+    def process(self, connection, ops):
+        """Process helper: execute a request, yielding its time costs.
+
+        Returns a :class:`ChainResult`. Semantics follow §3.4: a hard
+        NAK aborts the remainder; a CAS miss only suppresses
+        *conditional* successors.
+        """
+        if isinstance(ops, Chain):
+            ops = ops.ops
+        yield from self.request_admission(ops)
+        results = []
+        prev_ok = True
+        aborted = False
+        for op_index, op in enumerate(ops):
+            if aborted:
+                results.append(OpResult(OpStatus.SKIPPED))
+                continue
+            release = yield from self.acquire_execution(op)
+            yield from self.gate.enter()
+            try:
+                result, accesses = self.engine.execute_op(
+                    connection, op, prev_ok)
+                duration = self.op_time(op, accesses, op_index)
+                if duration > 0:
+                    yield self.sim.timeout(duration)
+            finally:
+                self.gate.exit()
+                release()
+            results.append(result)
+            if result.status is OpStatus.NAK:
+                aborted = True
+            prev_ok = result.successful
+        self.requests_processed += 1
+        return ChainResult(results)
+
+
+class _PooledBackend(Backend):
+    """Common shape for backends that run ops on a pool of units."""
+
+    def __init__(self, sim, engine, config=None, pool_capacity=1,
+                 pool_name="unit"):
+        super().__init__(sim, engine, config)
+        self._pool = Resource(sim, capacity=pool_capacity, name=pool_name)
+
+    def acquire_execution(self, op):
+        yield self._pool.acquire()
+        return self._pool.release
+
+    def utilization(self, elapsed):
+        """Mean busy fraction of the execution pool."""
+        return self._pool.utilization(elapsed)
+
+
+def trace_host_bytes(accesses):
+    """Total bytes moved to/from host memory in an access trace."""
+    return sum(a.nbytes for a in accesses if a.domain == DOMAIN_HOST)

@@ -1,0 +1,48 @@
+"""BlueField smart-NIC backend (§4.3).
+
+The BlueField is an *off-path* NIC: its ARM cores (8× Cortex-A72 at
+800 MHz) must reach host memory through an internal switch as RDMA
+requests, measured by the paper at ~3 µs per access — which is why this
+deployment option is the slowest in Fig. 1 despite running on the NIC.
+Accesses to the card's local memory are cheap.
+"""
+
+from repro.hw.cpu import CorePool
+from repro.prism.address_space import DOMAIN_HOST
+from repro.prism.backend import Backend, BackendConfig
+
+
+class BlueFieldPrismBackend(Backend):
+    """PRISM primitives on BlueField ARM cores."""
+
+    label = "prism-bluefield"
+    supports_extensions = True
+    supports_extended_atomics = True
+
+    def __init__(self, sim, engine, config=None, cores=None):
+        config = config or BackendConfig()
+        super().__init__(sim, engine, config)
+        self.pool = CorePool(sim, cores or config.bf_cores,
+                             name=f"{self.label}.cores")
+
+    def request_admission(self, ops):
+        yield self.sim.timeout(self.config.bf_pipeline_latency_us)
+
+    def acquire_execution(self, op):
+        yield self.pool._pool.acquire()
+        return self.pool._pool.release
+
+    def op_time(self, op, accesses, op_index=0):
+        total = self.config.bf_op_occupancy_us
+        if op_index == 0:
+            total += self.config.bf_request_occupancy_us
+        for access in accesses:
+            if access.domain == DOMAIN_HOST:
+                total += (self.config.bf_host_access_us
+                          + access.nbytes / self.config.bf_bytes_per_us)
+            else:
+                total += self.config.bf_local_access_us
+        return total
+
+    def utilization(self, elapsed):
+        return self.pool.utilization(elapsed)

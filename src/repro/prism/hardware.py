@@ -1,0 +1,61 @@
+"""Hardware NIC backends.
+
+``HardwareRdmaBackend`` models today's ConnectX-5-class NIC: classic
+verbs (plus Mellanox extended atomics) executed by parallel processing
+units, every host-memory access paying a PCIe transfer.
+
+``HardwarePrismBackend`` is the paper's §4.3 projection of a future
+PRISM-capable ASIC: identical machinery, with the extension ops allowed
+— an indirect READ is "a RDMA READ plus one extra pointer-sized PCIe
+read", ALLOCATE reuses the receive-queue pop, redirect output lands in
+on-NIC SRAM at SRAM cost.
+"""
+
+
+from repro.hw.pcie import PcieLink
+from repro.prism.address_space import DOMAIN_HOST
+from repro.prism.backend import BackendConfig, _PooledBackend
+
+
+
+class HardwareRdmaBackend(_PooledBackend):
+    """A stock RDMA NIC (no PRISM extensions)."""
+
+    label = "rdma-hw"
+    supports_extensions = False
+    supports_extended_atomics = True
+
+    def __init__(self, sim, engine, config=None):
+        config = config or BackendConfig()
+        super().__init__(sim, engine, config,
+                         pool_capacity=config.nic_parallelism,
+                         pool_name=f"{self.label}.pu")
+        self._pcie = PcieLink(config.pcie_round_trip_us,
+                              config.pcie_bytes_per_us)
+
+    # Atomicity note: ConnectX-class NICs pipeline atomics to different
+    # addresses and only serialize conflicting ones; the simulator's
+    # functional layer already commits each CAS at a single instant, so
+    # per-address atomicity holds without a global lock. The atomic
+    # surcharge below models the read-modify-write unit's extra work.
+
+    def op_time(self, op, accesses, op_index=0):
+        total = self.config.nic_base_op_us
+        for access in accesses:
+            if access.domain == DOMAIN_HOST:
+                if access.kind == "r":
+                    total += self._pcie.read_time(access.nbytes)
+                else:
+                    total += self._pcie.write_time(access.nbytes)
+            else:
+                total += self.config.sram_access_us
+            if access.atomic:
+                total += self.config.nic_atomic_unit_us
+        return total
+
+
+class HardwarePrismBackend(HardwareRdmaBackend):
+    """Projected PRISM ASIC (§4.2/§4.3): same NIC, extensions enabled."""
+
+    label = "prism-hw"
+    supports_extensions = True

@@ -1,0 +1,62 @@
+"""Software network-stack backends (§4.1).
+
+Modeled on the paper's prototype: a Snap-inspired stack where one-sided
+operations are executed by *dedicated* CPU cores, reached through an
+eRPC-style transport. There is no application thread wake-up — the
+dedicated cores spin-poll — so a software one-sided op costs the stack
+pipeline latency plus a core's per-op occupancy, about 2.5–2.8 µs on
+top of hardware RDMA (Fig. 1).
+
+``SoftwareRdmaBackend`` is the same stack restricted to the classic
+interface — the paper's "Pilaf (software RDMA)" / "ABDLOCK (software
+RDMA)" / "FaRM (software RDMA)" comparison points.
+"""
+
+from repro.hw.cpu import CorePool
+from repro.prism.address_space import DOMAIN_HOST
+from repro.prism.backend import Backend, BackendConfig
+
+
+class SoftwarePrismBackend(Backend):
+    """PRISM primitives executed by dedicated host cores."""
+
+    label = "prism-sw"
+    supports_extensions = True
+    supports_extended_atomics = True
+
+    def __init__(self, sim, engine, config=None, cores=None):
+        config = config or BackendConfig()
+        super().__init__(sim, engine, config)
+        self.pool = CorePool(sim, cores or config.sw_cores,
+                             name=f"{self.label}.cores")
+
+    def request_admission(self, ops):
+        # Fixed stack pipeline latency: NIC->userspace rx, polling loop
+        # pickup, tx doorbell on the way out. Pure delay, not occupancy.
+        yield self.sim.timeout(self.config.sw_pipeline_latency_us)
+
+    def acquire_execution(self, op):
+        yield self.pool._pool.acquire()
+        return self.pool._pool.release
+
+    def op_time(self, op, accesses, op_index=0):
+        total = self.config.sw_op_occupancy_us
+        if op_index == 0:
+            # Request-level cost (parse, connection lookup, tx setup) is
+            # paid once, so chains amortize it — §3.4's economics.
+            total += self.config.sw_request_occupancy_us
+        for access in accesses:
+            total += (self.config.sw_access_us
+                      + access.nbytes / self.config.sw_bytes_per_us)
+        return total
+
+    def utilization(self, elapsed):
+        return self.pool.utilization(elapsed)
+
+
+class SoftwareRdmaBackend(SoftwarePrismBackend):
+    """The same software stack limited to classic READ/WRITE/CAS."""
+
+    label = "rdma-sw"
+    supports_extensions = False
+    supports_extended_atomics = True

@@ -1,0 +1,20 @@
+"""Classic RDMA machinery: memory regions, rkeys, queue pairs, verbs.
+
+The protection model here is shared by plain RDMA and PRISM: PRISM's
+indirect operations reuse rkey checks for both the target address and
+the location it points to (§3.1).
+"""
+
+from repro.rdma.mr import AccessFlags, MemoryRegion, MemoryRegionTable
+from repro.rdma.qp import CompletionQueue, QueuePair
+from repro.rdma.verbs import ReceiveEndpoint, SendEndpoint
+
+__all__ = [
+    "AccessFlags",
+    "CompletionQueue",
+    "MemoryRegion",
+    "MemoryRegionTable",
+    "QueuePair",
+    "ReceiveEndpoint",
+    "SendEndpoint",
+]

@@ -1,0 +1,83 @@
+"""Queue pairs and completion queues.
+
+Queue pairs serve two roles in this reproduction, mirroring the paper:
+
+* classic SEND/RECV rendezvous (a posted receive buffer absorbs an
+  incoming SEND), and
+* PRISM free lists (§3.2): "we represent the free list the same way as
+  a queue pair — a standard RDMA structure containing a list of free
+  buffers", popped by ALLOCATE.
+"""
+
+from collections import deque
+from itertools import count
+
+from repro.core.errors import AllocationFailure, RemoteNak
+
+_qp_ids = count(1)
+
+
+class CompletionQueue:
+    """Records work completions for inspection by tests and daemons."""
+
+    def __init__(self, capacity=None):
+        self.capacity = capacity
+        self._entries = deque()
+
+    def push(self, entry):
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            raise RemoteNak("completion queue overflow")
+        self._entries.append(entry)
+
+    def poll(self):
+        """Pop the oldest completion, or None."""
+        if self._entries:
+            return self._entries.popleft()
+        return None
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class QueuePair:
+    """A receive/free-buffer queue registered with the NIC.
+
+    Buffers are ``(addr, size)`` pairs in server memory. ``pop`` is what
+    the NIC does when an ALLOCATE (or incoming SEND) arrives; ``post``
+    is the server-CPU side. Synchronization between posting and
+    concurrent NIC operations is enforced by the owner (see
+    ``repro.prism.server.PrismServer.post_buffers``), not here.
+    """
+
+    def __init__(self, buffer_size, name=None):
+        self.id = next(_qp_ids)
+        self.buffer_size = buffer_size
+        self.name = name or f"qp{self.id}"
+        self._buffers = deque()
+        self.total_posted = 0
+        self.total_popped = 0
+
+    def __len__(self):
+        return len(self._buffers)
+
+    def post(self, addr):
+        """Add one free buffer (server CPU side)."""
+        self._buffers.append(addr)
+        self.total_posted += 1
+
+    def post_many(self, addrs):
+        for addr in addrs:
+            self.post(addr)
+
+    def pop(self):
+        """Pop the first free buffer (NIC data-plane side)."""
+        if not self._buffers:
+            raise AllocationFailure(
+                f"{self.name}: free list empty "
+                f"(posted={self.total_posted}, popped={self.total_popped})")
+        self.total_popped += 1
+        return self._buffers.popleft()
+
+    def would_satisfy(self, nbytes):
+        """True if this queue's buffers can hold ``nbytes``."""
+        return nbytes <= self.buffer_size

@@ -1,0 +1,113 @@
+"""Two-sided SEND/RECV verbs (§2.1's message-passing half).
+
+"A SEND operation transmits a message to a remote application that
+calls RECEIVE." The receiving NIC pops a posted receive buffer, DMAs
+the payload into it, and deposits a completion; if no buffer is posted
+it answers Receiver Not Ready — the flow-control NAK §4.2 reuses for
+chain buffering.
+
+These verbs are *NIC*-executed on both ends (no remote CPU on the data
+path — the application only posts buffers and polls completions),
+which is why the eRPC layer (:mod:`repro.rpc`) is a separate, more
+expensive animal: RPC adds dispatch + handler CPU on top of what SEND
+gives you.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.errors import RemoteNak
+from repro.core.ops import WriteOp
+from repro.net.port import RequestChannel, send_reply
+from repro.rdma.qp import QueuePair
+from repro.sim.resources import Store
+
+
+@dataclass
+class ReceiveCompletion:
+    """One received message: where it landed and who sent it."""
+
+    buffer_addr: int
+    length: int
+    sender: str
+
+
+class ReceiveEndpoint:
+    """Server side: a receive queue + completion stream.
+
+    Buffers are carved from the server's memory and posted to the
+    receive QP; incoming SENDs consume them FIFO. The application
+    consumes :class:`ReceiveCompletion`s with ``yield endpoint.recv()``.
+    """
+
+    def __init__(self, sim, server, buffer_size, buffer_count,
+                 service="sendrecv"):
+        self.sim = sim
+        self.server = server
+        self.buffer_size = buffer_size
+        self.service = service
+        base, self.rkey = server.add_region(buffer_size * buffer_count)
+        self.qp = QueuePair(buffer_size, name=f"recv.{service}")
+        self.qp.post_many(base + i * buffer_size
+                          for i in range(buffer_count))
+        self.completions = Store(sim, name=f"cq.{service}")
+        self._connection = server.connect(f"__{service}__")
+        self.rnr_naks = 0
+        server.fabric.host(server.host_name).register_service(
+            service, self._on_send)
+
+    def post_receive(self, buffer_addr):
+        """Return a consumed buffer to the receive queue (app side)."""
+        self.qp.post(buffer_addr)
+
+    def recv(self):
+        """Event: the next :class:`ReceiveCompletion` (FIFO)."""
+        return self.completions.get()
+
+    # -- data plane -----------------------------------------------------------
+
+    def _on_send(self, message):
+        self.sim.spawn(self._absorb(message),
+                       name=f"{self.service}@{self.server.host_name}")
+
+    def _absorb(self, message):
+        request = message.payload
+        payload = request.body
+        if len(self.qp) == 0 or len(payload) > self.buffer_size:
+            # Receiver Not Ready: reject without consuming anything.
+            self.rnr_naks += 1
+            yield from send_reply(
+                self.server.fabric, self.server.host_name, request,
+                RemoteNak("receiver not ready"), 12, ok=False)
+            return
+        buffer_addr = self.qp.pop()
+        op = WriteOp(addr=buffer_addr, data=payload, rkey=self.rkey)
+        result = yield from self.server.backend.process(
+            self._connection, [op])
+        self.completions.put(ReceiveCompletion(
+            buffer_addr=buffer_addr, length=len(payload),
+            sender=message.src))
+        yield from send_reply(self.server.fabric, self.server.host_name,
+                              request, True, 12)
+
+
+class SendEndpoint:
+    """Client side: one-way messages into a remote receive queue."""
+
+    def __init__(self, sim, fabric, client_name, server_name,
+                 service="sendrecv", channel=None):
+        self.sim = sim
+        self.fabric = fabric
+        self.client_name = client_name
+        self.server_name = server_name
+        self.service = service
+        self.channel = channel or RequestChannel(sim, fabric, client_name)
+        self.sends = 0
+
+    def send(self, payload):
+        """Process helper: SEND ``payload``; completes when the remote
+        NIC has placed it (raises :class:`RemoteNak` on RNR)."""
+        payload = bytes(payload)
+        yield from self.channel.request(
+            self.server_name, self.service, payload,
+            request_size=42 + len(payload))
+        self.sends += 1

@@ -1,0 +1,5 @@
+"""Two-sided RPC transport (eRPC-like), used by baselines and daemons."""
+
+from repro.rpc.erpc import RpcClient, RpcConfig, RpcServer
+
+__all__ = ["RpcClient", "RpcConfig", "RpcServer"]

@@ -1,0 +1,167 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot future living on a simulator's timeline.
+Processes wait on events by yielding them; the kernel resumes the
+process when the event triggers, delivering ``event.value`` (or raising
+the failure exception inside the generator).
+"""
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, yielding non-events...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter
+    supplied, typically a short reason string.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Lifecycle: *pending* -> *triggered* (``succeed``/``fail`` called,
+    callbacks scheduled) -> *processed* (callbacks have run).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self):
+        """True once ``succeed`` or ``fail`` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self):
+        """True once the kernel has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self):
+        """True if the event succeeded; None while still pending."""
+        return self._ok
+
+    @property
+    def value(self):
+        """Payload delivered to waiters (or the failure exception)."""
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully, delivering ``value``."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def add_callback(self, callback):
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback fires on the
+        next kernel step rather than being silently dropped.
+        """
+        if self._processed:
+            self.sim._enqueue_callback(self, callback)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self):
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self):
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<Event {state} at t={self.sim.now:.3f}>"
+
+
+class AnyOf(Event):
+    """Triggers when the first of several events triggers.
+
+    The value is the ``(index, value)`` pair of the first event. Failure
+    of the first event to trigger propagates as failure of the AnyOf.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index):
+        def on_trigger(event):
+            if self._triggered:
+                return
+            if event.ok:
+                self.succeed((index, event.value))
+            else:
+                self.fail(event.value)
+        return on_trigger
+
+
+class AllOf(Event):
+    """Triggers when every one of several events has triggered.
+
+    The value is the list of individual values, in input order. The
+    first failure fails the AllOf immediately.
+    """
+
+    __slots__ = ("_events", "_remaining", "_values")
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        self._values = [None] * len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for index, event in enumerate(self._events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index):
+        def on_trigger(event):
+            if self._triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+                return
+            self._values[index] = event.value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(list(self._values))
+        return on_trigger

@@ -1,0 +1,223 @@
+"""The event loop and process machinery.
+
+``Simulator`` owns a priority queue of timestamped entries. Each entry
+is either an event to process (running its callbacks) or a bare
+callable. Processes are generators driven by the kernel: every value a
+process yields must be an :class:`~repro.sim.events.Event` (or another
+:class:`Process`, which doubles as its completion event).
+"""
+
+import heapq
+from itertools import count
+
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """A running generator coroutine; also the event of its completion.
+
+    The completion value is whatever the generator returns. An uncaught
+    exception inside the generator fails the completion event, and —
+    if nothing is waiting on the process — propagates out of
+    ``Simulator.run`` so bugs never pass silently.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name", "_ever_waited")
+
+    def __init__(self, sim, generator, name=None):
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on = None
+        self._ever_waited = False
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    def add_callback(self, callback):
+        self._ever_waited = True
+        super().add_callback(callback)
+
+    @property
+    def alive(self):
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op.
+        """
+        if self._triggered:
+            return
+        interrupt_event = Event(self.sim)
+        interrupt_event.add_callback(self._resume_with_interrupt(cause))
+        interrupt_event.succeed()
+
+    def _resume_with_interrupt(self, cause):
+        def resume(event):
+            if self._triggered:
+                return
+            self._detach_from_waited_event()
+            self._step(lambda: self._generator.throw(Interrupt(cause)))
+        return resume
+
+    def _detach_from_waited_event(self):
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+
+    def _resume(self, event):
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self._generator.send(event.value))
+        else:
+            self._step(lambda: self._generator.throw(event.value))
+
+    def _step(self, advance):
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Exception as exc:
+            self._fail_or_crash(exc)
+            return
+        if isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self._resume)
+        else:
+            message = (
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances (use 'yield from' to call "
+                "sub-generators)")
+            self._step(lambda: self._generator.throw(SimulationError(message)))
+
+    def _fail_or_crash(self, exc):
+        self.fail(exc)
+        self.sim._note_process_failure(self, exc)
+
+    def __repr__(self):
+        return f"<Process {self.name} {'done' if self._triggered else 'alive'}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a microsecond clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue = []
+        self._sequence = count()
+        self._failed_processes = []
+
+    @property
+    def now(self):
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def event(self):
+        """Create a fresh pending event on this timeline."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """An event that succeeds ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        event = Event(self)
+        self._push(self._now + delay, lambda: self._trigger_timeout(event, value))
+        return event
+
+    @staticmethod
+    def _trigger_timeout(event, value):
+        event.succeed(value)
+
+    def spawn(self, generator, name=None):
+        """Start running a generator as a process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events):
+        """Event that fires with ``(index, value)`` of the first to trigger."""
+        return AnyOf(self, events)
+
+    def all_of(self, events):
+        """Event that fires with the list of values once all trigger."""
+        return AllOf(self, events)
+
+    def call_at(self, when, callback):
+        """Run a bare callable at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        self._push(when, callback)
+
+    # -- kernel internals -------------------------------------------------
+
+    def _push(self, when, callback):
+        heapq.heappush(self._queue, (when, next(self._sequence), callback))
+
+    def _enqueue_triggered(self, event):
+        self._push(self._now, event._process)
+
+    def _enqueue_callback(self, event, callback):
+        self._push(self._now, lambda: callback(event))
+
+    def _note_process_failure(self, process, exc):
+        self._failed_processes.append((process, exc))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until=None):
+        """Run until the queue drains or simulated time passes ``until``.
+
+        A process that dies with an unhandled exception (and no waiter
+        observing its completion) re-raises here at the end of the run.
+        """
+        while self._queue:
+            when, _seq, callback = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            self._now = when
+            callback()
+        else:
+            if until is not None:
+                self._now = until
+        self._raise_orphan_failures()
+        return self._now
+
+    def run_until_complete(self, process, limit=None):
+        """Run until ``process`` finishes; return its value.
+
+        Steps the queue one entry at a time so perpetual background
+        daemons cannot keep the run alive forever. ``limit`` bounds
+        simulated time as a deadlock guard.
+        """
+        while self._queue and not process.processed:
+            when, _seq, callback = heapq.heappop(self._queue)
+            if limit is not None and when > limit:
+                self._push(when, callback)
+                break
+            self._now = when
+            callback()
+        self._raise_orphan_failures()
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} did not complete "
+                f"(simulated until t={self._now:.3f})")
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    def _raise_orphan_failures(self):
+        for process, exc in self._failed_processes:
+            # A failure is "observed" if anything ever waited on the
+            # process's completion event; otherwise it must not vanish.
+            if not process._ever_waited:
+                self._failed_processes = []
+                raise exc
+        self._failed_processes = []

@@ -1,0 +1,167 @@
+"""Contention points: FIFO resources, stores, and bandwidth pipes.
+
+These model the queueing behaviour that produces the paper's
+throughput/latency curves: CPU core pools, NIC processing units, and
+link serialization are all instances of these classes.
+"""
+
+from collections import deque
+
+from repro.sim.events import Event, SimulationError
+
+
+class Resource:
+    """A ``capacity``-server FIFO resource.
+
+    Usage from a process::
+
+        grant = yield resource.acquire()
+        ...
+        resource.release()
+
+    Fairness is strict FIFO, which keeps runs deterministic.
+    """
+
+    def __init__(self, sim, capacity=1, name=None):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._in_use = 0
+        self._waiters = deque()
+        self._total_acquired = 0
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self):
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self):
+        """Number of acquire requests waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self):
+        """Request a slot; the returned event fires when granted."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            self._total_acquired += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Free a slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without acquire")
+        if self._waiters:
+            event = self._waiters.popleft()
+            self._total_acquired += 1
+            event.succeed(self)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def utilization(self, elapsed):
+        """Mean busy fraction over ``elapsed`` simulated microseconds."""
+        if elapsed <= 0:
+            return 0.0
+        self._account()
+        return self._busy_time / (elapsed * self.capacity)
+
+    def _account(self):
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def occupy(self, duration):
+        """Process helper: hold one slot for ``duration``.
+
+        Equivalent to acquire / timeout / release, expressed as a
+        sub-generator for ``yield from``.
+        """
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking ``get``."""
+
+    def __init__(self, sim, name=None):
+        self.sim = sim
+        self.name = name or "store"
+        self._items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Deposit ``item``; wakes the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self):
+        """Event that fires with the next item (FIFO)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self):
+        """Immediately pop an item, or return None if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class BandwidthPipe:
+    """A serializing transmission port of fixed bandwidth.
+
+    Models a NIC TX port or link: each message occupies the port for
+    ``size / bytes_per_us`` plus a fixed per-message overhead. The event
+    returned by :meth:`transmit` fires when the last byte has left the
+    port — propagation delay is added by the fabric, not here.
+    """
+
+    def __init__(self, sim, bytes_per_us, per_message_us=0.0, name=None):
+        if bytes_per_us <= 0:
+            raise SimulationError("bandwidth must be positive")
+        self.sim = sim
+        self.bytes_per_us = float(bytes_per_us)
+        self.per_message_us = float(per_message_us)
+        self.name = name or "pipe"
+        self._port = Resource(sim, capacity=1, name=f"{self.name}.port")
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def serialization_time(self, size_bytes):
+        """Time for ``size_bytes`` to cross the port."""
+        return self.per_message_us + size_bytes / self.bytes_per_us
+
+    def transmit(self, size_bytes):
+        """Process helper: occupy the port long enough to send the message."""
+        yield self._port.acquire()
+        try:
+            yield self.sim.timeout(self.serialization_time(size_bytes))
+            self.bytes_sent += size_bytes
+            self.messages_sent += 1
+        finally:
+            self._port.release()
+
+    def utilization(self, elapsed):
+        """Mean busy fraction of the port over ``elapsed`` microseconds."""
+        return self._port.utilization(elapsed)

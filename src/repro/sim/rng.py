@@ -1,0 +1,29 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (key choice, think time, backoff jitter)
+draws from its own named substream so that adding a component never
+perturbs the draws of another — runs stay reproducible as the system
+grows.
+"""
+
+import random
+import zlib
+
+
+class SeededRng:
+    """A root seed fanning out into independent named substreams."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._streams = {}
+
+    def stream(self, name):
+        """Return (creating if needed) the substream for ``name``."""
+        if name not in self._streams:
+            mixed = zlib.crc32(name.encode()) ^ (self.seed * 0x9E3779B1 & 0xFFFFFFFF)
+            self._streams[name] = random.Random(mixed)
+        return self._streams[name]
+
+    def fork(self, index):
+        """Derive a child SeededRng, e.g. one per client."""
+        return SeededRng(seed=(self.seed * 1_000_003 + index + 1) & 0x7FFFFFFF)

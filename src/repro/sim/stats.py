@@ -1,0 +1,117 @@
+"""Measurement helpers: latency recorders and throughput meters."""
+
+import math
+
+
+class LatencyRecorder:
+    """Collects latency samples (microseconds) with warmup filtering."""
+
+    def __init__(self, warmup_until=0.0):
+        self.warmup_until = warmup_until
+        self.samples = []
+
+    def record(self, now, latency):
+        """Record one sample taken at simulated time ``now``."""
+        if now >= self.warmup_until:
+            self.samples.append(latency)
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    def mean(self):
+        if not self.samples:
+            return float("nan")
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p):
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def median(self):
+        return self.percentile(50)
+
+    def p99(self):
+        return self.percentile(99)
+
+    def histogram(self, bucket_width_us=None, max_buckets=32):
+        """Fixed-width histogram: list of ``(bucket_start, count)``.
+
+        Width defaults to span/max_buckets rounded up so the histogram
+        always fits in ``max_buckets`` entries.
+        """
+        if not self.samples:
+            return []
+        low, high = min(self.samples), max(self.samples)
+        if bucket_width_us is None:
+            span = max(high - low, 1e-9)
+            bucket_width_us = span / max_buckets
+        counts = {}
+        for sample in self.samples:
+            bucket = low + bucket_width_us * int(
+                (sample - low) / bucket_width_us)
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return sorted(counts.items())
+
+    def cdf(self, points=20):
+        """Evenly spaced ``(latency, fraction_completed_within)`` pairs."""
+        if not self.samples:
+            return []
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        return [(ordered[min(n - 1, int(n * i / points))],
+                 min(1.0, (i + 1) / points))
+                for i in range(points)]
+
+
+class ThroughputMeter:
+    """Counts completions over a measurement window."""
+
+    def __init__(self, warmup_until=0.0):
+        self.warmup_until = warmup_until
+        self.completed = 0
+        self._first = None
+        self._last = None
+
+    def record(self, now, n=1):
+        """Record ``n`` completions at simulated time ``now``."""
+        if now < self.warmup_until:
+            return
+        if self._first is None:
+            self._first = now
+        self._last = now
+        self.completed += n
+
+    def ops_per_us(self):
+        """Throughput in operations per microsecond over the window."""
+        if self._first is None or self._last is None or self._last <= self._first:
+            return 0.0
+        return self.completed / (self._last - self._first)
+
+    def ops_per_sec(self):
+        """Throughput in operations per second."""
+        return self.ops_per_us() * 1e6
+
+
+def summarize(recorder, meter=None):
+    """One-line dict summary used by benchmarks and drivers."""
+    summary = {
+        "count": recorder.count,
+        "mean_us": recorder.mean(),
+        "median_us": recorder.median(),
+        "p99_us": recorder.p99(),
+    }
+    if meter is not None:
+        summary["ops_per_sec"] = meter.ops_per_sec()
+    return summary

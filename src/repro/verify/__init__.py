@@ -1,0 +1,23 @@
+"""Correctness checkers for concurrent histories.
+
+The paper's systems make strong consistency claims — PRISM-RS is
+linearizable (§7), PRISM-TX is serializable (§8). This package records
+operation histories from simulated runs and checks those claims:
+
+* :mod:`repro.verify.history` — timed operation records;
+* :mod:`repro.verify.linearizability` — a Wing & Gong style checker for
+  read/write registers, with the standard memoized search;
+* :mod:`repro.verify.serializability` — a version-order based checker
+  for transactional histories.
+"""
+
+from repro.verify.history import HistoryRecorder, Invocation
+from repro.verify.linearizability import check_linearizable
+from repro.verify.serializability import check_serializable
+
+__all__ = [
+    "HistoryRecorder",
+    "Invocation",
+    "check_linearizable",
+    "check_serializable",
+]

@@ -1,0 +1,65 @@
+"""Operation histories recorded from simulated runs."""
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+
+@dataclass
+class Invocation:
+    """One completed operation in a concurrent history.
+
+    ``start``/``finish`` are simulated timestamps; real-time order
+    between non-overlapping operations is what linearizability must
+    respect.
+    """
+
+    op_id: int
+    client: object
+    kind: str          # "get" / "put" / "txn"
+    key: object
+    value: object      # written value (put) or observed value (get)
+    start: float
+    finish: float
+    extra: dict = field(default_factory=dict)
+
+    def overlaps(self, other):
+        return self.start < other.finish and other.start < self.finish
+
+    def precedes(self, other):
+        """Strict real-time order: this finished before that started."""
+        return self.finish <= other.start
+
+
+class HistoryRecorder:
+    """Collects invocations; wraps client process helpers to time them."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.invocations = []
+        self._ids = count(1)
+
+    def record(self, client, kind, key, value, start, finish, **extra):
+        invocation = Invocation(next(self._ids), client, kind, key, value,
+                                start, finish, dict(extra))
+        self.invocations.append(invocation)
+        return invocation
+
+    def timed_get(self, client_name, getter, key):
+        """Process helper: run ``getter(key)`` and record a 'get'."""
+        start = self.sim.now
+        value = yield from getter(key)
+        self.record(client_name, "get", key, value, start, self.sim.now)
+        return value
+
+    def timed_put(self, client_name, putter, key, value):
+        """Process helper: run ``putter(key, value)`` and record a 'put'."""
+        start = self.sim.now
+        yield from putter(key, value)
+        self.record(client_name, "put", key, value, start, self.sim.now)
+
+    def for_key(self, key):
+        return [inv for inv in self.invocations if inv.key == key]
+
+    def __len__(self):
+        return len(self.invocations)

@@ -1,0 +1,148 @@
+"""Serializability checking for transactional histories.
+
+PRISM-TX stamps every committed transaction with its timestamp and
+claims transactions "appear to execute in timestamp order" (§8.2). That
+gives us a direct check: replay the committed transactions in timestamp
+order against an in-memory model and verify every transaction read
+exactly the values the replay predicts. This is stronger than conflict-
+serializability testing — it validates the specific equivalent serial
+order the protocol promises.
+
+For protocols without exposed timestamps (FaRM), ``infer_order=True``
+falls back to checking *some* serial order exists over the per-key
+version chains (version order induced by observed reads/writes).
+"""
+
+from collections import defaultdict
+
+
+class SerializabilityViolation(AssertionError):
+    """No valid serial order (or the claimed TS order is not valid)."""
+
+
+class CommittedTxn:
+    """One committed transaction for checking."""
+
+    __slots__ = ("txn_id", "timestamp", "reads", "writes", "start", "finish")
+
+    def __init__(self, txn_id, timestamp, reads, writes, start=None,
+                 finish=None):
+        self.txn_id = txn_id
+        self.timestamp = timestamp
+        self.reads = dict(reads)     # key -> value observed
+        self.writes = dict(writes)   # key -> value installed
+        self.start = start
+        self.finish = finish
+
+
+def check_timestamp_serializable(transactions, initial_values):
+    """Replay in timestamp order; every read must match the model.
+
+    Also enforces external consistency where visible: if T1 finished
+    before T2 started and both touch a key, T1's timestamp must be
+    smaller (real-time order respected for non-overlapping conflicting
+    transactions). Returns the number of reads validated.
+    """
+    ordered = sorted(transactions, key=lambda t: t.timestamp)
+    timestamps = [t.timestamp for t in ordered]
+    if len(set(timestamps)) != len(timestamps):
+        raise SerializabilityViolation("duplicate commit timestamps")
+
+    state = dict(initial_values)
+    validated = 0
+    for txn in ordered:
+        for key, observed in txn.reads.items():
+            expected = state.get(key)
+            if observed != expected:
+                raise SerializabilityViolation(
+                    f"txn {txn.txn_id} (ts={txn.timestamp}) read "
+                    f"{observed!r} for key {key!r}, but the serial replay "
+                    f"expects {expected!r}")
+            validated += 1
+        state.update(txn.writes)
+
+    # Real-time check for conflicting, non-overlapping transactions.
+    for a in transactions:
+        if a.finish is None:
+            continue
+        for b in transactions:
+            if b.start is None or a is b:
+                continue
+            if a.finish <= b.start and a.timestamp > b.timestamp:
+                conflict = (set(a.reads) | set(a.writes)) & (
+                    set(b.reads) | set(b.writes))
+                if conflict:
+                    raise SerializabilityViolation(
+                        f"txn {a.txn_id} finished before {b.txn_id} started "
+                        f"but was ordered after it (keys {conflict})")
+    return validated
+
+
+def check_serializable(transactions, initial_values, infer_order=False):
+    """Entry point. With ``infer_order`` the serial order is inferred
+    from per-key write chains instead of explicit timestamps."""
+    if not infer_order:
+        return check_timestamp_serializable(transactions, initial_values)
+    ordered = _infer_version_order(transactions, initial_values)
+    state = dict(initial_values)
+    validated = 0
+    for txn in ordered:
+        for key, observed in txn.reads.items():
+            if observed != state.get(key):
+                raise SerializabilityViolation(
+                    f"txn {txn.txn_id}: inferred order invalid at "
+                    f"key {key!r}")
+            validated += 1
+        state.update(txn.writes)
+    return validated
+
+
+def _infer_version_order(transactions, initial_values):
+    """Topologically order transactions by read-from / version edges.
+
+    Builds edges: if T2 read a value T1 wrote, T1 < T2; if T read the
+    initial value of a key, T precedes every writer of that key.
+    Falls back to start-time order among unconstrained pairs.
+    """
+    writers = defaultdict(dict)  # key -> value -> txn
+    for txn in transactions:
+        for key, value in txn.writes.items():
+            writers[key][_norm(value)] = txn
+
+    successors = defaultdict(set)
+    indegree = defaultdict(int)
+    txns = list(transactions)
+    for txn in txns:
+        for key, observed in txn.reads.items():
+            source = writers.get(key, {}).get(_norm(observed))
+            if source is not None and source is not txn:
+                if txn not in successors[source]:
+                    successors[source].add(txn)
+                    indegree[txn] += 1
+            elif _norm(observed) == _norm(initial_values.get(key)):
+                for writer in writers.get(key, {}).values():
+                    if writer is not txn and txn not in successors[txn]:
+                        if writer not in successors[txn]:
+                            successors[txn].add(writer)
+                            indegree[writer] += 1
+
+    ready = sorted((t for t in txns if indegree[t] == 0),
+                   key=lambda t: (t.start if t.start is not None else 0))
+    ordered = []
+    while ready:
+        txn = ready.pop(0)
+        ordered.append(txn)
+        for successor in sorted(successors[txn], key=lambda t: t.txn_id):
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+        ready.sort(key=lambda t: (t.start if t.start is not None else 0))
+    if len(ordered) != len(txns):
+        raise SerializabilityViolation("cyclic read-from dependencies")
+    return ordered
+
+
+def _norm(value):
+    if isinstance(value, bytearray):
+        return bytes(value)
+    return value

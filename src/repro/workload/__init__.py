@@ -1,0 +1,28 @@
+"""Workload generation and measurement drivers for the evaluation."""
+
+from repro.workload.keydist import UniformKeys, ZipfKeys, make_distribution
+from repro.workload.ycsb import (
+    KvOp,
+    TxnOp,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YcsbTransactionalWorkload,
+    YcsbWorkload,
+)
+from repro.workload.driver import ClosedLoopDriver, RunResult
+
+__all__ = [
+    "ClosedLoopDriver",
+    "KvOp",
+    "RunResult",
+    "TxnOp",
+    "UniformKeys",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "YcsbTransactionalWorkload",
+    "YcsbWorkload",
+    "ZipfKeys",
+    "make_distribution",
+]

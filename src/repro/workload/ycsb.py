@@ -1,0 +1,101 @@
+"""YCSB-style workload definitions (Cooper et al., SoCC '10).
+
+The paper evaluates on:
+
+* **YCSB-C** — 100% reads (Fig. 3, Fig. 6's read side);
+* **YCSB-A** — 50% reads / 50% writes (Fig. 4, Figs. 6-7);
+* **YCSB-T** — short read-modify-write transactions (Figs. 9-10),
+  per Dey et al., ICDEW '14.
+
+All use 512-byte values and 8-byte keys, uniform or Zipf key choice.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.workload.keydist import make_distribution
+
+DEFAULT_VALUE_SIZE = 512
+
+
+@dataclass(frozen=True)
+class KvOp:
+    """One key-value operation: kind is 'get' or 'put'."""
+
+    kind: str
+    key: int
+    value: bytes = b""
+
+
+@dataclass(frozen=True)
+class TxnOp:
+    """One transaction: read ``read_keys``, then write ``write_keys``."""
+
+    kind: str
+    read_keys: Tuple[int, ...]
+    write_keys: Tuple[int, ...]
+    value: bytes = b""
+
+
+class YcsbWorkload:
+    """A read/write mix over a key distribution (one per client)."""
+
+    def __init__(self, n_keys, read_fraction, value_size=DEFAULT_VALUE_SIZE,
+                 zipf=0.0, seed=0, client_id=0):
+        self.n_keys = n_keys
+        self.read_fraction = read_fraction
+        self.value_size = value_size
+        self.client_id = client_id
+        self._keys = make_distribution(n_keys, zipf=zipf,
+                                       seed=seed * 7919 + client_id,
+                                       permutation_seed=seed)
+        import random
+        self._coin = random.Random(seed * 104729 + client_id)
+        self._payload = bytes((client_id + i) % 256
+                              for i in range(value_size))
+
+    def next_op(self):
+        key = self._keys.sample()
+        if self._coin.random() < self.read_fraction:
+            return KvOp("get", key)
+        return KvOp("put", key, self._payload)
+
+
+def YCSB_C(n_keys, **kwargs):
+    """Workload C: 100% reads."""
+    return YcsbWorkload(n_keys, read_fraction=1.0, **kwargs)
+
+
+def YCSB_A(n_keys, **kwargs):
+    """Workload A: 50% reads / 50% updates."""
+    return YcsbWorkload(n_keys, read_fraction=0.5, **kwargs)
+
+
+def YCSB_B(n_keys, **kwargs):
+    """Workload B: 95% reads / 5% updates (read-mostly)."""
+    return YcsbWorkload(n_keys, read_fraction=0.95, **kwargs)
+
+
+class YcsbTransactionalWorkload:
+    """YCSB-T: short read-modify-write transactions.
+
+    Each transaction reads ``keys_per_txn`` keys and writes them back —
+    the classic read-modify-write shape used in the paper's Fig. 9/10.
+    """
+
+    def __init__(self, n_keys, keys_per_txn=2, value_size=DEFAULT_VALUE_SIZE,
+                 zipf=0.0, seed=0, client_id=0):
+        self.n_keys = n_keys
+        self.keys_per_txn = keys_per_txn
+        self.value_size = value_size
+        self.client_id = client_id
+        self._keys = make_distribution(n_keys, zipf=zipf,
+                                       seed=seed * 7919 + client_id,
+                                       permutation_seed=seed)
+        self._payload = bytes((client_id + i) % 256
+                              for i in range(value_size))
+
+    def next_op(self):
+        keys = tuple(sorted(self._keys.sample_distinct(self.keys_per_txn)))
+        return TxnOp("txn", read_keys=keys, write_keys=keys,
+                     value=self._payload)

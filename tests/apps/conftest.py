@@ -1,0 +1,12 @@
+"""Fixtures building small application systems on a rack fabric."""
+
+import pytest
+
+from repro.net.topology import RACK, make_fabric
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def app_fabric(sim):
+    hosts = ["server", "r0", "r1", "r2"] + [f"c{i}" for i in range(6)]
+    return make_fabric(sim, RACK, hosts)

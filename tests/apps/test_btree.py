@@ -1,0 +1,190 @@
+"""The remote B-tree: structure, traversal modes, updates."""
+
+import pytest
+
+from repro.apps.btree import BTreeClient, BTreeServer
+from repro.prism import HardwarePrismBackend, SoftwarePrismBackend
+
+N_KEYS = 200
+
+
+@pytest.fixture
+def btree(sim, app_fabric):
+    server = BTreeServer(sim, app_fabric, "server", HardwarePrismBackend,
+                         fanout=8, max_value_bytes=64)
+    items = [(key * 3, f"value-{key}".encode()) for key in range(N_KEYS)]
+    server.build(items)
+    return server
+
+
+def test_build_requires_items(sim, app_fabric):
+    server = BTreeServer(sim, app_fabric, "server", HardwarePrismBackend)
+    with pytest.raises(ValueError):
+        server.build([])
+
+
+def test_tree_has_multiple_levels(btree):
+    assert btree.height >= 3  # 200 keys at fanout 8
+
+
+@pytest.mark.parametrize("mode", BTreeClient.MODES)
+def test_get_every_key(sim, app_fabric, btree, drive, mode):
+    client = BTreeClient(sim, app_fabric, "c0", btree)
+    def main():
+        values = []
+        for key in (0, 3, 150, 597):
+            values.append((yield from client.get(key, mode=mode)))
+        return values
+    values = drive(sim, main())
+    assert values == [b"value-0", b"value-1", b"value-50", b"value-199"]
+
+
+@pytest.mark.parametrize("mode", BTreeClient.MODES)
+def test_get_missing_key(sim, app_fabric, btree, drive, mode):
+    client = BTreeClient(sim, app_fabric, "c0", btree)
+    def main():
+        return (yield from client.get(1, mode=mode))  # between 0 and 3
+    assert drive(sim, main()) is None
+
+
+def test_round_trip_counts_by_mode(sim, app_fabric, btree):
+    """The paper's round-trip story: h+2 cold, 2 cached, 1 with PRISM."""
+    client = BTreeClient(sim, app_fabric, "c0", btree)
+    counts = {}
+    def main():
+        # Warm the cache with one traversal first.
+        yield from client.get(30, mode="rdma-cache")
+        for mode in BTreeClient.MODES:
+            before = client.round_trips()
+            value = yield from client.get(30, mode=mode)
+            assert value == b"value-10"
+            counts[mode] = client.round_trips() - before
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    assert counts["rdma"] == btree.height + 2
+    assert counts["rdma-cache"] == 2
+    assert counts["prism-cache"] == 1
+
+
+def test_latency_ordering_by_mode(sim, app_fabric, btree):
+    client = BTreeClient(sim, app_fabric, "c0", btree)
+    latencies = {}
+    def main():
+        yield from client.get(60, mode="rdma-cache")  # warm cache
+        for mode in ("rdma", "rdma-cache", "prism-cache"):
+            start = sim.now
+            yield from client.get(60, mode=mode)
+            latencies[mode] = sim.now - start
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    assert (latencies["prism-cache"] < latencies["rdma-cache"]
+            < latencies["rdma"])
+
+
+def test_update_then_get(sim, app_fabric, btree, drive):
+    client = BTreeClient(sim, app_fabric, "c0", btree)
+    def main():
+        installed = yield from client.update(30, b"fresh!")
+        value = yield from client.get(30, mode="prism-cache")
+        return installed, value
+    installed, value = drive(sim, main())
+    assert installed
+    assert value == b"fresh!"
+
+
+def test_update_keeps_cached_slots_valid(sim, app_fabric, btree, drive):
+    """Out-of-place updates never move leaf slots: a cache warmed
+    before an update still serves correct reads after it (the reason
+    PRISM makes index caching sound)."""
+    reader = BTreeClient(sim, app_fabric, "c0", btree)
+    writer = BTreeClient(sim, app_fabric, "c1", btree)
+    def main():
+        first = yield from reader.get(90, mode="prism-cache")  # warm
+        yield from writer.update(90, b"changed")
+        second = yield from reader.get(90, mode="prism-cache")
+        return first, second
+    first, second = drive(sim, main())
+    assert first == b"value-30"
+    assert second == b"changed"
+
+
+def test_update_missing_key_raises(sim, app_fabric, btree, drive):
+    client = BTreeClient(sim, app_fabric, "c0", btree)
+    def main():
+        with pytest.raises(KeyError):
+            yield from client.update(1, b"x")
+        return True
+    assert drive(sim, main())
+
+
+def test_concurrent_updates_last_writer_wins(sim, app_fabric, btree):
+    a = BTreeClient(sim, app_fabric, "c0", btree)
+    b = BTreeClient(sim, app_fabric, "c1", btree)
+    def writer(client, payload):
+        yield from client.update(120, payload)
+    sim.spawn(writer(a, b"from-a"))
+    sim.spawn(writer(b, b"from-b"))
+    sim.run(until=1e5)
+    reader = BTreeClient(sim, app_fabric, "c2", btree)
+    holder = {}
+    def read():
+        holder["v"] = yield from reader.get(120, mode="rdma")
+    sim.run_until_complete(sim.spawn(read()), limit=2e5)
+    assert holder["v"] in (b"from-a", b"from-b")
+
+
+def test_every_key_reachable_exhaustive(sim, app_fabric, btree):
+    """Regression: subtree separators must be subtree *minimums* — a
+    separator taken from an inner child's keys[0] orphans that child's
+    first leaf (caught by the bench sweep)."""
+    client = BTreeClient(sim, app_fabric, "c0", btree)
+    missing = []
+    def main():
+        for key in range(N_KEYS):
+            value = yield from client.get(key * 3, mode="rdma-cache")
+            if value != f"value-{key}".encode():
+                missing.append(key)
+    sim.run_until_complete(sim.spawn(main()), limit=1e8)
+    assert missing == []
+
+
+def test_variable_length_values(sim, app_fabric, drive):
+    from repro.sim import Simulator
+    server = BTreeServer(sim, app_fabric, "r0", SoftwarePrismBackend,
+                         fanout=4, max_value_bytes=128)
+    server.build([(1, b"s"), (2, b"m" * 40), (3, b"l" * 128)])
+    client = BTreeClient(sim, app_fabric, "c0", server)
+    def main():
+        out = []
+        for key in (1, 2, 3):
+            out.append((yield from client.get(key, mode="prism-cache")))
+        return out
+    assert drive(sim, main()) == [b"s", b"m" * 40, b"l" * 128]
+
+
+def test_single_item_tree(sim, app_fabric, drive):
+    server = BTreeServer(sim, app_fabric, "r1", HardwarePrismBackend,
+                         fanout=4, max_value_bytes=16)
+    server.build([(42, b"only")])
+    assert server.height == 1
+    client = BTreeClient(sim, app_fabric, "c3", server)
+    def main():
+        hit = yield from client.get(42, mode="rdma")
+        miss = yield from client.get(41, mode="rdma")
+        return hit, miss
+    hit, miss = drive(sim, main())
+    assert hit == b"only"
+    assert miss is None
+
+
+def test_small_fanout_deep_tree(sim, app_fabric, drive):
+    server = BTreeServer(sim, app_fabric, "r2", HardwarePrismBackend,
+                         fanout=3, max_value_bytes=16, capacity=16384)
+    n = 120
+    server.build([(k, bytes([k % 250]) * 4) for k in range(n)])
+    assert server.height >= 4
+    client = BTreeClient(sim, app_fabric, "c4", server)
+    def main():
+        for key in range(0, n, 7):
+            value = yield from client.get(key, mode="rdma-cache")
+            assert value == bytes([key % 250]) * 4, key
+        return True
+    assert drive(sim, main())

@@ -1,0 +1,91 @@
+"""Tags, masks, timestamps shared by the applications."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.common import (
+    CLIENT_ID_BITS,
+    bump_tag,
+    field_mask,
+    make_tag,
+    split_tag,
+)
+from repro.apps.tx.timestamps import LooselySynchronizedClock
+from repro.sim import Simulator
+
+
+class TestTags:
+    @given(counter=st.integers(min_value=0, max_value=2**47 - 1),
+           client_id=st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, counter, client_id):
+        assert split_tag(make_tag(counter, client_id)) == (counter, client_id)
+
+    @given(c1=st.integers(min_value=0, max_value=2**40),
+           c2=st.integers(min_value=0, max_value=2**40),
+           id1=st.integers(min_value=0, max_value=2**16 - 1),
+           id2=st.integers(min_value=0, max_value=2**16 - 1))
+    def test_lexicographic_order(self, c1, c2, id1, id2):
+        """Integer comparison of tags == lexicographic ⟨counter, id⟩."""
+        t1, t2 = make_tag(c1, id1), make_tag(c2, id2)
+        assert (t1 < t2) == ((c1, id1) < (c2, id2))
+
+    def test_bump_strictly_greater_any_client(self):
+        tag = make_tag(5, 99)
+        for client_id in (0, 1, 99, 2**16 - 1):
+            assert bump_tag(tag, client_id) > tag
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_tag(0, 1 << CLIENT_ID_BITS)
+        with pytest.raises(ValueError):
+            make_tag(1 << 48, 0)
+        with pytest.raises(ValueError):
+            make_tag(-1, 0)
+
+
+class TestFieldMask:
+    def test_low_field(self):
+        assert field_mask(0, 8) == (1 << 64) - 1
+
+    def test_high_field(self):
+        assert field_mask(8, 8) == ((1 << 64) - 1) << 64
+
+    def test_middle_field(self):
+        mask = field_mask(2, 2)
+        assert mask == 0xFFFF0000
+        # Selects exactly those bytes of a little-endian operand.
+        value = int.from_bytes(bytes([1, 2, 3, 4, 5, 6]), "little")
+        masked = (value & mask).to_bytes(6, "little")
+        assert masked == bytes([0, 0, 3, 4, 0, 0])
+
+    def test_disjoint_fields_cover_word(self):
+        assert field_mask(0, 8) | field_mask(8, 8) == (1 << 128) - 1
+        assert field_mask(0, 8) & field_mask(8, 8) == 0
+
+
+class TestLooselySynchronizedClock:
+    def test_monotonic(self):
+        sim = Simulator()
+        clock = LooselySynchronizedClock(sim, client_id=1)
+        stamps = [clock.timestamp() for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+    def test_exceeds_floor(self):
+        sim = Simulator()
+        clock = LooselySynchronizedClock(sim, client_id=1)
+        floor = make_tag(1_000_000, 7)
+        ts = clock.timestamp([floor])
+        assert ts > floor
+
+    def test_distinct_clients_distinct_stamps(self):
+        sim = Simulator()
+        a = LooselySynchronizedClock(sim, client_id=1)
+        b = LooselySynchronizedClock(sim, client_id=2)
+        assert a.timestamp() != b.timestamp()
+
+    def test_skew_applied(self):
+        sim = Simulator()
+        fast = LooselySynchronizedClock(sim, client_id=1, skew_us=500.0)
+        slow = LooselySynchronizedClock(sim, client_id=1, skew_us=0.0)
+        assert fast.timestamp() > slow.timestamp()

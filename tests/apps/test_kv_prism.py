@@ -1,0 +1,214 @@
+"""PRISM-KV behaviour: gets, puts, versions, collisions, concurrency."""
+
+import pytest
+
+from repro.apps.kv import PrismKvClient, PrismKvServer
+from repro.prism import SoftwarePrismBackend, HardwarePrismBackend
+
+
+@pytest.fixture
+def kv(sim, app_fabric):
+    server = PrismKvServer(sim, app_fabric, "server", SoftwarePrismBackend,
+                           n_keys=64, max_value_bytes=128)
+    return server
+
+
+def _client(sim, fabric, server, host="c0"):
+    return PrismKvClient(sim, fabric, host, server)
+
+
+def test_get_missing_key_returns_none(sim, app_fabric, kv, drive):
+    client = _client(sim, app_fabric, kv)
+    def main():
+        return (yield from client.get(5))
+    assert drive(sim, main()) is None
+
+
+def test_put_then_get(sim, app_fabric, kv, drive):
+    client = _client(sim, app_fabric, kv)
+    def main():
+        yield from client.put(5, b"value-5")
+        return (yield from client.get(5))
+    assert drive(sim, main()) == b"value-5"
+
+
+def test_loaded_data_visible(sim, app_fabric, kv, drive):
+    kv.load(9, b"preloaded")
+    client = _client(sim, app_fabric, kv)
+    def main():
+        return (yield from client.get(9))
+    assert drive(sim, main()) == b"preloaded"
+
+
+def test_overwrite(sim, app_fabric, kv, drive):
+    kv.load(3, b"old")
+    client = _client(sim, app_fabric, kv)
+    def main():
+        yield from client.put(3, b"new")
+        return (yield from client.get(3))
+    assert drive(sim, main()) == b"new"
+
+
+def test_variable_length_values(sim, app_fabric, kv, drive):
+    client = _client(sim, app_fabric, kv)
+    def main():
+        yield from client.put(1, b"s")
+        yield from client.put(2, b"x" * 128)
+        short = yield from client.get(1)
+        long = yield from client.get(2)
+        return short, long
+    short, long = drive(sim, main())
+    assert short == b"s"
+    assert long == b"x" * 128
+
+
+def test_version_monotonically_increases(sim, app_fabric, kv, drive):
+    from repro.apps.kv.layout import KvLayout
+    client = _client(sim, app_fabric, kv)
+    def main():
+        yield from client.put(4, b"a")
+        slot = kv.layout.slot_addr(kv.slot_index(KvLayout.encode_key(4)))
+        ver1, _, _ = KvLayout.unpack_slot(kv.prism.space.read(slot, 24))
+        yield from client.put(4, b"b")
+        ver2, _, _ = KvLayout.unpack_slot(kv.prism.space.read(slot, 24))
+        return ver1, ver2
+    ver1, ver2 = drive(sim, main())
+    assert ver2 > ver1
+
+
+def test_put_retires_old_buffer(sim, app_fabric, kv, drive):
+    kv.load(7, b"old-value")
+    client = _client(sim, app_fabric, kv, host="c0")
+    def main():
+        yield from client.put(7, b"new-value")
+        # force the retire report + daemon scan
+        yield from client.recycler.flush(kv.freelist_id)
+        yield from kv.recycler.flush()
+        return kv.recycler.buffers_recycled
+    assert drive(sim, main()) >= 1
+
+
+def test_concurrent_puts_last_version_wins(sim, app_fabric, kv):
+    a = _client(sim, app_fabric, kv, "c0")
+    b = _client(sim, app_fabric, kv, "c1")
+    kv.load(11, b"base")
+    def writer(client, value):
+        yield from client.put(11, value)
+    sim.spawn(writer(a, b"from-a"))
+    sim.spawn(writer(b, b"from-b"))
+    sim.run(until=1e5)
+    reader = _client(sim, app_fabric, kv, "c2")
+    holder = {}
+    def read():
+        holder["value"] = yield from reader.get(11)
+    sim.run_until_complete(sim.spawn(read()), limit=1e6)
+    assert holder["value"] in (b"from-a", b"from-b")
+    # Exactly one of the two PUTs may have been superseded; never both.
+    assert a.put_superseded + b.put_superseded <= 1
+
+
+def test_reads_never_tear_during_concurrent_writes(sim, app_fabric, kv):
+    """Out-of-place updates: a GET sees exactly one complete version."""
+    kv.load(2, b"A" * 64)
+    writer_client = _client(sim, app_fabric, kv, "c0")
+    reader_client = _client(sim, app_fabric, kv, "c1")
+    torn = []
+
+    def writer():
+        for i in range(20):
+            letter = bytes([66 + (i % 10)])
+            yield from writer_client.put(2, letter * 64)
+
+    def reader():
+        for _ in range(30):
+            value = yield from reader_client.get(2)
+            if value is not None and len(set(value)) != 1:
+                torn.append(value)
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run(until=1e6)
+    assert torn == []
+
+
+def test_fnv_hash_with_collisions_probes(sim, app_fabric, drive):
+    server = PrismKvServer(sim, app_fabric, "server", HardwarePrismBackend,
+                           n_keys=8, max_value_bytes=64, slots_per_key=2,
+                           hash_fn="fnv")
+    client = PrismKvClient(sim, app_fabric, "c0", server)
+    def main():
+        for key in range(8):
+            yield from client.put(key, bytes([65 + key]) * 8)
+        values = []
+        for key in range(8):
+            values.append((yield from client.get(key)))
+        return values
+    values = drive(sim, main())
+    assert values == [bytes([65 + k]) * 8 for k in range(8)]
+
+
+def test_get_latency_single_round_trip(sim, app_fabric, kv):
+    """A PRISM-KV GET is one round trip (the paper's headline)."""
+    kv.load(1, b"v")
+    client = _client(sim, app_fabric, kv)
+    holder = {}
+    def main():
+        before = client.client.round_trips
+        yield from client.get(1)
+        holder["round_trips"] = client.client.round_trips - before
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    assert holder["round_trips"] == 1
+
+
+def test_put_is_two_round_trips(sim, app_fabric, kv):
+    kv.load(1, b"v")
+    client = _client(sim, app_fabric, kv)
+    holder = {}
+    def main():
+        before = client.client.round_trips
+        yield from client.put(1, b"w")
+        holder["round_trips"] = client.client.round_trips - before
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    assert holder["round_trips"] == 2
+
+
+def test_two_choice_hashing(sim, app_fabric, drive):
+    """Each key has exactly two candidate slots; GETs need at most two
+    indirect READ probes even under collisions."""
+    from repro.prism import HardwarePrismBackend
+    server = PrismKvServer(sim, app_fabric, "server", HardwarePrismBackend,
+                           n_keys=16, max_value_bytes=32,
+                           slots_per_key=2, hash_fn="two-choice")
+    client = PrismKvClient(sim, app_fabric, "c0", server)
+    assert client.max_probes == 2
+
+    def main():
+        stored = 0
+        for key in range(16):
+            try:
+                yield from client.put(key, bytes([65 + key]) * 8)
+                stored += 1
+            except RuntimeError:
+                pass  # both candidate slots taken: two-choice is lossy
+        values = {}
+        for key in range(16):
+            values[key] = yield from client.get(key)
+        return stored, values
+
+    stored, values = drive(sim, main())
+    assert stored >= 12  # two-choice places the vast majority
+    for key, value in values.items():
+        assert value is None or value == bytes([65 + key]) * 8
+    hits = sum(1 for v in values.values() if v is not None)
+    assert hits == stored
+
+
+def test_candidate_slots_shapes():
+    from repro.apps.kv.prism_kv import candidate_slots
+    key = (7).to_bytes(8, "little")
+    assert len(list(candidate_slots(key, 100, "identity"))) == 1
+    assert len(list(candidate_slots(key, 100, "two-choice"))) in (1, 2)
+    assert len(list(candidate_slots(key, 10, "fnv"))) == 10
+    import pytest as _pytest
+    with _pytest.raises(ValueError):
+        list(candidate_slots(key, 10, "bogus"))

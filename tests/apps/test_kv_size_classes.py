@@ -1,0 +1,83 @@
+"""PRISM-KV with §3.2 power-of-two size-class free lists."""
+
+import pytest
+
+from repro.apps.kv import PrismKvClient, PrismKvServer
+from repro.prism import SoftwarePrismBackend
+
+
+@pytest.fixture
+def kv(sim, app_fabric):
+    return PrismKvServer(sim, app_fabric, "server", SoftwarePrismBackend,
+                         n_keys=32, max_value_bytes=480,
+                         spare_buffers=64, size_classes=True,
+                         min_size_class=64)
+
+
+def test_classes_installed(kv):
+    # entries up to 16 + 8 + 480 = 504 B -> classes 64..512.
+    assert kv.allocator is not None
+    assert kv.allocator.classes == [64, 128, 256, 512]
+
+
+def test_small_and_large_values_roundtrip(sim, app_fabric, kv, drive):
+    client = PrismKvClient(sim, app_fabric, "c0", kv)
+    def main():
+        yield from client.put(1, b"tiny")
+        yield from client.put(2, b"x" * 480)
+        return ((yield from client.get(1)), (yield from client.get(2)))
+    small, large = drive(sim, main())
+    assert small == b"tiny"
+    assert large == b"x" * 480
+
+
+def test_allocations_go_to_tight_class(sim, app_fabric, kv, drive):
+    client = PrismKvClient(sim, app_fabric, "c0", kv)
+    small_class = kv.allocator.freelist_for(16 + 8 + 4)
+    large_class = kv.allocator.freelist_for(16 + 8 + 480)
+    small_before = kv.prism.freelist(small_class).total_popped
+    large_before = kv.prism.freelist(large_class).total_popped
+    def main():
+        yield from client.put(3, b"abcd")        # 28 B entry -> 64 B class
+        yield from client.put(4, b"y" * 480)     # 504 B entry -> 512 B class
+    drive(sim, main())
+    assert kv.prism.freelist(small_class).total_popped == small_before + 1
+    assert kv.prism.freelist(large_class).total_popped == large_before + 1
+
+
+def test_retired_buffers_return_to_their_class(sim, app_fabric, kv, drive):
+    client = PrismKvClient(sim, app_fabric, "c0", kv, recycle_batch=1)
+    small_class = kv.allocator.freelist_for(16 + 8 + 4)
+    def main():
+        yield from client.put(5, b"aaaa")
+        yield from client.put(5, b"bbbb")  # retires the first 64 B buffer
+        yield from client.recycler.flush(small_class)
+        yield from kv.recycler.flush()
+    drive(sim, main())
+    qp = kv.prism.freelist(small_class)
+    assert qp.total_posted > qp.total_popped - 2  # small buffer came home
+    assert kv.recycler.buffers_recycled >= 1
+
+
+def test_load_respects_classes(sim, app_fabric, kv, drive):
+    kv.load(9, b"z" * 400)  # entry 424 B -> 512 class
+    client = PrismKvClient(sim, app_fabric, "c0", kv)
+    def main():
+        return (yield from client.get(9))
+    assert drive(sim, main()) == b"z" * 400
+
+
+def test_load_reclass_on_growth(sim, app_fabric, kv, drive):
+    """Reloading a key with a bigger value must move buffer classes."""
+    kv.load(10, b"s")           # 64 B class
+    kv.load(10, b"L" * 400)     # must move to the 512 B class
+    client = PrismKvClient(sim, app_fabric, "c0", kv)
+    def main():
+        return (yield from client.get(10))
+    assert drive(sim, main()) == b"L" * 400
+
+
+def test_fragmentation_bounded(kv):
+    for entry in (29, 65, 130, 500):
+        cls = kv.allocator.class_for(entry)
+        assert cls < 2 * max(entry, 64)

@@ -1,0 +1,74 @@
+"""The quorum combinator used by the replicated stores."""
+
+import pytest
+
+from repro.apps.blockstore.quorum import QuorumError, quorum
+
+
+def _op(sim, delay, value=None, fail=False):
+    def gen():
+        yield sim.timeout(delay)
+        if fail:
+            raise RuntimeError("replica down")
+        return value
+    return gen()
+
+
+def test_returns_after_need_successes(sim, drive):
+    def main():
+        replies = yield from quorum(
+            sim, [_op(sim, 1, "a"), _op(sim, 2, "b"), _op(sim, 50, "c")],
+            need=2)
+        return replies, sim.now
+    replies, when = drive(sim, main())
+    assert when == 2.0  # did not wait for the 50 µs straggler
+    assert sorted(replies) == [(0, "a"), (1, "b")]
+
+
+def test_straggler_still_completes(sim, drive):
+    done = []
+    def slow():
+        yield sim.timeout(10)
+        done.append(True)
+        return "late"
+    def main():
+        yield from quorum(sim, [_op(sim, 1, "x"), slow()], need=1)
+        return sim.now
+    assert drive(sim, main()) == 1.0
+    sim.run()  # background completion
+    assert done == [True]
+
+
+def test_tolerates_failures_below_threshold(sim, drive):
+    def main():
+        replies = yield from quorum(
+            sim, [_op(sim, 1, fail=True), _op(sim, 2, "ok1"),
+                  _op(sim, 3, "ok2")], need=2)
+        return [v for _i, v in replies]
+    assert drive(sim, main()) == ["ok1", "ok2"]
+
+
+def test_too_many_failures_raise(sim, drive):
+    def main():
+        with pytest.raises(QuorumError):
+            yield from quorum(
+                sim, [_op(sim, 1, fail=True), _op(sim, 2, fail=True),
+                      _op(sim, 9, "ok")], need=2)
+        return "raised"
+    assert drive(sim, main()) == "raised"
+
+
+def test_need_exceeding_total_rejected(sim, drive):
+    def main():
+        with pytest.raises(QuorumError, match="need 3 of only 2"):
+            yield from quorum(sim, [_op(sim, 1), _op(sim, 1)], need=3)
+        return True
+    assert drive(sim, main())
+
+
+def test_indices_identify_replicas(sim, drive):
+    def main():
+        replies = yield from quorum(
+            sim, [_op(sim, 3, "slow"), _op(sim, 1, "fast")], need=1)
+        return replies
+    assert drive(sim, main()) == [(1, "fast")]

@@ -1,0 +1,160 @@
+"""The network-attached memory node's shared log."""
+
+import pytest
+
+from repro.apps.memnode import SharedLogClient, SharedLogNode
+from repro.prism import HardwarePrismBackend, SoftwarePrismBackend
+
+
+@pytest.fixture
+def node(sim, app_fabric):
+    return SharedLogNode(sim, app_fabric, "server", HardwarePrismBackend,
+                         max_record_bytes=64, capacity=512)
+
+
+def _client(sim, fabric, node, host="c0"):
+    return SharedLogClient(sim, fabric, host, node)
+
+
+def test_empty_log_reads_none(sim, app_fabric, node, drive):
+    client = _client(sim, app_fabric, node)
+    def main():
+        return (yield from client.read_latest())
+    assert drive(sim, main()) is None
+
+
+def test_append_then_read(sim, app_fabric, node, drive):
+    client = _client(sim, app_fabric, node)
+    def main():
+        seq = yield from client.append(b"first entry")
+        latest = yield from client.read_latest()
+        return seq, latest
+    seq, latest = drive(sim, main())
+    assert seq == 1
+    assert latest == (1, b"first entry")
+
+
+def test_sequence_numbers_increase(sim, app_fabric, node, drive):
+    client = _client(sim, app_fabric, node)
+    def main():
+        seqs = []
+        for i in range(5):
+            seqs.append((yield from client.append(f"e{i}".encode())))
+        return seqs
+    assert drive(sim, main()) == [1, 2, 3, 4, 5]
+
+
+def test_scan_newest_first(sim, app_fabric, node, drive):
+    client = _client(sim, app_fabric, node)
+    def main():
+        for i in range(4):
+            yield from client.append(f"entry-{i}".encode())
+        return (yield from client.scan())
+    records = drive(sim, main())
+    assert [seq for seq, _ in records] == [4, 3, 2, 1]
+    assert records[0][1] == b"entry-3"
+    assert records[-1][1] == b"entry-0"
+
+
+def test_scan_limit(sim, app_fabric, node, drive):
+    client = _client(sim, app_fabric, node)
+    def main():
+        for i in range(6):
+            yield from client.append(bytes([i]))
+        return (yield from client.scan(limit=2))
+    assert len(drive(sim, main())) == 2
+
+
+def test_oversized_payload_rejected(sim, app_fabric, node, drive):
+    client = _client(sim, app_fabric, node)
+    def main():
+        with pytest.raises(ValueError):
+            yield from client.append(b"x" * 65)
+        return True
+    assert drive(sim, main())
+
+
+def test_concurrent_appenders_never_lose_records(sim, app_fabric, node):
+    """The CAS_GT race: every append gets a unique sequence number and
+    every record is reachable from the head."""
+    clients = [_client(sim, app_fabric, node, host=f"c{i}")
+               for i in range(4)]
+    appended = {}
+
+    def writer(index, client):
+        for i in range(8):
+            payload = f"w{index}.{i}".encode()
+            seq = yield from client.append(payload)
+            appended[seq] = payload
+
+    processes = [sim.spawn(writer(i, c)) for i, c in enumerate(clients)]
+    waiter = sim.spawn((lambda d: (yield d))(sim.all_of(processes)))
+    sim.run_until_complete(waiter, limit=1e7)
+
+    assert len(appended) == 32  # unique sequence numbers
+    assert sorted(appended) == list(range(1, 33))
+    assert sum(c.append_conflicts for c in clients) > 0  # races happened
+
+    reader = _client(sim, app_fabric, node, host="c4")
+    holder = {}
+    def scan():
+        holder["records"] = yield from reader.scan()
+    sim.run_until_complete(sim.spawn(scan()), limit=1e7)
+    records = holder["records"]
+    assert [seq for seq, _ in records] == list(range(32, 0, -1))
+    for seq, payload in records:
+        assert appended[seq] == payload
+
+
+def test_appends_use_one_round_trip_uncontended(sim, app_fabric, node):
+    client = _client(sim, app_fabric, node)
+    holder = {}
+    def main():
+        yield from client.append(b"warm")
+        before = client.client.round_trips
+        yield from client.append(b"measured")
+        holder["rts"] = client.client.round_trips - before
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    # head read was cached from the prior append? No — append always
+    # reads the head first, then one chained request: 2 round trips.
+    assert holder["rts"] == 2
+
+
+def test_works_on_software_backend(sim, app_fabric, drive):
+    node = SharedLogNode(sim, app_fabric, "r0", SoftwarePrismBackend,
+                         max_record_bytes=32, capacity=64)
+    client = _client(sim, app_fabric, node)
+    def main():
+        yield from client.append(b"sw")
+        return (yield from client.read_latest())
+    assert drive(sim, main()) == (1, b"sw")
+
+
+def test_scan_consistent_during_concurrent_appends(sim, app_fabric, node):
+    """Scans race live appenders: every snapshot must be a clean suffix
+    chain — strictly decreasing sequence numbers, intact payloads."""
+    writers = [_client(sim, app_fabric, node, host=f"c{i}")
+               for i in range(3)]
+    reader = _client(sim, app_fabric, node, host="c3")
+    bad_scans = []
+
+    def writer(index, client):
+        for i in range(10):
+            yield from client.append(f"w{index}.{i}".encode())
+
+    def scanner():
+        for _ in range(6):
+            records = yield from reader.scan(limit=8)
+            seqs = [seq for seq, _ in records]
+            if seqs != sorted(seqs, reverse=True):
+                bad_scans.append(seqs)
+            for seq, payload in records:
+                if not payload.startswith(b"w"):
+                    bad_scans.append((seq, payload))
+            yield sim.timeout(5)
+
+    processes = [sim.spawn(writer(i, c)) for i, c in enumerate(writers)]
+    processes.append(sim.spawn(scanner()))
+    waiter = sim.spawn((lambda d: (yield d))(sim.all_of(processes)))
+    sim.run_until_complete(waiter, limit=1e7)
+    assert bad_scans == []

@@ -1,0 +1,172 @@
+"""PRISM-TX: OCC correctness, conflicts, protocol shape."""
+
+import pytest
+
+from repro.apps.tx import PrismTxClient, PrismTxServer
+from repro.apps.tx.prism_tx import TxAborted
+from repro.prism import SoftwarePrismBackend
+
+
+@pytest.fixture
+def server(sim, app_fabric):
+    srv = PrismTxServer(sim, app_fabric, "server", SoftwarePrismBackend,
+                        n_keys=32, value_size=64)
+    for key in range(32):
+        srv.load(key, bytes([key]) * 64)
+    return srv
+
+
+def _client(sim, fabric, server, cid=1, host="c0"):
+    return PrismTxClient(sim, fabric, host, server, client_id=cid)
+
+
+def test_read_only_transaction(sim, app_fabric, server, drive):
+    client = _client(sim, app_fabric, server)
+    def main():
+        values = yield from client.run_transaction((2, 3), (), b"")
+        return values
+    values = drive(sim, main())
+    assert values[2] == bytes([2]) * 64
+    assert values[3] == bytes([3]) * 64
+
+
+def test_rmw_transaction_commits(sim, app_fabric, server, drive):
+    client = _client(sim, app_fabric, server)
+    def main():
+        yield from client.run_transaction((4,), (4,), b"W" * 64)
+        values = yield from client.run_transaction((4,), (), b"")
+        return values[4]
+    assert drive(sim, main()) == b"W" * 64
+    assert client.commits == 2
+
+
+def test_write_only_transaction(sim, app_fabric, server, drive):
+    client = _client(sim, app_fabric, server)
+    def main():
+        yield from client.run_transaction((), (5,), b"B" * 64)
+        values = yield from client.run_transaction((5,), (), b"")
+        return values[5]
+    assert drive(sim, main()) == b"B" * 64
+
+
+def test_multi_key_atomicity(sim, app_fabric, server, drive):
+    """Both keys of a committed transaction carry the same value."""
+    a = _client(sim, app_fabric, server, cid=1, host="c0")
+    b = _client(sim, app_fabric, server, cid=2, host="c1")
+    def workload(client, letter):
+        for _ in range(8):
+            yield from client.transact((6, 7), (6, 7), letter * 64)
+    sim.spawn(workload(a, b"A"))
+    sim.spawn(workload(b, b"B"))
+    sim.run(until=1e6)
+    reader = _client(sim, app_fabric, server, cid=3, host="c2")
+    holder = {}
+    def read():
+        values, _retries = yield from reader.transact((6, 7), (), b"")
+        holder["values"] = values
+    sim.run_until_complete(sim.spawn(read()), limit=2e6)
+    assert holder["values"][6] == holder["values"][7]
+
+
+def test_conflicting_writer_aborts_reader(sim, app_fabric, server, drive):
+    """If a newer-TS write prepares between a read and its validation,
+    the reader aborts."""
+    reader = _client(sim, app_fabric, server, cid=1, host="c0")
+    writer = _client(sim, app_fabric, server, cid=2, host="c1")
+
+    def main():
+        # Interleave: reader executes reads, writer commits, then the
+        # reader validates — must raise TxAborted.
+        read_versions, values = yield from reader._execute_reads((8,))
+        yield from writer.run_transaction((8,), (8,), b"X" * 64)
+        ts = reader.clock.timestamp(read_versions.values())
+        with pytest.raises(TxAborted):
+            yield from reader._prepare((8,), (8,), read_versions, ts)
+        return True
+
+    assert drive(sim, main())
+    assert reader.aborts == 0  # _prepare itself does not count; transact does
+
+
+def test_transact_retries_until_commit(sim, app_fabric, server):
+    clients = [_client(sim, app_fabric, server, cid=i + 1, host=f"c{i}")
+               for i in range(4)]
+    committed = []
+    def workload(client):
+        for _ in range(5):
+            _values, retries = yield from client.transact((1,), (1,), b"R" * 64)
+            committed.append(retries)
+    for client in clients:
+        sim.spawn(workload(client))
+    sim.run(until=1e6)
+    assert len(committed) == 20  # everyone eventually commits
+    assert sum(c.commits for c in clients) == 20
+
+
+def test_timestamps_strictly_increase_per_client(sim, app_fabric, server,
+                                                 drive):
+    client = _client(sim, app_fabric, server)
+    def main():
+        ts = []
+        for _ in range(5):
+            ts.append(client.clock.timestamp())
+            yield sim.timeout(0.1)
+        return ts
+    stamps = drive(sim, main())
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 5
+
+
+def test_commit_is_three_requests(sim, app_fabric, server):
+    """Exec (1) + prepare (1) + commit (1): §8.2's two-round-trip commit
+    after a one-round-trip execution."""
+    client = _client(sim, app_fabric, server)
+    holder = {}
+    def main():
+        before = client.client.round_trips
+        yield from client.run_transaction((9,), (9,), b"T" * 64)
+        holder["rts"] = client.client.round_trips - before
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    assert holder["rts"] == 3
+
+
+def test_aborted_write_does_not_change_value(sim, app_fabric, server, drive):
+    reader = _client(sim, app_fabric, server, cid=1, host="c0")
+    writer = _client(sim, app_fabric, server, cid=2, host="c1")
+
+    def main():
+        versions, _ = yield from writer._execute_reads((10,))
+        # Another client commits first.
+        yield from reader.run_transaction((10,), (10,), b"FIRST!" + b"x" * 58)
+        ts = writer.clock.timestamp(versions.values())
+        with pytest.raises(TxAborted):
+            yield from writer._prepare((10,), (10,), versions, ts)
+        values = yield from reader.run_transaction((10,), (), b"")
+        return values[10]
+
+    assert drive(sim, main()) == b"FIRST!" + b"x" * 58
+
+
+def test_reads_recover_after_abort_advances_c(sim, app_fabric, server,
+                                              drive):
+    """After an abort leaves PW raised, C-advancement (§8.2) keeps
+    subsequent readers validating successfully."""
+    a = _client(sim, app_fabric, server, cid=1, host="c0")
+    b = _client(sim, app_fabric, server, cid=2, host="c1")
+
+    def main():
+        # Force an abort for client a on key 11 after its write check:
+        # execute reads, let b commit, then prepare (write validation
+        # passes, read validation fails -> abort advances C).
+        versions, _ = yield from a._execute_reads((11,))
+        yield from b.run_transaction((11,), (11,), b"B" * 64)
+        ts = a.clock.timestamp(versions.values())
+        try:
+            yield from a._prepare((11,), (11,), versions, ts)
+        except TxAborted:
+            pass
+        # A fresh reader must still be able to commit a read of key 11.
+        values = yield from b.run_transaction((11,), (), b"")
+        return values[11]
+
+    assert drive(sim, main()) == b"B" * 64

@@ -1,0 +1,20 @@
+"""Every calibration anchor must hold — this is what makes the
+figure-level results trustworthy."""
+
+import pytest
+
+from repro.bench.calibration import anchors, report
+
+
+def test_report_shape():
+    rows = report()
+    assert len(rows) == len(anchors())
+    assert all({"anchor", "paper", "measured", "ok"} <= set(r)
+               for r in rows)
+
+
+@pytest.mark.parametrize("anchor", anchors(), ids=lambda a: a.name)
+def test_anchor(anchor):
+    row = anchor.check()
+    assert row["ok"], (f"{row['anchor']}: measured {row['measured']} vs "
+                       f"paper {row['paper']} ± {row['tolerance']}")

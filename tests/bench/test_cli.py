@@ -1,0 +1,50 @@
+"""CLI smoke tests (small scales)."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    assert "fig9" in capsys.readouterr().out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig3"])
+    assert args.keys == 8000
+    assert args.clients == [1, 8, 32, 96, 176]
+
+
+def test_parser_client_list():
+    args = build_parser().parse_args(["fig3", "--clients", "1,2,4"])
+    assert args.clients == [1, 2, 4]
+
+
+def test_point_kv(capsys):
+    assert main(["point", "--kind", "kv", "--flavor", "prism-hw",
+                 "--clients", "2", "--keys", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "kv/prism-hw" in out
+
+
+def test_point_tx(capsys):
+    assert main(["point", "--kind", "tx", "--flavor", "farm-hw",
+                 "--clients", "2", "--keys", "200"]) == 0
+    assert "tx/farm-hw" in capsys.readouterr().out
+
+
+def test_motivation(capsys):
+    assert main(["motivation"]) == 0
+    assert "one-sided READ" in capsys.readouterr().out
+
+
+def test_fig3_tiny_sweep(capsys):
+    assert main(["fig3", "--clients", "1,2", "--keys", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "prism-sw" in out and "pilaf-hw" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nope"])

@@ -1,0 +1,64 @@
+"""Figure data export (CSV / gnuplot)."""
+
+import os
+
+import pytest
+
+from repro.bench.export import FigureData, export_sweep_figure
+from repro.workload.driver import RunResult
+
+
+def _result(clients, tput, latency):
+    return RunResult(clients=clients, ops=100,
+                     throughput_ops_per_sec=tput,
+                     mean_latency_us=latency, median_latency_us=latency,
+                     p99_latency_us=latency * 2)
+
+
+def test_duplicate_series_rejected():
+    figure = FigureData("f")
+    figure.add_series("a", [(1, 2)])
+    with pytest.raises(ValueError):
+        figure.add_series("a", [(3, 4)])
+
+
+def test_csv_contents(tmp_path):
+    figure = FigureData("fig", x_label="tput", y_label="lat")
+    figure.add_series("sys1", [(1.0, 5.0), (2.0, 6.5)])
+    path = figure.write_csv(str(tmp_path / "fig.csv"))
+    lines = open(path).read().splitlines()
+    assert lines[0] == "series,tput,lat"
+    assert "sys1,1,5" in lines[1]
+    assert "sys1,2,6.5" in lines[2]
+
+
+def test_add_sweep_uses_runresults():
+    figure = FigureData("fig")
+    figure.add_sweep("sys", [_result(1, 2e6, 8.0), _result(8, 4e6, 9.0)])
+    assert figure.series["sys"] == [(2.0, 8.0), (4.0, 9.0)]
+
+
+def test_gnuplot_script_and_dat(tmp_path):
+    figure = FigureData("fig9", x_label="Mtxn/s", y_label="us")
+    figure.add_series("prism-tx", [(1, 18), (4, 22)])
+    figure.add_series("farm", [(1, 20), (3.5, 27)])
+    csv_path = str(tmp_path / "fig9.csv")
+    gp_path = str(tmp_path / "fig9.gp")
+    figure.write_csv(csv_path)
+    figure.write_gnuplot(gp_path, csv_path)
+    script = open(gp_path).read()
+    assert "plot" in script and "prism-tx" in script and "farm" in script
+    dat = open(str(tmp_path / "fig9.dat")).read()
+    assert "# prism-tx" in dat and "1 18" in dat
+
+
+def test_export_sweep_figure(tmp_path):
+    curves = {
+        "prism": [_result(1, 1e6, 6.0)],
+        "pilaf": [_result(1, 0.8e6, 8.5)],
+    }
+    csv_path, gp_path = export_sweep_figure(
+        "fig3", curves, out_dir=str(tmp_path / "figs"))
+    assert os.path.exists(csv_path)
+    assert os.path.exists(gp_path)
+    assert "prism" in open(csv_path).read()

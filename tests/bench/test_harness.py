@@ -1,0 +1,99 @@
+"""The benchmark harness itself: every flavor builds and measures."""
+
+import pytest
+
+from repro.bench.harness import build_system, run_point, sweep_clients
+from repro.bench.microbench import (
+    CLASSIC_PRIMITIVES,
+    PRIMITIVES,
+    measure_primitive,
+)
+from repro.bench.reporting import (
+    CURVE_HEADERS,
+    curve_rows,
+    low_load_latency,
+    peak_throughput,
+    print_table,
+)
+from repro.sim import Simulator
+from repro.workload import YCSB_A, YCSB_C, YcsbTransactionalWorkload
+
+KV_FLAVORS = ["prism-sw", "prism-hw", "prism-bluefield", "pilaf-hw",
+              "pilaf-sw"]
+RS_FLAVORS = ["prism-sw", "abdlock-hw", "abdlock-sw"]
+TX_FLAVORS = ["prism-sw", "farm-hw", "farm-sw"]
+
+
+@pytest.mark.parametrize("flavor", KV_FLAVORS)
+def test_kv_flavors_build_and_run(flavor):
+    result = run_point("kv", flavor,
+                       lambda i: YCSB_A(200, seed=1, client_id=i),
+                       n_clients=2, n_keys=200, warmup_us=50,
+                       measure_us=400)
+    assert result.ops > 0
+    assert result.mean_latency_us > 0
+
+
+@pytest.mark.parametrize("flavor", RS_FLAVORS)
+def test_rs_flavors_build_and_run(flavor):
+    result = run_point("rs", flavor,
+                       lambda i: YCSB_A(100, seed=1, client_id=i),
+                       n_clients=2, n_keys=100, warmup_us=50,
+                       measure_us=400)
+    assert result.ops > 0
+
+
+@pytest.mark.parametrize("flavor", TX_FLAVORS)
+def test_tx_flavors_build_and_run(flavor):
+    result = run_point(
+        "tx", flavor,
+        lambda i: YcsbTransactionalWorkload(100, keys_per_txn=1, seed=1,
+                                            client_id=i),
+        n_clients=2, n_keys=100, warmup_us=50, measure_us=400)
+    assert result.ops > 0
+
+
+def test_unknown_flavor_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="unknown kv flavor"):
+        build_system("kv", "nonsense", sim, n_keys=10)
+
+
+def test_sweep_produces_monotone_throughput():
+    results = sweep_clients(
+        "kv", "prism-sw", lambda i: YCSB_C(500, seed=2, client_id=i),
+        [1, 4], n_keys=500, warmup_us=50, measure_us=400)
+    assert len(results) == 2
+    assert (results[1].throughput_ops_per_sec
+            > results[0].throughput_ops_per_sec)
+    assert peak_throughput(results) == results[1].throughput_ops_per_sec
+    assert low_load_latency(results) == results[0].mean_latency_us
+
+
+def test_all_primitives_measurable_on_all_prism_backends():
+    for backend in ("prism-sw", "prism-hw", "prism-bluefield"):
+        for primitive in PRIMITIVES:
+            latency = measure_primitive(backend, primitive, repeats=2)
+            assert latency > 0
+
+
+def test_classic_primitives_on_rdma_backend():
+    for primitive in CLASSIC_PRIMITIVES:
+        assert measure_primitive("rdma", primitive, repeats=2) > 0
+
+
+def test_print_table_formats(capsys):
+    print_table("demo", ["a", "b"], [[1, 2.5], ["x", 3.25]])
+    out = capsys.readouterr().out
+    assert "== demo ==" in out
+    assert "2.50" in out
+    assert "x" in out
+
+
+def test_curve_rows_shape():
+    results = sweep_clients(
+        "kv", "prism-sw", lambda i: YCSB_C(200, seed=3, client_id=i),
+        [1], n_keys=200, warmup_us=50, measure_us=200)
+    rows = curve_rows(results)
+    assert len(rows) == 1
+    assert len(rows[0]) == len(CURVE_HEADERS)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.net.topology import RACK, make_fabric
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    """A rack fabric with one client and one server host."""
+    return make_fabric(sim, RACK, ["client", "server"])
+
+
+def run(sim, generator, limit=1e7):
+    """Drive a generator to completion; returns its value."""
+    return sim.run_until_complete(sim.spawn(generator), limit=limit)
+
+
+@pytest.fixture
+def drive():
+    return run

@@ -1,0 +1,72 @@
+"""Chain composition rules."""
+
+import pytest
+
+from repro.core import (
+    AllocateOp,
+    CasOp,
+    Chain,
+    InvalidOperation,
+    ReadOp,
+    WriteOp,
+    chain,
+)
+
+RKEY = 0x1000
+
+
+def _read(**kw):
+    return ReadOp(addr=64, length=8, rkey=RKEY, **kw)
+
+
+def test_empty_chain_rejected():
+    with pytest.raises(InvalidOperation):
+        Chain([])
+
+
+def test_first_op_cannot_be_conditional():
+    with pytest.raises(InvalidOperation, match="first operation"):
+        chain(_read(conditional=True))
+
+
+def test_non_op_rejected():
+    with pytest.raises(InvalidOperation):
+        Chain(["not an op"])
+
+
+def test_iteration_and_indexing():
+    ops = [_read(), _read(conditional=True)]
+    c = Chain(ops)
+    assert len(c) == 2
+    assert list(c) == ops
+    assert c[1] is ops[1]
+
+
+def test_single_classic_op_is_not_extension():
+    assert not chain(_read()).uses_extensions()
+
+
+def test_multi_op_chain_requires_extensions():
+    assert chain(_read(), _read()).uses_extensions()
+
+
+def test_request_bytes_sum():
+    a, b = _read(), WriteOp(addr=64, data=b"x" * 32, rkey=RKEY)
+    assert chain(a, b).request_bytes() == a.request_bytes() + b.request_bytes()
+
+
+def test_response_bytes_uses_result_lengths():
+    c = chain(_read(), WriteOp(addr=64, data=b"x", rkey=RKEY))
+    total = c.response_bytes([b"y" * 8, None])
+    assert total == (c[0].response_bytes(8) + c[1].response_bytes(0))
+
+
+def test_canonical_out_of_place_update_chain():
+    """The §3.5 pattern: ALLOCATE -> redirect -> conditional CAS."""
+    c = chain(
+        AllocateOp(freelist=1, data=b"v" * 64, rkey=RKEY, redirect_to=9000),
+        CasOp(target=128, data=(9000).to_bytes(8, "little"), rkey=RKEY,
+              data_indirect=True, operand_width=8, conditional=True),
+    )
+    assert c.uses_extensions()
+    assert len(c) == 2

@@ -1,0 +1,33 @@
+"""Error taxonomy: hierarchy and chain-abort payloads."""
+
+import pytest
+
+from repro.core.errors import (
+    AccessViolation,
+    AllocationFailure,
+    CasFailure,
+    ChainAborted,
+    InvalidOperation,
+    PrismError,
+    RemoteNak,
+)
+
+
+def test_hierarchy():
+    for exc_type in (InvalidOperation, AccessViolation, RemoteNak,
+                     AllocationFailure, CasFailure, ChainAborted):
+        assert issubclass(exc_type, PrismError)
+    # AllocationFailure is a flavour of Receiver-Not-Ready.
+    assert issubclass(AllocationFailure, RemoteNak)
+
+
+def test_chain_aborted_carries_index():
+    error = ChainAborted(3, cause="cas miss")
+    assert error.first_skipped_index == 3
+    assert error.cause == "cas miss"
+    assert "op 3" in str(error)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(PrismError):
+        raise AllocationFailure("empty")

@@ -1,0 +1,168 @@
+"""Operation descriptor validation and introspection."""
+
+import pytest
+
+from repro.core import (
+    AllocateOp,
+    CasMode,
+    CasOp,
+    InvalidOperation,
+    ReadOp,
+    WriteOp,
+)
+
+RKEY = 0x1000
+
+
+class TestReadOp:
+    def test_basic(self):
+        op = ReadOp(addr=64, length=512, rkey=RKEY)
+        assert not op.uses_extensions()
+        assert op.opname == "READ"
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(InvalidOperation):
+            ReadOp(addr=64, length=-1, rkey=RKEY)
+
+    def test_bounded_requires_indirect(self):
+        with pytest.raises(InvalidOperation, match="bounded requires"):
+            ReadOp(addr=64, length=8, rkey=RKEY, bounded=True)
+
+    def test_extension_flags_detected(self):
+        assert ReadOp(addr=0x40, length=8, rkey=RKEY,
+                      indirect=True).uses_extensions()
+        assert ReadOp(addr=0x40, length=8, rkey=RKEY,
+                      conditional=True).uses_extensions()
+        assert ReadOp(addr=0x40, length=8, rkey=RKEY,
+                      redirect_to=128).uses_extensions()
+
+    def test_redirect_shrinks_response(self):
+        plain = ReadOp(addr=64, length=512, rkey=RKEY)
+        redirected = ReadOp(addr=64, length=512, rkey=RKEY, redirect_to=128)
+        assert redirected.response_bytes(512) < plain.response_bytes(512)
+
+    def test_request_bytes_include_redirect_pointer(self):
+        plain = ReadOp(addr=64, length=512, rkey=RKEY)
+        redirected = ReadOp(addr=64, length=512, rkey=RKEY, redirect_to=128)
+        assert redirected.request_bytes() == plain.request_bytes() + 8
+
+
+class TestWriteOp:
+    def test_length_defaults_to_data(self):
+        op = WriteOp(addr=64, data=b"abc", rkey=RKEY)
+        assert op.length == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidOperation):
+            WriteOp(addr=64, data=b"abc", length=5, rkey=RKEY)
+
+    def test_data_indirect_needs_pointer_and_length(self):
+        with pytest.raises(InvalidOperation, match="length required"):
+            WriteOp(addr=64, data=b"\0" * 8, rkey=RKEY, data_indirect=True)
+        with pytest.raises(InvalidOperation, match="8-byte"):
+            WriteOp(addr=64, data=b"abc", length=3, rkey=RKEY,
+                    data_indirect=True)
+        op = WriteOp(addr=64, data=(128).to_bytes(8, "little"), length=32,
+                     rkey=RKEY, data_indirect=True)
+        assert op.uses_extensions()
+
+    def test_bounded_requires_indirect(self):
+        with pytest.raises(InvalidOperation):
+            WriteOp(addr=64, data=b"x", rkey=RKEY, addr_bounded=True)
+
+    def test_classic_write_is_not_extension(self):
+        assert not WriteOp(addr=64, data=b"x" * 16, rkey=RKEY).uses_extensions()
+
+    def test_request_bytes_data_indirect_sends_pointer_only(self):
+        inline = WriteOp(addr=64, data=b"x" * 512, rkey=RKEY)
+        indirect = WriteOp(addr=64, data=(128).to_bytes(8, "little"),
+                           length=512, rkey=RKEY, data_indirect=True)
+        assert indirect.request_bytes() < inline.request_bytes()
+
+    def test_ack_response(self):
+        assert WriteOp(addr=64, data=b"x", rkey=RKEY).response_bytes() < 30
+
+
+class TestAllocateOp:
+    def test_always_extension(self):
+        op = AllocateOp(freelist=1, data=b"x" * 16, rkey=RKEY)
+        assert op.uses_extensions()
+        assert op.length == 16
+
+    def test_bad_freelist(self):
+        with pytest.raises(InvalidOperation):
+            AllocateOp(freelist=-1, data=b"", rkey=RKEY)
+
+    def test_response_is_pointer_unless_redirected(self):
+        plain = AllocateOp(freelist=1, data=b"x", rkey=RKEY)
+        redirected = AllocateOp(freelist=1, data=b"x", rkey=RKEY,
+                                redirect_to=64)
+        assert plain.response_bytes() > redirected.response_bytes()
+
+
+class TestCasOp:
+    def test_classic_64bit_cas_is_not_extension(self):
+        op = CasOp(target=64, data=b"\x01" * 8, rkey=RKEY,
+                   compare_data=b"\x00" * 8)
+        assert not op.uses_extensions()
+        assert not op.uses_extended_atomics()
+
+    def test_masks_default_to_full_width(self):
+        op = CasOp(target=64, data=b"\x01" * 16, rkey=RKEY)
+        assert op.compare_mask == (1 << 128) - 1
+        assert op.swap_mask == (1 << 128) - 1
+
+    def test_width_limit_32_bytes(self):
+        CasOp(target=64, data=b"\x01" * 32, rkey=RKEY)
+        with pytest.raises(InvalidOperation):
+            CasOp(target=64, data=b"\x01" * 33, rkey=RKEY)
+
+    def test_mask_exceeding_width_rejected(self):
+        with pytest.raises(InvalidOperation):
+            CasOp(target=64, data=b"\x01" * 8, rkey=RKEY,
+                  compare_mask=1 << 64)
+
+    def test_data_indirect_requires_width(self):
+        with pytest.raises(InvalidOperation, match="operand_width"):
+            CasOp(target=64, data=(128).to_bytes(8, "little"), rkey=RKEY,
+                  data_indirect=True)
+
+    def test_compare_data_width_checked(self):
+        with pytest.raises(InvalidOperation, match="compare_data"):
+            CasOp(target=64, data=b"\x01" * 8, rkey=RKEY,
+                  compare_data=b"\x00" * 4)
+
+    def test_data_size_must_match_width(self):
+        with pytest.raises(InvalidOperation):
+            CasOp(target=64, data=b"\x01" * 8, rkey=RKEY, operand_width=16)
+
+    def test_prism_only_features(self):
+        gt = CasOp(target=64, data=b"\x01" * 8, rkey=RKEY, mode=CasMode.GT)
+        assert gt.uses_prism_only_features()
+        assert gt.uses_extensions()
+        masked = CasOp(target=64, data=b"\x01" * 16, rkey=RKEY,
+                       compare_mask=0xFF)
+        assert masked.uses_extended_atomics()
+        assert not masked.uses_prism_only_features()
+
+    def test_response_carries_old_value(self):
+        op = CasOp(target=64, data=b"\x01" * 16, rkey=RKEY)
+        assert op.response_bytes() >= 16
+
+
+class TestCasModes:
+    @pytest.mark.parametrize("mode,lhs,rhs,expected", [
+        (CasMode.EQ, 5, 5, True), (CasMode.EQ, 5, 6, False),
+        (CasMode.NE, 5, 6, True), (CasMode.NE, 5, 5, False),
+        (CasMode.GT, 6, 5, True), (CasMode.GT, 5, 5, False),
+        (CasMode.GE, 5, 5, True), (CasMode.GE, 4, 5, False),
+        (CasMode.LT, 4, 5, True), (CasMode.LT, 5, 5, False),
+        (CasMode.LE, 5, 5, True), (CasMode.LE, 6, 5, False),
+    ])
+    def test_compare(self, mode, lhs, rhs, expected):
+        assert mode.compare(lhs, rhs) is expected
+
+
+def test_rkey_required():
+    with pytest.raises(InvalidOperation):
+        ReadOp(addr=64, length=8, rkey=None)

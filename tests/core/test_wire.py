@@ -1,0 +1,159 @@
+"""Wire-format round trips and robustness (§4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import AllocateOp, CasMode, CasOp, InvalidOperation, ReadOp, WriteOp
+from repro.core.wire import (
+    FLAG_ADDR_INDIRECT,
+    FLAG_BOUNDED,
+    FLAG_CONDITIONAL,
+    FLAG_DATA_INDIRECT,
+    FLAG_REDIRECT,
+    decode_chain,
+    decode_op,
+    encode_chain,
+    encode_op,
+)
+
+RKEY = 0x1234
+
+
+def roundtrip(op):
+    decoded, offset = decode_op(encode_op(op))
+    assert offset == len(encode_op(op))
+    assert decoded == op
+    return decoded
+
+
+class TestRoundTrips:
+    def test_plain_read(self):
+        roundtrip(ReadOp(addr=0xABC, length=512, rkey=RKEY))
+
+    def test_indirect_bounded_read(self):
+        roundtrip(ReadOp(addr=0xABC, length=512, rkey=RKEY,
+                         indirect=True, bounded=True))
+
+    def test_redirected_conditional_read(self):
+        roundtrip(ReadOp(addr=0xABC, length=64, rkey=RKEY,
+                         conditional=True, redirect_to=0x9999))
+
+    def test_plain_write(self):
+        roundtrip(WriteOp(addr=0x10, data=b"hello", rkey=RKEY))
+
+    def test_indirect_write(self):
+        roundtrip(WriteOp(addr=0x10, data=b"hello!!!", rkey=RKEY,
+                          addr_indirect=True, addr_bounded=True))
+
+    def test_data_indirect_write(self):
+        roundtrip(WriteOp(addr=0x10, data=(64).to_bytes(8, "little"),
+                          length=256, rkey=RKEY, data_indirect=True))
+
+    def test_allocate(self):
+        roundtrip(AllocateOp(freelist=3, data=b"x" * 100, rkey=RKEY))
+
+    def test_allocate_redirect_conditional(self):
+        roundtrip(AllocateOp(freelist=3, data=b"x" * 10, rkey=RKEY,
+                             conditional=True, redirect_to=0x8000))
+
+    def test_classic_cas(self):
+        roundtrip(CasOp(target=0x40, data=b"\x07" * 8, rkey=RKEY,
+                        compare_data=b"\x00" * 8))
+
+    def test_enhanced_cas_full(self):
+        roundtrip(CasOp(target=0x40, data=b"\x07" * 24, rkey=RKEY,
+                        mode=CasMode.GT, compare_mask=(1 << 64) - 1,
+                        swap_mask=((1 << 128) - 1) << 64,
+                        target_indirect=True, conditional=True))
+
+    def test_cas_data_indirect(self):
+        roundtrip(CasOp(target=0x40, data=(0x900).to_bytes(8, "little"),
+                        rkey=RKEY, data_indirect=True, operand_width=16,
+                        mode=CasMode.LE))
+
+    def test_chain_roundtrip(self):
+        ops = [
+            WriteOp(addr=0x9000, data=b"\x01" * 8, rkey=RKEY),
+            AllocateOp(freelist=1, data=b"v" * 520, rkey=RKEY,
+                       redirect_to=0x9008, conditional=True),
+            CasOp(target=0x40, data=(0x9000).to_bytes(8, "little"),
+                  rkey=RKEY, mode=CasMode.GT, compare_mask=(1 << 64) - 1,
+                  data_indirect=True, operand_width=16, conditional=True),
+        ]
+        assert decode_chain(encode_chain(ops)) == ops
+
+
+class TestRobustness:
+    def test_truncated_header(self):
+        blob = encode_op(ReadOp(addr=1 << 12, length=8, rkey=RKEY))
+        with pytest.raises(InvalidOperation, match="truncated"):
+            decode_op(blob[:10])
+
+    def test_truncated_payload(self):
+        blob = encode_op(WriteOp(addr=1 << 12, data=b"x" * 64, rkey=RKEY))
+        with pytest.raises(InvalidOperation, match="truncated"):
+            decode_op(blob[:-1])
+
+    def test_unknown_opcode(self):
+        blob = bytearray(encode_op(ReadOp(addr=8, length=8, rkey=RKEY)))
+        blob[0] = 0x7F
+        with pytest.raises(InvalidOperation, match="unknown opcode"):
+            decode_op(bytes(blob))
+
+    def test_five_prism_flags_are_distinct_bits(self):
+        flags = [FLAG_ADDR_INDIRECT, FLAG_DATA_INDIRECT, FLAG_BOUNDED,
+                 FLAG_CONDITIONAL, FLAG_REDIRECT]
+        assert len({f for f in flags}) == 5
+        for flag in flags:
+            assert bin(flag).count("1") == 1
+        # All five fit in one spare byte of the BTH (§4.2).
+        assert sum(flags) < 256
+
+
+@given(addr=st.integers(min_value=8, max_value=2**48),
+       length=st.integers(min_value=0, max_value=2**20),
+       indirect=st.booleans(), conditional=st.booleans())
+def test_read_roundtrip_property(addr, length, indirect, conditional):
+    op = ReadOp(addr=addr, length=length, rkey=RKEY, indirect=indirect,
+                conditional=conditional)
+    assert decode_op(encode_op(op))[0] == op
+
+
+@given(data=st.binary(min_size=1, max_size=32),
+       mode=st.sampled_from(list(CasMode)))
+def test_cas_roundtrip_property(data, mode):
+    op = CasOp(target=0x40, data=data, rkey=RKEY, mode=mode)
+    assert decode_op(encode_op(op))[0] == op
+
+
+@given(payload=st.binary(max_size=600))
+def test_allocate_roundtrip_property(payload):
+    op = AllocateOp(freelist=2, data=payload, rkey=RKEY)
+    assert decode_op(encode_op(op))[0] == op
+
+
+@given(ops_count=st.integers(min_value=1, max_value=6),
+       data=st.binary(min_size=8, max_size=8))
+def test_chain_roundtrip_property(ops_count, data):
+    ops = []
+    for i in range(ops_count):
+        if i % 2 == 0:
+            ops.append(ReadOp(addr=64 + i, length=16, rkey=RKEY))
+        else:
+            ops.append(WriteOp(addr=64 + i, data=data, rkey=RKEY,
+                               conditional=True))
+    assert decode_chain(encode_chain(ops)) == ops
+
+
+def test_request_bytes_close_to_encoded_size():
+    """The analytic wire-size model tracks the real encoding."""
+    ops = [
+        ReadOp(addr=64, length=512, rkey=RKEY, indirect=True),
+        WriteOp(addr=64, data=b"x" * 512, rkey=RKEY),
+        CasOp(target=64, data=b"y" * 16, rkey=RKEY, mode=CasMode.GT),
+        AllocateOp(freelist=1, data=b"z" * 512, rkey=RKEY, redirect_to=99),
+    ]
+    for op in ops:
+        encoded = len(encode_op(op))
+        claimed = op.request_bytes()
+        assert abs(encoded - claimed) <= 24, (op.opname, encoded, claimed)

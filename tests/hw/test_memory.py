@@ -1,0 +1,114 @@
+"""Host memory: bounds, allocation, integer codecs."""
+
+import pytest
+
+from repro.hw.memory import HostMemory, MemoryError_, NULL_PTR, POINTER_SIZE
+
+
+def test_minimum_size_enforced():
+    with pytest.raises(MemoryError_):
+        HostMemory(POINTER_SIZE)
+
+
+def test_null_page_reserved():
+    memory = HostMemory(1024)
+    with pytest.raises(MemoryError_):
+        memory.read(0, 1)
+    with pytest.raises(MemoryError_):
+        memory.write(NULL_PTR, b"x")
+
+
+def test_sbrk_never_returns_null():
+    memory = HostMemory(1024)
+    assert memory.sbrk(0) >= POINTER_SIZE
+
+
+def test_sbrk_alignment():
+    memory = HostMemory(1024)
+    memory.sbrk(3)
+    addr = memory.sbrk(8, align=64)
+    assert addr % 64 == 0
+
+
+def test_sbrk_exhaustion():
+    memory = HostMemory(64)
+    memory.sbrk(40)
+    with pytest.raises(MemoryError_, match="out of memory"):
+        memory.sbrk(32)
+
+
+def test_sbrk_negative_rejected():
+    with pytest.raises(MemoryError_):
+        HostMemory(64).sbrk(-1)
+
+
+def test_write_read_roundtrip():
+    memory = HostMemory(256)
+    addr = memory.sbrk(16)
+    memory.write(addr, b"hello")
+    assert memory.read(addr, 5) == b"hello"
+
+
+def test_read_past_end_rejected():
+    memory = HostMemory(64)
+    with pytest.raises(MemoryError_):
+        memory.read(60, 8)
+
+
+def test_negative_length_rejected():
+    memory = HostMemory(64)
+    with pytest.raises(MemoryError_):
+        memory.read(16, -1)
+
+
+def test_uint_roundtrip_widths():
+    memory = HostMemory(256)
+    addr = memory.sbrk(32)
+    for width in (1, 2, 4, 8):
+        value = (1 << (8 * width)) - 2
+        memory.write_uint(addr, value, width)
+        assert memory.read_uint(addr, width) == value
+
+
+def test_uint_overflow_rejected():
+    memory = HostMemory(64)
+    addr = memory.sbrk(8)
+    with pytest.raises(MemoryError_):
+        memory.write_uint(addr, 256, width=1)
+
+
+def test_uint_little_endian():
+    memory = HostMemory(64)
+    addr = memory.sbrk(8)
+    memory.write_uint(addr, 0x0102, 2)
+    assert memory.read(addr, 2) == b"\x02\x01"
+
+
+def test_pointer_roundtrip():
+    memory = HostMemory(256)
+    slot = memory.sbrk(8)
+    memory.write_ptr(slot, 0xDEAD)
+    assert memory.read_ptr(slot) == 0xDEAD
+
+
+def test_fill():
+    memory = HostMemory(256)
+    addr = memory.sbrk(16)
+    memory.write(addr, b"\xff" * 16)
+    memory.fill(addr, 8)
+    assert memory.read(addr, 16) == b"\x00" * 8 + b"\xff" * 8
+
+
+def test_contains():
+    memory = HostMemory(64)
+    assert memory.contains(8, 56)
+    assert not memory.contains(0, 1)       # null page
+    assert not memory.contains(8, 57)      # past end
+    assert not memory.contains(8, -1)
+
+
+def test_bytes_allocated_high_water():
+    memory = HostMemory(1024)
+    before = memory.bytes_allocated
+    memory.sbrk(100)
+    assert memory.bytes_allocated >= before + 100

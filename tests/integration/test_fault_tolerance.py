@@ -1,0 +1,117 @@
+"""Replica failure injection: ABD's availability guarantee (§7.1).
+
+"remains available as long as no more than f out of n = 2f + 1
+replicas fail" — we crash replicas mid-run and check exactly that.
+"""
+
+import pytest
+
+from repro.apps.blockstore import PrismRsClient, PrismRsReplica
+from repro.net.topology import RACK, make_fabric
+from repro.prism import SoftwarePrismBackend
+from repro.sim import SimulationError, Simulator
+from repro.verify import HistoryRecorder, check_linearizable
+
+N_KEYS = 3
+
+
+def _build(sim, n_clients=2):
+    hosts = [f"r{i}" for i in range(3)] + [f"c{i}" for i in range(n_clients)]
+    fabric = make_fabric(sim, RACK, hosts)
+    replicas = [PrismRsReplica(sim, fabric, f"r{i}", SoftwarePrismBackend,
+                               n_blocks=N_KEYS, block_size=16)
+                for i in range(3)]
+    initial = {}
+    for key in range(N_KEYS):
+        value = b"init" + bytes([key]) * 12
+        initial[key] = value
+        for rep in replicas:
+            rep.load(key, value)
+    clients = [PrismRsClient(sim, fabric, f"c{i}", replicas, client_id=i + 1)
+               for i in range(n_clients)]
+    return fabric, replicas, clients, initial
+
+
+def test_one_failure_tolerated(sim, drive):
+    fabric, replicas, clients, initial = _build(sim)
+    client = clients[0]
+    replicas[2].prism.fail()
+
+    def main():
+        yield from client.put(0, b"survives........")
+        value = yield from client.get(0)
+        return value
+
+    assert drive(sim, main()) == b"survives........"
+    assert replicas[2].prism.requests_dropped > 0
+
+
+def test_failure_mid_stream(sim):
+    """A replica dies between operations; later operations still work
+    and the whole history stays linearizable."""
+    fabric, replicas, clients, initial = _build(sim, n_clients=2)
+    recorder = HistoryRecorder(sim)
+
+    def workload(index, client):
+        for op in range(6):
+            value = f"c{index}.{op}".encode().ljust(16, b"_")
+            yield from recorder.timed_put(index, client.put, op % N_KEYS,
+                                          value)
+            yield from recorder.timed_get(index, client.get, op % N_KEYS)
+
+    def killer():
+        yield sim.timeout(40.0)
+        replicas[0].prism.fail()
+
+    processes = [sim.spawn(workload(i, c)) for i, c in enumerate(clients)]
+    sim.spawn(killer())
+    waiter = sim.spawn((lambda done: (yield done))(sim.all_of(processes)))
+    sim.run_until_complete(waiter, limit=1e6)
+    assert len(recorder) == 24
+    check_linearizable(recorder.invocations, initial_values=initial)
+
+
+def test_two_failures_block_progress(sim):
+    """With f+1 = 2 of 3 replicas dead, quorum is unreachable: the
+    operation must not complete (and must not return wrong data)."""
+    fabric, replicas, clients, initial = _build(sim)
+    replicas[0].prism.fail()
+    replicas[1].prism.fail()
+    client = clients[0]
+
+    def main():
+        yield from client.get(0)
+        return "completed"
+
+    process = sim.spawn(main())
+    with pytest.raises(SimulationError, match="did not complete"):
+        sim.run_until_complete(process, limit=10_000)
+
+
+def test_recovery_restores_availability(sim, drive):
+    fabric, replicas, clients, initial = _build(sim)
+    replicas[0].prism.fail()
+    replicas[1].prism.fail()
+    client = clients[0]
+
+    def rescuer():
+        yield sim.timeout(50.0)
+        replicas[1].prism.recover()
+
+    holder = {}
+    def main():
+        start = sim.now
+        value = yield from client.get(0)
+        holder["elapsed"] = sim.now - start
+        return value
+
+    sim.spawn(rescuer())
+    # The first attempt's requests were dropped; ABD clients do not
+    # retransmit in this implementation, so issue the op after recovery.
+    def delayed():
+        yield sim.timeout(60.0)
+        value = yield from main()
+        return value
+
+    value = drive(sim, delayed())
+    assert value == initial[0]

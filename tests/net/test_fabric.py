@@ -1,0 +1,111 @@
+"""Fabric delivery: latency math, routing, port contention."""
+
+import pytest
+
+from repro.net.fabric import Fabric, Host
+from repro.net.topology import DIRECT, RACK, make_fabric
+
+
+def test_duplicate_host_rejected(sim):
+    fabric = Fabric(sim, one_way_latency_us=1.0)
+    fabric.add_host(Host(sim, "a", 1000))
+    with pytest.raises(ValueError):
+        fabric.add_host(Host(sim, "a", 1000))
+
+
+def test_duplicate_service_rejected(sim):
+    host = Host(sim, "a", 1000)
+    host.register_service("svc", lambda m: None)
+    with pytest.raises(ValueError):
+        host.register_service("svc", lambda m: None)
+
+
+def test_unknown_service_raises(sim):
+    host = Host(sim, "a", 1000)
+    with pytest.raises(KeyError, match="no service"):
+        host.handler_for("nope")
+
+
+def test_loopback_latency_zero(sim):
+    fabric = make_fabric(sim, DIRECT, ["a", "b"])
+    assert fabric.path_latency_us("a", "a") == 0.0
+    assert fabric.path_latency_us("a", "b") > 0
+
+
+def test_delivery_time_components(sim, drive):
+    """tx serialization + propagation + rx serialization."""
+    fabric = Fabric(sim, one_way_latency_us=2.0)
+    fabric.add_host(Host(sim, "src", bytes_per_us=1000))
+    fabric.add_host(Host(sim, "dst", bytes_per_us=1000))
+    arrivals = []
+    fabric.hosts["dst"].register_service(
+        "svc", lambda message: arrivals.append(sim.now))
+    def main():
+        yield from fabric.send("src", "dst", "svc", "hi", 1000)
+        return sim.now
+    send_done = drive(sim, main())
+    sim.run()
+    assert send_done == pytest.approx(1.0)           # 1000B @ 1000 B/us
+    assert arrivals == [pytest.approx(1.0 + 2.0 + 1.0)]
+
+
+def test_sender_released_before_delivery(sim, drive):
+    """The sender only occupies its TX port, not the full path."""
+    fabric = make_fabric(sim, RACK, ["a", "b"])
+    fabric.hosts["b"].register_service("svc", lambda m: None)
+    def main():
+        yield from fabric.send("a", "b", "svc", None, 512)
+        return sim.now
+    done = drive(sim, main())
+    assert done < fabric.one_way_latency_us  # TX time only
+    sim.run()
+
+
+def test_tx_port_serializes_concurrent_sends(sim):
+    fabric = Fabric(sim, one_way_latency_us=0.0)
+    fabric.add_host(Host(sim, "src", bytes_per_us=100))
+    fabric.add_host(Host(sim, "dst", bytes_per_us=1e9))
+    arrivals = []
+    fabric.hosts["dst"].register_service(
+        "svc", lambda m: arrivals.append(sim.now))
+    def sender():
+        yield from fabric.send("src", "dst", "svc", None, 500)  # 5 us
+    sim.spawn(sender())
+    sim.spawn(sender())
+    sim.run()
+    assert arrivals == [pytest.approx(5.0), pytest.approx(10.0)]
+
+
+def test_rx_port_serializes_concurrent_receives(sim):
+    fabric = Fabric(sim, one_way_latency_us=0.0)
+    fabric.add_host(Host(sim, "a", bytes_per_us=1e9))
+    fabric.add_host(Host(sim, "b", bytes_per_us=1e9))
+    fabric.add_host(Host(sim, "dst", bytes_per_us=100))
+    arrivals = []
+    fabric.hosts["dst"].register_service(
+        "svc", lambda m: arrivals.append(sim.now))
+    for src in ("a", "b"):
+        sim.spawn(fabric.send(src, "dst", "svc", None, 500))
+    sim.run()
+    assert arrivals == [pytest.approx(5.0), pytest.approx(10.0)]
+
+
+def test_messages_delivered_counter(sim):
+    fabric = make_fabric(sim, DIRECT, ["a", "b"])
+    fabric.hosts["b"].register_service("svc", lambda m: None)
+    sim.spawn(fabric.send("a", "b", "svc", None, 64))
+    sim.spawn(fabric.send("a", "b", "svc", None, 64))
+    sim.run()
+    assert fabric.messages_delivered == 2
+
+
+def test_payload_not_serialized(sim):
+    """Payload objects pass through untouched (timing uses size only)."""
+    fabric = make_fabric(sim, DIRECT, ["a", "b"])
+    payload = {"nested": [1, 2, 3]}
+    received = []
+    fabric.hosts["b"].register_service(
+        "svc", lambda m: received.append(m.payload))
+    sim.spawn(fabric.send("a", "b", "svc", payload, 64))
+    sim.run()
+    assert received[0] is payload

@@ -1,0 +1,32 @@
+"""Message envelope basics."""
+
+from repro.net.message import (
+    ETHERNET_HEADER_BYTES,
+    Message,
+    RDMA_HEADER_BYTES,
+)
+
+
+def test_unique_increasing_ids():
+    a = Message("x", "y", "svc", None, 10)
+    b = Message("x", "y", "svc", None, 10)
+    assert b.id > a.id
+
+
+def test_fields_stored():
+    message = Message("src", "dst", "svc", {"k": 1}, 128)
+    assert message.src == "src"
+    assert message.dst == "dst"
+    assert message.service == "svc"
+    assert message.payload == {"k": 1}
+    assert message.size_bytes == 128
+    assert message.send_time is None
+
+
+def test_header_constants_sane():
+    assert ETHERNET_HEADER_BYTES > RDMA_HEADER_BYTES > 0
+
+
+def test_repr_mentions_route():
+    text = repr(Message("a", "b", "s", None, 7))
+    assert "a->b/s" in text and "7B" in text

@@ -1,0 +1,48 @@
+"""Topology presets match the paper's deployment latencies."""
+
+import pytest
+
+from repro.net.topology import (
+    CLUSTER,
+    DATACENTER,
+    DIRECT,
+    PROFILES,
+    RACK,
+    make_fabric,
+)
+
+
+def test_profiles_ordered_by_latency():
+    assert (DIRECT.one_way_latency_us < RACK.one_way_latency_us
+            < CLUSTER.one_way_latency_us < DATACENTER.one_way_latency_us)
+
+
+def test_rack_adds_paper_switch_latency():
+    # One Arista ToR switch adds ~0.6 µs round trip (§5, Fig. 2).
+    added = 2 * (RACK.one_way_latency_us - DIRECT.one_way_latency_us)
+    assert added == pytest.approx(0.6, abs=0.05)
+
+
+def test_cluster_matches_three_tier_round_trip():
+    added = 2 * (CLUSTER.one_way_latency_us - DIRECT.one_way_latency_us)
+    assert added == pytest.approx(3.0, abs=0.2)
+
+
+def test_datacenter_matches_reported_rdma_latency():
+    added = 2 * (DATACENTER.one_way_latency_us - DIRECT.one_way_latency_us)
+    assert added == pytest.approx(24.0, abs=1.0)
+
+
+def test_make_fabric_by_name(sim):
+    fabric = make_fabric(sim, "rack", ["x", "y"])
+    assert fabric.one_way_latency_us == RACK.one_way_latency_us
+    assert set(fabric.hosts) == {"x", "y"}
+
+
+def test_profiles_registry():
+    assert set(PROFILES) == {"direct", "rack", "cluster", "datacenter"}
+
+
+def test_bandwidth_is_40gbe():
+    # 40 Gb/s = 5000 bytes/µs
+    assert RACK.bytes_per_us == pytest.approx(5000.0)

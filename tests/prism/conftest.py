@@ -1,0 +1,44 @@
+"""Fixtures for engine-level tests: memory + regions + engine, no timing."""
+
+import pytest
+
+from repro.prism.address_space import ServerAddressSpace
+from repro.prism.engine import Connection, PrismEngine
+from repro.rdma.mr import AccessFlags, MemoryRegionTable
+from repro.rdma.qp import QueuePair
+
+
+class EngineHarness:
+    """Bare engine over 1 MiB of memory with one registered region."""
+
+    def __init__(self):
+        self.space = ServerAddressSpace(1 << 20, sram_bytes=4096)
+        self.regions = MemoryRegionTable()
+        self.freelists = {}
+        self.engine = PrismEngine(self.space, self.regions, self.freelists)
+        self.base = self.space.sbrk(1 << 16)
+        self.rkey = self.regions.register(self.base, 1 << 16)
+        self.sram_base = self.space.sram_sbrk(256)
+        self.sram_rkey = self.regions.register(self.sram_base, 256)
+        self.connection = Connection("client", {self.rkey, self.sram_rkey},
+                                     sram_slot=self.sram_base)
+
+    def add_freelist(self, buffer_size, count, freelist_id=1):
+        qp = QueuePair(buffer_size)
+        start = self.space.sbrk(buffer_size * count)
+        rkey = self.regions.register(start, buffer_size * count)
+        self.connection.grant(rkey)
+        qp.post_many(start + i * buffer_size for i in range(count))
+        self.freelists[freelist_id] = qp
+        return freelist_id, rkey, start
+
+    def run(self, op, prev_ok=True):
+        return self.engine.execute_op(self.connection, op, prev_ok)
+
+    def run_chain(self, ops):
+        return self.engine.execute_chain(self.connection, ops)
+
+
+@pytest.fixture
+def harness():
+    return EngineHarness()

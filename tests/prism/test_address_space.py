@@ -1,0 +1,76 @@
+"""Unified host + NIC-SRAM address space."""
+
+import pytest
+
+from repro.core.constants import NIC_SRAM_BYTES
+from repro.hw.memory import MemoryError_
+from repro.prism.address_space import (
+    DOMAIN_HOST,
+    DOMAIN_SRAM,
+    ServerAddressSpace,
+)
+
+
+@pytest.fixture
+def space():
+    return ServerAddressSpace(1 << 16, sram_bytes=1024)
+
+
+def test_domains(space):
+    host_addr = space.sbrk(64)
+    sram_addr = space.sram_sbrk(32)
+    assert space.domain(host_addr) == DOMAIN_HOST
+    assert space.domain(sram_addr) == DOMAIN_SRAM
+    assert sram_addr >= space.sram_base
+
+
+def test_sram_mapped_past_host_memory(space):
+    assert space.sram_base == 1 << 16
+
+
+def test_host_and_sram_are_separate_memories(space):
+    host_addr = space.sbrk(64)
+    sram_addr = space.sram_sbrk(64)
+    space.write(host_addr, b"host data")
+    space.write(sram_addr, b"sram data")
+    assert space.read(host_addr, 9) == b"host data"
+    assert space.read(sram_addr, 9) == b"sram data"
+
+
+def test_pointer_roundtrip_across_domains(space):
+    host_addr = space.sbrk(64)
+    sram_addr = space.sram_sbrk(16)
+    # A pointer to host memory stored in SRAM (the redirect pattern).
+    space.write_ptr(sram_addr, host_addr)
+    assert space.read_ptr(sram_addr) == host_addr
+
+
+def test_uint_codecs(space):
+    addr = space.sbrk(16)
+    space.write_uint(addr, 0xDEADBEEF, 8)
+    assert space.read_uint(addr, 8) == 0xDEADBEEF
+
+
+def test_out_of_bounds_sram(space):
+    with pytest.raises(MemoryError_):
+        space.read(space.sram_base + 1024, 8)
+
+
+def test_contains(space):
+    host = space.sbrk(64)
+    sram = space.sram_sbrk(16)
+    assert space.contains(host, 64)
+    assert space.contains(sram, 16)
+    assert not space.contains(0, 8)  # NULL page
+    assert not space.contains(space.sram_base + 2048, 1)
+
+
+def test_default_sram_size():
+    space = ServerAddressSpace(1 << 16)
+    assert space.sram_bytes == NIC_SRAM_BYTES
+
+
+def test_sram_allocation_addresses_monotonic(space):
+    first = space.sram_sbrk(32)
+    second = space.sram_sbrk(32)
+    assert second == first + 32

@@ -1,0 +1,104 @@
+"""Size-class allocation (§3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import InvalidOperation
+from repro.net.topology import DIRECT, make_fabric
+from repro.prism import HardwarePrismBackend, PrismClient, PrismServer
+from repro.prism.allocator import SizeClassAllocator, size_class_for
+
+
+class TestSizeClassMath:
+    def test_exact_power(self):
+        assert size_class_for(64, 64) == 64
+        assert size_class_for(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert size_class_for(65, 64) == 128
+        assert size_class_for(513, 64) == 1024
+
+    def test_minimum_class(self):
+        assert size_class_for(1, 64) == 64
+        assert size_class_for(0, 64) == 64
+
+    @given(nbytes=st.integers(min_value=1, max_value=4096))
+    def test_bound_property(self, nbytes):
+        """Power-of-two classes waste at most 2x (§3.2)."""
+        size = size_class_for(nbytes, 64)
+        assert size >= nbytes
+        assert size < 2 * max(nbytes, 64)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(InvalidOperation):
+            SizeClassAllocator(60, 128)
+        with pytest.raises(InvalidOperation):
+            SizeClassAllocator(256, 64)
+
+
+class TestInstalled:
+    @pytest.fixture
+    def system(self, sim):
+        fabric = make_fabric(sim, DIRECT, ["client", "server"])
+        server = PrismServer(sim, fabric, "server", HardwarePrismBackend,
+                             memory_bytes=16 << 20)
+        allocator = SizeClassAllocator.install(server, min_class=64,
+                                               max_class=1024,
+                                               buffers_per_class=16)
+        client = PrismClient(sim, fabric, "client", server)
+        return server, allocator, client
+
+    def test_classes_created(self, system):
+        _server, allocator, _client = system
+        assert allocator.classes == [64, 128, 256, 512, 1024]
+
+    def test_distinct_freelists(self, system):
+        _server, allocator, _client = system
+        ids = {allocator.freelist_for(size) for size in allocator.classes}
+        assert len(ids) == 5
+
+    def test_allocate_from_right_class(self, system, sim, drive):
+        server, allocator, client = system
+        def main():
+            small = yield from client.allocate(
+                allocator.freelist_for(10), b"x" * 10,
+                rkey=allocator.rkey_for(10))
+            large = yield from client.allocate(
+                allocator.freelist_for(700), b"y" * 700,
+                rkey=allocator.rkey_for(700))
+            return small, large
+        small, large = drive(sim, main())
+        assert server.space.read(small, 10) == b"x" * 10
+        assert server.space.read(large, 700) == b"y" * 700
+        # The classes come from different regions.
+        assert allocator.freelist_for(10) != allocator.freelist_for(700)
+
+    def test_oversized_rejected(self, system):
+        _server, allocator, _client = system
+        with pytest.raises(InvalidOperation):
+            allocator.freelist_for(2048)
+
+    def test_overhead_accounting(self, system):
+        _server, allocator, _client = system
+        assert allocator.overhead(64) == 0
+        assert allocator.overhead(65) == 63
+        assert allocator.worst_case_overhead_factor() == 2.0
+
+    def test_class_exhaustion_is_per_class(self, system, sim, drive):
+        """Draining one class must not affect the others."""
+        server, allocator, client = system
+        from repro.core.errors import AllocationFailure
+        def main():
+            for _ in range(16):
+                yield from client.allocate(allocator.freelist_for(100),
+                                           b"z" * 100,
+                                           rkey=allocator.rkey_for(100))
+            with pytest.raises(AllocationFailure):
+                yield from client.allocate(allocator.freelist_for(100),
+                                           b"z", rkey=allocator.rkey_for(100))
+            # 64 B class still healthy.
+            addr = yield from client.allocate(allocator.freelist_for(10),
+                                              b"ok",
+                                              rkey=allocator.rkey_for(10))
+            return addr
+        assert drive(sim, main()) != 0

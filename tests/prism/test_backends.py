@@ -1,0 +1,182 @@
+"""Backend feature gating and timing shapes."""
+
+import pytest
+
+from repro.core import CasMode, CasOp, InvalidOperation, ReadOp, WriteOp
+from repro.core.ops import AllocateOp
+from repro.net.topology import DIRECT, make_fabric
+from repro.prism import (
+    BackendConfig,
+    BlueFieldPrismBackend,
+    HardwarePrismBackend,
+    HardwareRdmaBackend,
+    PrismClient,
+    PrismServer,
+    SoftwarePrismBackend,
+    SoftwareRdmaBackend,
+)
+from repro.prism.engine import OpStatus
+
+
+def _system(sim, backend_cls):
+    fabric = make_fabric(sim, DIRECT, ["client", "server"])
+    server = PrismServer(sim, fabric, "server", backend_cls)
+    addr, rkey = server.add_region(4096)
+    freelist, fl_rkey = server.create_freelist(64, 16)
+    client = PrismClient(sim, fabric, "client", server)
+    return server, client, addr, rkey, freelist, fl_rkey
+
+
+@pytest.mark.parametrize("backend_cls", [HardwareRdmaBackend,
+                                         SoftwareRdmaBackend])
+def test_rdma_backends_reject_extensions(sim, drive, backend_cls):
+    server, client, addr, rkey, freelist, fl_rkey = _system(sim, backend_cls)
+    server.space.write_ptr(addr, addr + 64)
+
+    def main():
+        result = yield from client.execute(
+            ReadOp(addr=addr, length=8, rkey=rkey, indirect=True))
+        return result[0]
+
+    outcome = drive(sim, main())
+    assert outcome.status is OpStatus.NAK
+    assert isinstance(outcome.error, InvalidOperation)
+
+
+@pytest.mark.parametrize("backend_cls", [HardwareRdmaBackend,
+                                         SoftwareRdmaBackend])
+def test_rdma_backends_reject_allocate(sim, drive, backend_cls):
+    server, client, addr, rkey, freelist, fl_rkey = _system(sim, backend_cls)
+
+    def main():
+        result = yield from client.execute(
+            AllocateOp(freelist=freelist, data=b"x", rkey=fl_rkey))
+        return result[0]
+
+    assert drive(sim, main()).status is OpStatus.NAK
+
+
+def test_rdma_backend_accepts_classic_and_extended_atomics(sim, drive):
+    server, client, addr, rkey, *_ = _system(sim, HardwareRdmaBackend)
+    server.space.write_uint(addr, 7)
+
+    def main():
+        # classic two-operand CAS
+        swapped, old = yield from client.cas(
+            addr, data=(9).to_bytes(8, "little"),
+            compare_data=(7).to_bytes(8, "little"), rkey=rkey)
+        assert swapped
+        # Mellanox extended atomics: masked 16-byte EQ
+        swapped2, _ = yield from client.cas(
+            addr, data=b"\x09" + b"\x00" * 15, rkey=rkey,
+            compare_mask=0xFF, operand_width=16)
+        return swapped, swapped2
+
+    assert drive(sim, main()) == (True, True)
+
+
+def test_rdma_backend_rejects_gt_mode(sim, drive):
+    server, client, addr, rkey, *_ = _system(sim, HardwareRdmaBackend)
+
+    def main():
+        result = yield from client.execute(
+            CasOp(target=addr, data=b"\x01" * 8, rkey=rkey,
+                  mode=CasMode.GT))
+        return result[0]
+
+    assert drive(sim, main()).status is OpStatus.NAK
+
+
+@pytest.mark.parametrize("backend_cls", [HardwarePrismBackend,
+                                         SoftwarePrismBackend,
+                                         BlueFieldPrismBackend])
+def test_prism_backends_accept_extensions(sim, drive, backend_cls):
+    server, client, addr, rkey, freelist, fl_rkey = _system(sim, backend_cls)
+    server.space.write(addr + 64, b"target!!")
+    server.space.write_ptr(addr, addr + 64)
+
+    def main():
+        data = yield from client.read(addr, 8, rkey=rkey, indirect=True)
+        buf = yield from client.allocate(freelist, b"alloc", rkey=fl_rkey)
+        return data, buf
+
+    data, buf = drive(sim, main())
+    assert data == b"target!!"
+    assert buf != 0
+
+
+def _read_latency(backend_cls):
+    from repro.sim import Simulator
+    sim = Simulator()
+    server, client, addr, rkey, *_ = _system(sim, backend_cls)
+    server.space.write(addr, b"v" * 512)
+    holder = {}
+
+    def main():
+        start = sim.now
+        yield from client.read(addr, 512, rkey=rkey)
+        holder["latency"] = sim.now - start
+
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    return holder["latency"]
+
+
+def test_backend_latency_ordering():
+    """hw RDMA == prism-hw < prism-sw < bluefield for a plain read."""
+    rdma = _read_latency(HardwareRdmaBackend)
+    hw = _read_latency(HardwarePrismBackend)
+    sw = _read_latency(SoftwarePrismBackend)
+    bf = _read_latency(BlueFieldPrismBackend)
+    assert rdma == pytest.approx(hw)
+    assert rdma < sw < bf
+
+
+def test_software_chain_amortizes_request_cost(sim, drive):
+    """N ops in one request cost far less than N single-op requests."""
+    server, client, addr, rkey, *_ = _system(sim, SoftwarePrismBackend)
+
+    def timed(ops_batched):
+        start = sim.now
+        if ops_batched:
+            yield from client.execute(
+                *[ReadOp(addr=addr, length=8, rkey=rkey) for _ in range(4)])
+        else:
+            for _ in range(4):
+                yield from client.read(addr, 8, rkey=rkey)
+        return sim.now - start
+
+    batched = drive(sim, timed(True))
+    sequential = drive(sim, timed(False))
+    assert batched < sequential / 2
+
+
+def test_custom_config_respected():
+    from repro.sim import Simulator
+    sim = Simulator()
+    fabric = make_fabric(sim, DIRECT, ["client", "server"])
+    config = BackendConfig(sw_pipeline_latency_us=50.0)
+    server = PrismServer(sim, fabric, "server", SoftwarePrismBackend,
+                         config=config)
+    addr, rkey = server.add_region(64)
+    client = PrismClient(sim, fabric, "client", server)
+    holder = {}
+
+    def main():
+        start = sim.now
+        yield from client.read(addr, 8, rkey=rkey)
+        holder["latency"] = sim.now - start
+
+    sim.run_until_complete(sim.spawn(main()), limit=1e6)
+    assert holder["latency"] > 50.0
+
+
+def test_utilization_reported(sim, drive):
+    server, client, addr, rkey, *_ = _system(sim, SoftwarePrismBackend)
+
+    def main():
+        for _ in range(10):
+            yield from client.read(addr, 8, rkey=rkey)
+        return server.backend.utilization(sim.now)
+
+    utilization = drive(sim, main())
+    assert 0.0 < utilization < 1.0

@@ -1,0 +1,120 @@
+"""Higher-order chain patterns the primitives compose into."""
+
+import pytest
+
+from repro.core import FetchAddOp, ReadOp, WriteOp, chain
+from repro.core.constants import (
+    MAX_CONNECTIONS_PER_NIC,
+    NIC_SRAM_BYTES,
+    REDIRECT_SLOT_BYTES,
+)
+from repro.hw.memory import MemoryError_
+from repro.net.topology import DIRECT, make_fabric
+from repro.prism import HardwarePrismBackend, PrismClient, PrismServer
+from repro.prism.engine import OpStatus
+
+
+@pytest.fixture
+def system(sim):
+    fabric = make_fabric(sim, DIRECT, ["client", "server"])
+    server = PrismServer(sim, fabric, "server", HardwarePrismBackend)
+    addr, rkey = server.add_region(8192)
+    client = PrismClient(sim, fabric, "client", server)
+    return server, client, addr, rkey
+
+
+def test_remote_memcpy_pattern(sim, system, drive):
+    """Server-side copy in ONE round trip: READ src redirected to
+    scratch, then WRITE dst with data_indirect from scratch — no data
+    ever crosses the network."""
+    server, client, addr, rkey = system
+    src, dst = addr, addr + 1024
+    server.space.write(src, b"copy me server side!")
+    tmp = client.sram_slot
+
+    def main():
+        result = yield from client.execute(chain(
+            ReadOp(addr=src, length=20, rkey=rkey, redirect_to=tmp),
+            WriteOp(addr=dst, data=tmp.to_bytes(8, "little"), length=20,
+                    rkey=rkey, data_indirect=True, conditional=True),
+        ))
+        return result
+
+    result = drive(sim, main())
+    assert result.committed
+    assert server.space.read(dst, 20) == b"copy me server side!"
+    # Response carried only acks: the 20 bytes moved NIC-side.
+    assert result[0].value == b""
+
+
+def test_fetch_add_then_conditional_read(sim, system, drive):
+    """FAA as a ticket dispenser chained with a READ of the ticket's
+    slot state."""
+    server, client, addr, rkey = system
+    counter = addr + 2048
+    server.space.write_uint(counter, 7)
+    def main():
+        result = yield from client.execute(chain(
+            FetchAddOp(target=counter, delta=1, rkey=rkey),
+            ReadOp(addr=counter, length=8, rkey=rkey, conditional=True),
+        ))
+        return result
+    result = drive(sim, main())
+    assert int.from_bytes(result[0].value, "little") == 7
+    assert int.from_bytes(result[1].value, "little") == 8
+
+
+def test_scratch_slot_budget_supports_8192_connections():
+    """§4.2: 32 B/connection in 256 KB of NIC SRAM -> 8192 connections."""
+    assert REDIRECT_SLOT_BYTES == 32
+    assert NIC_SRAM_BYTES == 256 * 1024
+    assert MAX_CONNECTIONS_PER_NIC == 8192
+
+
+def test_connection_scratch_exhaustion(sim):
+    """With a deliberately tiny SRAM, connects fail once the scratch
+    slots run out — the per-connection-state limit §4.2 discusses."""
+    fabric = make_fabric(sim, DIRECT, ["client", "server"])
+    server = PrismServer(sim, fabric, "server", HardwarePrismBackend,
+                         memory_bytes=1 << 20)
+    # Shrink the SRAM to 4 slots' worth.
+    server.space.sram_bytes = 4 * 32
+    server.space.sram._brk = 8  # reset the bump allocator
+    server.space.sram.size = 4 * 32 + 8
+    for i in range(4):
+        server.connect(f"c{i}")
+    with pytest.raises(MemoryError_):
+        server.connect("one-too-many")
+
+
+def test_long_mixed_chain(sim, system, drive):
+    """A 6-op chain mixing every category executes in order."""
+    server, client, addr, rkey = system
+    freelist, fl_rkey = server.create_freelist(64, 8)
+    tmp = client.sram_slot
+    from repro.core.ops import AllocateOp, CasMode, CasOp
+    server.space.write_uint(addr + 4096, 1)
+
+    def main():
+        result = yield from client.execute(chain(
+            WriteOp(addr=addr, data=b"seed", rkey=rkey),
+            ReadOp(addr=addr, length=4, rkey=rkey, redirect_to=tmp,
+                   conditional=True),
+            AllocateOp(freelist=freelist, data=b"payload", rkey=fl_rkey,
+                       redirect_to=tmp + 8, conditional=True),
+            FetchAddOp(target=addr + 4096, delta=10, rkey=rkey,
+                       conditional=True),
+            CasOp(target=addr + 4096, data=(99).to_bytes(8, "little"),
+                  rkey=rkey, compare_data=(11).to_bytes(8, "little"),
+                  conditional=True),
+            ReadOp(addr=addr + 4096, length=8, rkey=rkey,
+                   conditional=True),
+        ))
+        return result
+
+    result = drive(sim, main())
+    assert all(r.status is OpStatus.OK for r in result)
+    assert int.from_bytes(result[5].value, "little") == 99
+    # The allocated buffer's address sits in scratch at tmp+8.
+    buffer_addr = server.space.read_ptr(tmp + 8)
+    assert server.space.read(buffer_addr, 7) == b"payload"

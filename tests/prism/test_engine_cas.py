@@ -1,0 +1,165 @@
+"""Enhanced CAS semantics (§3.3): modes, masks, widths, indirection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import CasMode, CasOp
+from repro.prism.engine import OpStatus
+
+
+def _u(value, width=8):
+    return value.to_bytes(width, "little")
+
+
+def test_classic_eq_cas_swaps(harness):
+    harness.space.write(harness.base, _u(5))
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=_u(9), rkey=harness.rkey,
+              compare_data=_u(5)))
+    assert result.status is OpStatus.OK
+    assert result.value == _u(5)  # old value returned
+    assert harness.space.read_uint(harness.base) == 9
+
+
+def test_classic_eq_cas_miss_returns_old(harness):
+    harness.space.write(harness.base, _u(5))
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=_u(9), rkey=harness.rkey,
+              compare_data=_u(4)))
+    assert result.status is OpStatus.CAS_MISS
+    assert result.value == _u(5)
+    assert harness.space.read_uint(harness.base) == 5  # unchanged
+
+
+def test_single_operand_form_compares_data_itself(harness):
+    """Without compare_data, the operand is both comparand and swap."""
+    harness.space.write(harness.base, _u(7))
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=_u(7), rkey=harness.rkey))
+    assert result.status is OpStatus.OK
+
+
+def test_gt_mode_versioned_install(harness):
+    harness.space.write(harness.base, _u(10))
+    ok, _ = harness.run(CasOp(target=harness.base, data=_u(11),
+                              rkey=harness.rkey, mode=CasMode.GT))
+    assert ok.status is OpStatus.OK
+    miss, _ = harness.run(CasOp(target=harness.base, data=_u(11),
+                                rkey=harness.rkey, mode=CasMode.GT))
+    assert miss.status is OpStatus.CAS_MISS
+    assert harness.space.read_uint(harness.base) == 11
+
+
+@pytest.mark.parametrize("mode,operand,memory,hits", [
+    (CasMode.NE, 3, 4, True), (CasMode.NE, 4, 4, False),
+    (CasMode.GE, 4, 4, True), (CasMode.GE, 3, 4, False),
+    (CasMode.LT, 3, 4, True), (CasMode.LT, 4, 4, False),
+    (CasMode.LE, 4, 4, True), (CasMode.LE, 5, 4, False),
+])
+def test_all_modes(harness, mode, operand, memory, hits):
+    harness.space.write(harness.base, _u(memory))
+    result, _ = harness.run(CasOp(target=harness.base, data=_u(operand),
+                                  rkey=harness.rkey, mode=mode))
+    assert (result.status is OpStatus.OK) == hits
+
+
+def test_compare_one_field_swap_another(harness):
+    """The Table 1 selling point: compare version, swap pointer."""
+    # layout: [ver(8) | ptr(8)]; compare ver GT, swap whole struct.
+    harness.space.write(harness.base, _u(3) + _u(0xAAAA))
+    data = _u(4) + _u(0xBBBB)
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=data, rkey=harness.rkey,
+              mode=CasMode.GT, compare_mask=(1 << 64) - 1,
+              operand_width=16))
+    assert result.status is OpStatus.OK
+    assert harness.space.read(harness.base, 16) == data
+
+
+def test_swap_mask_preserves_unswapped_bits(harness):
+    harness.space.write(harness.base, _u(0x1111) + _u(0x2222))
+    data = _u(0x9999) + _u(0x8888)
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=data, rkey=harness.rkey,
+              mode=CasMode.NE, compare_mask=(1 << 128) - 1,
+              swap_mask=(1 << 64) - 1, operand_width=16))
+    assert result.status is OpStatus.OK
+    # Only the low field swapped; high field untouched.
+    assert harness.space.read_uint(harness.base) == 0x9999
+    assert harness.space.read_uint(harness.base + 8) == 0x2222
+
+
+def test_32_byte_operand(harness):
+    old = bytes(range(32))
+    harness.space.write(harness.base, old)
+    new = bytes(reversed(range(32)))
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=new, rkey=harness.rkey,
+              compare_data=old))
+    assert result.status is OpStatus.OK
+    assert harness.space.read(harness.base, 32) == new
+
+
+def test_target_indirect(harness):
+    real_target = harness.base + 256
+    harness.space.write(real_target, _u(1))
+    harness.space.write_ptr(harness.base, real_target)
+    result, accesses = harness.run(
+        CasOp(target=harness.base, data=_u(2), rkey=harness.rkey,
+              mode=CasMode.GT, target_indirect=True))
+    assert result.status is OpStatus.OK
+    assert harness.space.read_uint(real_target) == 2
+    # The dereference is a separate (non-atomic) access; only the CAS
+    # read-modify-write pair is atomic.
+    atomic_flags = [a.atomic for a in accesses]
+    assert atomic_flags == [False, True, True]
+
+
+def test_data_indirect_loads_operand_from_memory(harness):
+    slot = harness.connection.sram_slot
+    harness.space.write(slot, _u(42))
+    harness.space.write(harness.base, _u(41))
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=slot.to_bytes(8, "little"),
+              rkey=harness.rkey, mode=CasMode.GT, data_indirect=True,
+              operand_width=8))
+    assert result.status is OpStatus.OK
+    assert harness.space.read_uint(harness.base) == 42
+
+
+def test_cas_outside_region_naks(harness):
+    result, _ = harness.run(
+        CasOp(target=harness.base + (1 << 16), data=_u(1),
+              rkey=harness.rkey))
+    assert result.status is OpStatus.NAK
+
+
+def test_cas_miss_is_not_an_engine_error(harness):
+    harness.space.write(harness.base, _u(5))
+    result, _ = harness.run(
+        CasOp(target=harness.base, data=_u(1), rkey=harness.rkey,
+              compare_data=_u(99)))
+    assert result.error is None
+    assert not result.successful
+
+
+@given(old=st.integers(min_value=0, max_value=2**64 - 1),
+       new=st.integers(min_value=0, max_value=2**64 - 1),
+       cmask=st.integers(min_value=0, max_value=2**64 - 1),
+       smask=st.integers(min_value=0, max_value=2**64 - 1))
+def test_cas_algebra_property(old, new, cmask, smask):
+    """Masked-CAS postcondition, for arbitrary operands and masks."""
+    from tests.prism.conftest import EngineHarness
+    h = EngineHarness()
+    h.space.write(h.base, _u(old))
+    result, _ = h.run(CasOp(target=h.base, data=_u(new), rkey=h.rkey,
+                            mode=CasMode.EQ, compare_mask=cmask,
+                            swap_mask=smask, operand_width=8))
+    after = h.space.read_uint(h.base)
+    if (new & cmask) == (old & cmask):
+        assert result.status is OpStatus.OK
+        assert after == (old & ~smask) | (new & smask)
+    else:
+        assert result.status is OpStatus.CAS_MISS
+        assert after == old
+    assert result.value == _u(old)

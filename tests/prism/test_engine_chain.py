@@ -1,0 +1,155 @@
+"""Chain execution semantics (§3.4): conditionals, NAK aborts, patterns."""
+
+import pytest
+
+from repro.core import AllocateOp, CasMode, CasOp, ReadOp, WriteOp, chain
+from repro.prism.engine import OpStatus
+
+
+def _u(value, width=8):
+    return value.to_bytes(width, "little")
+
+
+def test_unconditional_ops_all_execute(harness):
+    result = harness.run_chain(chain(
+        WriteOp(addr=harness.base, data=b"a", rkey=harness.rkey),
+        WriteOp(addr=harness.base + 1, data=b"b", rkey=harness.rkey),
+    ))
+    assert all(r.status is OpStatus.OK for r in result)
+    assert harness.space.read(harness.base, 2) == b"ab"
+
+
+def test_conditional_skipped_after_cas_miss(harness):
+    harness.space.write(harness.base, _u(5))
+    result = harness.run_chain(chain(
+        CasOp(target=harness.base, data=_u(1), rkey=harness.rkey,
+              compare_data=_u(99)),  # misses
+        WriteOp(addr=harness.base + 8, data=b"X", rkey=harness.rkey,
+                conditional=True),
+    ))
+    assert result[0].status is OpStatus.CAS_MISS
+    assert result[1].status is OpStatus.SKIPPED
+    assert harness.space.read(harness.base + 8, 1) == b"\x00"
+    assert not result.committed
+
+
+def test_unconditional_op_still_runs_after_cas_miss(harness):
+    harness.space.write(harness.base, _u(5))
+    result = harness.run_chain(chain(
+        CasOp(target=harness.base, data=_u(1), rkey=harness.rkey,
+              compare_data=_u(99)),
+        WriteOp(addr=harness.base + 8, data=b"Y", rkey=harness.rkey),
+    ))
+    assert result[1].status is OpStatus.OK
+    assert harness.space.read(harness.base + 8, 1) == b"Y"
+
+
+def test_conditional_chains_cascade(harness):
+    harness.space.write(harness.base, _u(5))
+    result = harness.run_chain(chain(
+        CasOp(target=harness.base, data=_u(1), rkey=harness.rkey,
+              compare_data=_u(99)),
+        WriteOp(addr=harness.base + 8, data=b"X", rkey=harness.rkey,
+                conditional=True),
+        WriteOp(addr=harness.base + 9, data=b"Y", rkey=harness.rkey,
+                conditional=True),
+    ))
+    assert [r.status for r in result] == [
+        OpStatus.CAS_MISS, OpStatus.SKIPPED, OpStatus.SKIPPED]
+
+
+def test_conditional_after_success_runs(harness):
+    harness.space.write(harness.base, _u(5))
+    result = harness.run_chain(chain(
+        CasOp(target=harness.base, data=_u(6), rkey=harness.rkey,
+              mode=CasMode.GT),
+        WriteOp(addr=harness.base + 8, data=b"Z", rkey=harness.rkey,
+                conditional=True),
+    ))
+    assert result.committed
+    assert harness.space.read(harness.base + 8, 1) == b"Z"
+
+
+def test_nak_aborts_remainder_even_unconditional(harness):
+    """A hard error stops chain processing, like a QP error state."""
+    result = harness.run_chain(chain(
+        ReadOp(addr=harness.base - 1 << 19, length=8, rkey=harness.rkey),
+        WriteOp(addr=harness.base, data=b"N", rkey=harness.rkey),
+    ))
+    assert result[0].status is OpStatus.NAK
+    assert result[1].status is OpStatus.SKIPPED
+    assert harness.space.read(harness.base, 1) == b"\x00"
+    with pytest.raises(Exception):
+        result.raise_on_nak()
+
+
+def test_out_of_place_update_pattern(harness):
+    """§3.5: WRITE tag -> ALLOCATE/redirect -> CAS_GT install, one chain."""
+    _, _, buffers = harness.add_freelist(64, 4)
+    slot = harness.base            # [tag | ptr] metadata
+    tmp = harness.connection.sram_slot
+    harness.space.write(slot, _u(3) + _u(0))
+    result = harness.run_chain(chain(
+        WriteOp(addr=tmp, data=_u(4), rkey=harness.sram_rkey),
+        AllocateOp(freelist=1, data=_u(4) + b"new-value", rkey=harness.rkey,
+                   redirect_to=tmp + 8, conditional=True),
+        CasOp(target=slot, data=tmp.to_bytes(8, "little"),
+              rkey=harness.rkey, mode=CasMode.GT,
+              compare_mask=(1 << 64) - 1, data_indirect=True,
+              operand_width=16, conditional=True),
+    ))
+    assert result.committed
+    tag = harness.space.read_uint(slot)
+    ptr = harness.space.read_ptr(slot + 8)
+    assert tag == 4
+    assert ptr == buffers
+    assert harness.space.read(ptr, 17) == _u(4) + b"new-value"
+
+
+def test_out_of_place_update_loses_to_newer_tag(harness):
+    _, _, buffers = harness.add_freelist(64, 4)
+    slot = harness.base
+    tmp = harness.connection.sram_slot
+    harness.space.write(slot, _u(10) + _u(0xCAFE))
+    result = harness.run_chain(chain(
+        WriteOp(addr=tmp, data=_u(4), rkey=harness.sram_rkey),
+        AllocateOp(freelist=1, data=_u(4) + b"stale", rkey=harness.rkey,
+                   redirect_to=tmp + 8, conditional=True),
+        CasOp(target=slot, data=tmp.to_bytes(8, "little"),
+              rkey=harness.rkey, mode=CasMode.GT,
+              compare_mask=(1 << 64) - 1, data_indirect=True,
+              operand_width=16, conditional=True),
+    ))
+    assert result[2].status is OpStatus.CAS_MISS
+    # Metadata untouched: still tag 10 pointing at 0xCAFE.
+    assert harness.space.read_uint(slot) == 10
+    assert harness.space.read_ptr(slot + 8) == 0xCAFE
+
+
+def test_chain_is_not_atomic_between_ops(harness):
+    """Only individual CASes are atomic; engine interleaving between
+    chain ops is legal (backends insert time there)."""
+    result1, _ = harness.run(
+        WriteOp(addr=harness.base, data=b"A", rkey=harness.rkey))
+    # Interleave a foreign write between two ops of a "chain" by
+    # executing ops individually with prev_ok threading.
+    op1_result, _ = harness.run(
+        WriteOp(addr=harness.base + 1, data=b"B", rkey=harness.rkey))
+    foreign, _ = harness.run(
+        WriteOp(addr=harness.base, data=b"Z", rkey=harness.rkey))
+    op2_result, _ = harness.run(
+        ReadOp(addr=harness.base, length=2, rkey=harness.rkey),
+        prev_ok=op1_result.successful)
+    assert op2_result.value == b"ZB"
+
+
+def test_skipped_results_count(harness):
+    harness.space.write(harness.base, _u(5))
+    result = harness.run_chain(chain(
+        CasOp(target=harness.base, data=_u(0), rkey=harness.rkey,
+              compare_data=_u(1)),
+        ReadOp(addr=harness.base, length=8, rkey=harness.rkey,
+               conditional=True),
+    ))
+    assert len(result) == 2
+    assert result.last.status is OpStatus.SKIPPED

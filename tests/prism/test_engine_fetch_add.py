@@ -1,0 +1,84 @@
+"""FETCH-AND-ADD semantics."""
+
+import pytest
+
+from repro.core import FetchAddOp, InvalidOperation
+from repro.core.wire import decode_op, encode_op
+from repro.prism.engine import OpStatus
+
+
+def _u(value):
+    return value.to_bytes(8, "little")
+
+
+def test_fetch_add_returns_old_and_adds(harness):
+    harness.space.write(harness.base, _u(10))
+    result, accesses = harness.run(
+        FetchAddOp(target=harness.base, delta=5, rkey=harness.rkey))
+    assert result.status is OpStatus.OK
+    assert result.value == _u(10)
+    assert harness.space.read_uint(harness.base) == 15
+    assert all(a.atomic for a in accesses)
+
+
+def test_negative_delta(harness):
+    harness.space.write(harness.base, _u(10))
+    result, _ = harness.run(
+        FetchAddOp(target=harness.base, delta=-3, rkey=harness.rkey))
+    assert harness.space.read_uint(harness.base) == 7
+
+
+def test_wraparound_mod_2_64(harness):
+    harness.space.write(harness.base, _u(2**64 - 1))
+    result, _ = harness.run(
+        FetchAddOp(target=harness.base, delta=2, rkey=harness.rkey))
+    assert harness.space.read_uint(harness.base) == 1
+
+
+def test_delta_range_validated():
+    with pytest.raises(InvalidOperation):
+        FetchAddOp(target=8, delta=1 << 63, rkey=0x1000)
+
+
+def test_outside_region_naks(harness):
+    result, _ = harness.run(
+        FetchAddOp(target=harness.base + (1 << 16), delta=1,
+                   rkey=harness.rkey))
+    assert result.status is OpStatus.NAK
+
+
+def test_not_an_extension():
+    op = FetchAddOp(target=8, delta=1, rkey=0x1000)
+    assert not op.uses_extensions()
+    assert FetchAddOp(target=8, delta=1, rkey=0x1000,
+                      conditional=True).uses_extensions()
+
+
+def test_wire_roundtrip():
+    for delta in (0, 1, -1, 2**62, -(2**62)):
+        op = FetchAddOp(target=0x4242, delta=delta, rkey=0x1234,
+                        conditional=(delta == 1))
+        decoded, _ = decode_op(encode_op(op))
+        assert decoded == op
+
+
+def test_sequencer_pattern(sim, drive):
+    """The classic FAA use: a shared sequencer handing out unique ids
+    to concurrent clients."""
+    from repro.net.topology import DIRECT, make_fabric
+    from repro.prism import HardwareRdmaBackend, PrismClient, PrismServer
+    fabric = make_fabric(sim, DIRECT, ["a", "b", "server"])
+    server = PrismServer(sim, fabric, "server", HardwareRdmaBackend)
+    counter, rkey = server.add_region(8)
+    clients = [PrismClient(sim, fabric, name, server) for name in ("a", "b")]
+    ids = []
+
+    def taker(client):
+        for _ in range(10):
+            old = yield from client.fetch_add(counter, 1, rkey=rkey)
+            ids.append(old)
+
+    processes = [sim.spawn(taker(c)) for c in clients]
+    waiter = sim.spawn((lambda d: (yield d))(sim.all_of(processes)))
+    sim.run_until_complete(waiter, limit=1e6)
+    assert sorted(ids) == list(range(20))  # all unique, no gaps

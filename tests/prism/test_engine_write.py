@@ -1,0 +1,84 @@
+"""WRITE semantics: direct, addr-indirect, bounded, data-indirect."""
+
+import pytest
+
+from repro.core import WriteOp
+from repro.hw.layout import pack_bounded_ptr
+from repro.prism.engine import OpStatus
+
+
+def test_direct_write(harness):
+    result, accesses = harness.run(
+        WriteOp(addr=harness.base, data=b"written", rkey=harness.rkey))
+    assert result.status is OpStatus.OK
+    assert harness.space.read(harness.base, 7) == b"written"
+    assert [(a.kind, a.nbytes) for a in accesses] == [("w", 7)]
+
+
+def test_addr_indirect_write(harness):
+    target = harness.base + 128
+    harness.space.write_ptr(harness.base, target)
+    result, accesses = harness.run(
+        WriteOp(addr=harness.base, data=b"indirect!", rkey=harness.rkey,
+                addr_indirect=True))
+    assert result.status is OpStatus.OK
+    assert harness.space.read(target, 9) == b"indirect!"
+    assert accesses[0] == accesses[0]  # pointer read first
+    assert accesses[0].kind == "r" and accesses[0].nbytes == 8
+
+
+def test_bounded_write_clamps(harness):
+    target = harness.base + 128
+    harness.space.write(target, b"XXXXXXXXXX")
+    harness.space.write(harness.base, pack_bounded_ptr(target, 4))
+    result, _ = harness.run(
+        WriteOp(addr=harness.base, data=b"abcdefgh", rkey=harness.rkey,
+                addr_indirect=True, addr_bounded=True))
+    assert result.status is OpStatus.OK
+    # Only `bound` bytes written; the tail is untouched.
+    assert harness.space.read(target, 10) == b"abcdXXXXXX"
+
+
+def test_data_indirect_write_copies_server_side(harness):
+    source = harness.base + 512
+    harness.space.write(source, b"server-side-source")
+    result, accesses = harness.run(
+        WriteOp(addr=harness.base, data=source.to_bytes(8, "little"),
+                length=18, rkey=harness.rkey, data_indirect=True))
+    assert result.status is OpStatus.OK
+    assert harness.space.read(harness.base, 18) == b"server-side-source"
+    kinds = [(a.kind, a.nbytes) for a in accesses]
+    assert ("r", 18) in kinds and ("w", 18) in kinds
+
+
+def test_data_indirect_from_sram_slot(harness):
+    """The redirect-then-consume pattern: data comes from NIC SRAM."""
+    slot = harness.connection.sram_slot
+    harness.space.write(slot, b"from-sram")
+    result, _ = harness.run(
+        WriteOp(addr=harness.base, data=slot.to_bytes(8, "little"),
+                length=9, rkey=harness.rkey, data_indirect=True))
+    assert result.status is OpStatus.OK
+    assert harness.space.read(harness.base, 9) == b"from-sram"
+
+
+def test_write_outside_region_naks(harness):
+    result, _ = harness.run(
+        WriteOp(addr=harness.base + (1 << 16), data=b"x", rkey=harness.rkey))
+    assert result.status is OpStatus.NAK
+
+
+def test_null_indirect_target_naks(harness):
+    harness.space.write_ptr(harness.base, 0)
+    result, _ = harness.run(
+        WriteOp(addr=harness.base, data=b"x", rkey=harness.rkey,
+                addr_indirect=True))
+    assert result.status is OpStatus.NAK
+
+
+def test_data_indirect_source_must_be_granted(harness):
+    outside = harness.space.sbrk(64)
+    result, _ = harness.run(
+        WriteOp(addr=harness.base, data=outside.to_bytes(8, "little"),
+                length=8, rkey=harness.rkey, data_indirect=True))
+    assert result.status is OpStatus.NAK

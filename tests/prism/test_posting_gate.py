@@ -1,0 +1,135 @@
+"""The NIC posting gate (§3.2 reader/writer synchronization)."""
+
+import pytest
+
+from repro.prism.backend import PostingGate
+
+
+def test_reads_flow_when_not_posting(sim, drive):
+    gate = PostingGate(sim)
+    def main():
+        yield from gate.enter()
+        gate.exit()
+        return sim.now
+    assert drive(sim, main()) == 0.0
+
+
+def test_drain_waits_for_executing_ops(sim):
+    gate = PostingGate(sim)
+    order = []
+
+    def op():
+        yield from gate.enter()
+        yield sim.timeout(10)
+        gate.exit()
+        order.append(("op", sim.now))
+
+    def poster():
+        yield sim.timeout(1)
+        yield from gate.drain()
+        order.append(("drained", sim.now))
+        gate.release()
+
+    sim.spawn(op())
+    sim.spawn(poster())
+    sim.run()
+    assert order == [("op", 10.0), ("drained", 10.0)]
+
+
+def test_new_ops_stall_during_posting(sim):
+    gate = PostingGate(sim)
+    order = []
+
+    def poster():
+        yield from gate.drain()
+        order.append(("posting", sim.now))
+        yield sim.timeout(5)
+        gate.release()
+        order.append(("released", sim.now))
+
+    def late_op():
+        yield sim.timeout(1)
+        yield from gate.enter()
+        order.append(("op_started", sim.now))
+        gate.exit()
+
+    sim.spawn(poster())
+    sim.spawn(late_op())
+    sim.run()
+    assert order == [("posting", 0.0), ("released", 5.0),
+                     ("op_started", 5.0)]
+
+
+def test_posters_serialize(sim):
+    gate = PostingGate(sim)
+    order = []
+
+    def poster(tag, hold):
+        yield from gate.drain()
+        order.append((tag, "in", sim.now))
+        yield sim.timeout(hold)
+        gate.release()
+
+    sim.spawn(poster("a", 4))
+    sim.spawn(poster("b", 4))
+    sim.run()
+    assert order == [("a", "in", 0.0), ("b", "in", 4.0)]
+
+
+def test_drain_does_not_count_queued_ops(sim):
+    """Ops blocked at enter() are not 'executing': the drain completes
+    without waiting for them (that is what keeps posting O(pipeline)
+    rather than O(queue))."""
+    gate = PostingGate(sim)
+    stamps = {}
+
+    def running_op():
+        yield from gate.enter()
+        yield sim.timeout(3)
+        gate.exit()
+
+    def poster():
+        yield sim.timeout(1)
+        yield from gate.drain()
+        stamps["drained"] = sim.now
+        yield sim.timeout(10)  # slow post
+        gate.release()
+
+    def queued_op():
+        yield sim.timeout(2)  # arrives while poster is waiting/posting
+        yield from gate.enter()
+        stamps["queued_started"] = sim.now
+        gate.exit()
+
+    sim.spawn(running_op())
+    sim.spawn(poster())
+    sim.spawn(queued_op())
+    sim.run()
+    assert stamps["drained"] == 3.0       # waited only for running_op
+    assert stamps["queued_started"] == 13.0  # after release
+
+
+def test_interleaved_enters_exits(sim):
+    gate = PostingGate(sim)
+    done = []
+
+    def op(start, hold, tag):
+        yield sim.timeout(start)
+        yield from gate.enter()
+        yield sim.timeout(hold)
+        gate.exit()
+        done.append(tag)
+
+    def poster():
+        yield sim.timeout(2)
+        yield from gate.drain()
+        gate.release()
+        done.append("posted")
+
+    for i in range(3):
+        sim.spawn(op(i * 1.0, 4.0, f"op{i}"))
+    sim.spawn(poster())
+    sim.run()
+    assert set(done) == {"op0", "op1", "op2", "posted"}
+    # The poster drained after ops 0-2 (all entered before the drain).
+    assert done.index("posted") >= 1

@@ -1,0 +1,58 @@
+"""Queue pairs (free lists) and completion queues."""
+
+import pytest
+
+from repro.core.errors import AllocationFailure, RemoteNak
+from repro.rdma.qp import CompletionQueue, QueuePair
+
+
+class TestQueuePair:
+    def test_post_pop_fifo(self):
+        qp = QueuePair(buffer_size=64)
+        qp.post_many([100, 200, 300])
+        assert qp.pop() == 100
+        assert qp.pop() == 200
+        assert len(qp) == 1
+
+    def test_pop_empty_raises_allocation_failure(self):
+        qp = QueuePair(buffer_size=64)
+        with pytest.raises(AllocationFailure):
+            qp.pop()
+
+    def test_counters(self):
+        qp = QueuePair(buffer_size=64)
+        qp.post(1)
+        qp.post(2)
+        qp.pop()
+        assert qp.total_posted == 2
+        assert qp.total_popped == 1
+
+    def test_would_satisfy(self):
+        qp = QueuePair(buffer_size=64)
+        assert qp.would_satisfy(64)
+        assert qp.would_satisfy(0)
+        assert not qp.would_satisfy(65)
+
+    def test_unique_ids(self):
+        assert QueuePair(8).id != QueuePair(8).id
+
+
+class TestCompletionQueue:
+    def test_push_poll_fifo(self):
+        cq = CompletionQueue()
+        cq.push("a")
+        cq.push("b")
+        assert cq.poll() == "a"
+        assert cq.poll() == "b"
+        assert cq.poll() is None
+
+    def test_capacity_overflow(self):
+        cq = CompletionQueue(capacity=1)
+        cq.push("a")
+        with pytest.raises(RemoteNak, match="overflow"):
+            cq.push("b")
+
+    def test_len(self):
+        cq = CompletionQueue()
+        cq.push(1)
+        assert len(cq) == 1

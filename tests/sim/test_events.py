@@ -1,0 +1,89 @@
+"""Event edge cases beyond the kernel tests."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+from repro.sim.events import AllOf, AnyOf
+
+
+def test_event_states(sim):
+    event = sim.event()
+    assert not event.triggered and not event.processed and event.ok is None
+    event.succeed("v")
+    assert event.triggered and not event.processed
+    sim.run()
+    assert event.processed and event.ok and event.value == "v"
+
+
+def test_failed_event_state(sim):
+    event = sim.event()
+    event.fail(ValueError("x"))
+    sim.run()
+    assert event.ok is False
+    assert isinstance(event.value, ValueError)
+
+
+def test_repr_reflects_state(sim):
+    event = sim.event()
+    assert "pending" in repr(event)
+    event.succeed()
+    assert "triggered" in repr(event)
+    sim.run()
+    assert "processed" in repr(event)
+
+
+def test_anyof_with_already_processed_event(sim, drive):
+    ready = sim.event()
+    ready.succeed("early")
+    sim.run()
+    def main():
+        index, value = yield sim.any_of([ready, sim.timeout(100)])
+        return index, value, sim.now
+    assert drive(sim, main()) == (0, "early", 0.0)
+
+
+def test_allof_with_mixed_timing(sim, drive):
+    ready = sim.event()
+    ready.succeed("first")
+    sim.run()
+    def main():
+        values = yield sim.all_of([ready, sim.timeout(5, "second")])
+        return values
+    assert drive(sim, main()) == ["first", "second"]
+
+
+def test_anyof_failure_of_winner_propagates(sim, drive):
+    doomed = sim.event()
+    def failer():
+        yield sim.timeout(1)
+        doomed.fail(KeyError("lost"))
+    sim.spawn(failer())
+    def main():
+        with pytest.raises(KeyError):
+            yield sim.any_of([doomed, sim.timeout(100)])
+        return sim.now
+    assert drive(sim, main()) == 1.0
+
+
+def test_anyof_ignores_later_outcomes(sim, drive):
+    """Once the first event settles AnyOf, later failures are moot."""
+    loser = sim.event()
+    def late_failer():
+        yield sim.timeout(5)
+        loser.fail(RuntimeError("too late"))
+    sim.spawn(late_failer())
+    def main():
+        index, value = yield sim.any_of([sim.timeout(1, "win"), loser])
+        yield sim.timeout(10)  # let the failure land
+        return index, value
+    assert drive(sim, main()) == (0, "win")
+
+
+def test_multiple_callbacks_all_fire(sim):
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(1))
+    event.add_callback(lambda e: seen.append(2))
+    event.succeed()
+    sim.run()
+    assert seen == [1, 2]

@@ -1,0 +1,278 @@
+"""Kernel semantics: events, processes, time, combinators."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, SimulationError, Simulator
+from repro.sim.events import AllOf, AnyOf
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock(sim, drive):
+    def proc():
+        yield sim.timeout(5.5)
+        return sim.now
+    assert drive(sim, proc()) == 5.5
+
+
+def test_zero_timeout_runs_same_timestamp(sim, drive):
+    def proc():
+        yield sim.timeout(0)
+        return sim.now
+    assert drive(sim, proc()) == 0.0
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_timeout_value_delivered(sim, drive):
+    def proc():
+        value = yield sim.timeout(1, value="payload")
+        return value
+    assert drive(sim, proc()) == "payload"
+
+
+def test_timeouts_fire_in_order(sim):
+    order = []
+    def waiter(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+    sim.spawn(waiter(3, "c"))
+    sim.spawn(waiter(1, "a"))
+    sim.spawn(waiter(2, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_fifo_order(sim):
+    order = []
+    def waiter(tag):
+        yield sim.timeout(1)
+        order.append(tag)
+    for tag in range(5):
+        sim.spawn(waiter(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value(sim, drive):
+    def proc():
+        yield sim.timeout(1)
+        return 42
+    assert drive(sim, proc()) == 42
+
+
+def test_process_is_event_others_can_wait_on(sim, drive):
+    def child():
+        yield sim.timeout(2)
+        return "done"
+    def parent():
+        value = yield sim.spawn(child())
+        return (value, sim.now)
+    assert drive(sim, parent()) == ("done", 2.0)
+
+
+def test_event_succeed_wakes_waiter(sim, drive):
+    gate = sim.event()
+    def opener():
+        yield sim.timeout(3)
+        gate.succeed("opened")
+    def waiter():
+        value = yield gate
+        return (value, sim.now)
+    sim.spawn(opener())
+    assert drive(sim, waiter()) == ("opened", 3.0)
+
+
+def test_event_fail_raises_in_waiter(sim, drive):
+    gate = sim.event()
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield gate
+        return "handled"
+    sim.spawn(failer())
+    assert drive(sim, waiter()) == "handled"
+
+
+def test_double_trigger_rejected(sim):
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_fail_requires_exception(sim):
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")
+
+
+def test_callback_after_processed_still_fires(sim):
+    event = sim.event()
+    event.succeed("x")
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_unhandled_process_exception_propagates(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("unseen failure")
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError, match="unseen failure"):
+        sim.run()
+
+
+def test_observed_process_exception_does_not_crash_run(sim, drive):
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("seen failure")
+    def observer():
+        with pytest.raises(RuntimeError, match="seen failure"):
+            yield sim.spawn(bad())
+        return "ok"
+    assert drive(sim, observer()) == "ok"
+
+
+def test_yielding_non_event_is_an_error(sim):
+    def bad():
+        yield 123
+    sim.spawn(bad())
+    with pytest.raises(SimulationError, match="only yield Event"):
+        sim.run()
+
+
+def test_interrupt_reaches_process(sim, drive):
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+            return "overslept"
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, sim.now)
+    def interrupter():
+        process = sim.spawn(sleeper())
+        yield sim.timeout(2)
+        process.interrupt("wake up")
+        value = yield process
+        return value
+    assert drive(sim, interrupter()) == ("interrupted", "wake up", 2.0)
+
+
+def test_interrupt_finished_process_is_noop(sim, drive):
+    def quick():
+        yield sim.timeout(1)
+        return "fin"
+    def main():
+        process = sim.spawn(quick())
+        yield sim.timeout(5)
+        process.interrupt()  # already done; must not blow up
+        value = yield process
+        return value
+    assert drive(sim, main()) == "fin"
+
+
+def test_run_until_limit_stops_clock(sim):
+    def forever():
+        while True:
+            yield sim.timeout(10)
+    sim.spawn(forever())
+    sim.run(until=35)
+    assert sim.now == 35
+
+
+def test_run_until_complete_with_perpetual_daemon(sim):
+    """A daemon must not keep run_until_complete alive forever."""
+    def daemon():
+        while True:
+            yield sim.timeout(1)
+    def task():
+        yield sim.timeout(7)
+        return "done"
+    sim.spawn(daemon())
+    process = sim.spawn(task())
+    assert sim.run_until_complete(process, limit=100) == "done"
+
+
+def test_run_until_complete_incomplete_raises(sim):
+    def slow():
+        yield sim.timeout(1000)
+    with pytest.raises(SimulationError, match="did not complete"):
+        sim.run_until_complete(sim.spawn(slow()), limit=10)
+
+
+def test_any_of_first_wins(sim, drive):
+    def main():
+        index, value = yield sim.any_of(
+            [sim.timeout(5, "slow"), sim.timeout(2, "fast")])
+        return (index, value, sim.now)
+    assert drive(sim, main()) == (1, "fast", 2.0)
+
+
+def test_all_of_collects_in_order(sim, drive):
+    def main():
+        values = yield sim.all_of(
+            [sim.timeout(5, "a"), sim.timeout(2, "b"), sim.timeout(4, "c")])
+        return (values, sim.now)
+    assert drive(sim, main()) == (["a", "b", "c"], 5.0)
+
+
+def test_all_of_empty_succeeds_immediately(sim, drive):
+    def main():
+        values = yield sim.all_of([])
+        return values
+    assert drive(sim, main()) == []
+
+
+def test_any_of_empty_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+
+
+def test_all_of_failure_propagates(sim, drive):
+    doomed = sim.event()
+    def failer():
+        yield sim.timeout(1)
+        doomed.fail(KeyError("nope"))
+    def main():
+        with pytest.raises(KeyError):
+            yield sim.all_of([sim.timeout(5), doomed])
+        return sim.now
+    sim.spawn(failer())
+    assert drive(sim, main()) == 1.0
+
+
+def test_call_at_runs_callable(sim):
+    seen = []
+    sim.call_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_call_at_past_rejected(sim):
+    def advance():
+        yield sim.timeout(10)
+        with pytest.raises(SimulationError):
+            sim.call_at(5, lambda: None)
+        return True
+    process = sim.spawn(advance())
+    assert sim.run_until_complete(process)
+
+
+def test_nested_yield_from_subgenerators(sim, drive):
+    def inner():
+        yield sim.timeout(2)
+        return 10
+    def outer():
+        a = yield from inner()
+        b = yield from inner()
+        return a + b, sim.now
+    assert drive(sim, outer()) == (20, 4.0)

@@ -1,0 +1,41 @@
+"""Determinism of the seeded RNG substreams."""
+
+from repro.sim.rng import SeededRng
+
+
+def test_same_seed_same_stream():
+    a = SeededRng(7).stream("clients")
+    b = SeededRng(7).stream("clients")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_independent():
+    rng = SeededRng(7)
+    a = [rng.stream("a").random() for _ in range(5)]
+    b = [rng.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    rng = SeededRng(0)
+    assert rng.stream("x") is rng.stream("x")
+
+
+def test_adding_stream_does_not_perturb_existing():
+    rng1 = SeededRng(3)
+    s = rng1.stream("main")
+    first = s.random()
+    rng2 = SeededRng(3)
+    rng2.stream("other")  # extra stream created first
+    assert rng2.stream("main").random() == first
+
+
+def test_fork_children_differ():
+    root = SeededRng(1)
+    children = [root.fork(i).stream("w").random() for i in range(10)]
+    assert len(set(children)) == 10
+
+
+def test_fork_deterministic():
+    assert (SeededRng(5).fork(3).stream("x").random()
+            == SeededRng(5).fork(3).stream("x").random())

@@ -1,0 +1,113 @@
+"""Latency recorder and throughput meter."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import LatencyRecorder, ThroughputMeter, summarize
+
+
+class TestLatencyRecorder:
+    def test_warmup_filtering(self):
+        recorder = LatencyRecorder(warmup_until=100)
+        recorder.record(50, 1.0)   # during warmup: dropped
+        recorder.record(150, 2.0)
+        assert recorder.samples == [2.0]
+
+    def test_mean(self):
+        recorder = LatencyRecorder()
+        for latency in (1.0, 2.0, 3.0):
+            recorder.record(0, latency)
+        assert recorder.mean() == pytest.approx(2.0)
+
+    def test_empty_stats_are_nan(self):
+        recorder = LatencyRecorder()
+        assert math.isnan(recorder.mean())
+        assert math.isnan(recorder.percentile(50))
+
+    def test_median_odd(self):
+        recorder = LatencyRecorder()
+        for latency in (5.0, 1.0, 3.0):
+            recorder.record(0, latency)
+        assert recorder.median() == pytest.approx(3.0)
+
+    def test_percentile_interpolates(self):
+        recorder = LatencyRecorder()
+        for latency in (0.0, 10.0):
+            recorder.record(0, latency)
+        assert recorder.percentile(25) == pytest.approx(2.5)
+
+    def test_p99_near_max(self):
+        recorder = LatencyRecorder()
+        for i in range(100):
+            recorder.record(0, float(i))
+        assert 97.0 <= recorder.p99() <= 99.0
+
+    def test_single_sample_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.record(0, 7.0)
+        assert recorder.percentile(0) == 7.0
+        assert recorder.percentile(100) == 7.0
+
+
+class TestThroughputMeter:
+    def test_ops_per_second(self):
+        meter = ThroughputMeter()
+        meter.record(0.0)
+        for t in (10.0, 20.0, 30.0):
+            meter.record(t)
+        # 4 completions over 30 us
+        assert meter.ops_per_sec() == pytest.approx(4 / 30 * 1e6)
+
+    def test_warmup_excluded(self):
+        meter = ThroughputMeter(warmup_until=100)
+        meter.record(50)
+        meter.record(150)
+        meter.record(250)
+        assert meter.completed == 2
+
+    def test_empty_meter_zero(self):
+        assert ThroughputMeter().ops_per_sec() == 0.0
+
+
+def test_summarize_shape():
+    recorder = LatencyRecorder()
+    recorder.record(0, 4.0)
+    meter = ThroughputMeter()
+    meter.record(0)
+    meter.record(10)
+    summary = summarize(recorder, meter)
+    assert set(summary) == {"count", "mean_us", "median_us", "p99_us",
+                            "ops_per_sec"}
+    assert summary["count"] == 1
+
+
+class TestHistogramAndCdf:
+    def test_histogram_counts_everything(self):
+        recorder = LatencyRecorder()
+        for latency in (1.0, 1.1, 5.0, 9.9):
+            recorder.record(0, latency)
+        buckets = recorder.histogram(bucket_width_us=1.0)
+        assert sum(count for _start, count in buckets) == 4
+        assert buckets[0][1] == 2  # the two ~1 µs samples share a bucket
+
+    def test_histogram_bounded_buckets(self):
+        recorder = LatencyRecorder()
+        for i in range(1000):
+            recorder.record(0, float(i))
+        assert len(recorder.histogram(max_buckets=16)) <= 17
+
+    def test_empty_histogram(self):
+        assert LatencyRecorder().histogram() == []
+        assert LatencyRecorder().cdf() == []
+
+    def test_cdf_monotone(self):
+        recorder = LatencyRecorder()
+        for i in range(100):
+            recorder.record(0, float(i))
+        cdf = recorder.cdf(points=10)
+        latencies = [latency for latency, _frac in cdf]
+        fractions = [frac for _latency, frac in cdf]
+        assert latencies == sorted(latencies)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0

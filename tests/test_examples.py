@@ -1,0 +1,36 @@
+"""The examples must stay runnable (they are documentation)."""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _examples():
+    return sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+
+def test_examples_exist():
+    names = _examples()
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + three domain scenarios
+
+
+@pytest.mark.parametrize("script", _examples())
+def test_example_compiles(script):
+    py_compile.compile(os.path.join(EXAMPLES_DIR, script), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "indirect READ" in out
+    assert "chained ALLOCATE->redirect->CAS committed=True" in out
+    assert "NAK'd as expected" in out

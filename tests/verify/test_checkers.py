@@ -1,0 +1,165 @@
+"""The checkers themselves must be trustworthy: test them on known
+linearizable / non-linearizable / serializable / non-serializable
+histories before trusting what they say about the systems."""
+
+import pytest
+
+from repro.verify.history import Invocation
+from repro.verify.linearizability import (
+    LinearizabilityViolation,
+    check_linearizable,
+)
+from repro.verify.serializability import (
+    CommittedTxn,
+    SerializabilityViolation,
+    check_serializable,
+    check_timestamp_serializable,
+)
+
+
+def inv(op_id, kind, key, value, start, finish, client="c"):
+    return Invocation(op_id, client, kind, key, value, start, finish)
+
+
+class TestLinearizability:
+    def test_sequential_history_ok(self):
+        history = [
+            inv(1, "put", "k", "a", 0, 1),
+            inv(2, "get", "k", "a", 2, 3),
+            inv(3, "put", "k", "b", 4, 5),
+            inv(4, "get", "k", "b", 6, 7),
+        ]
+        assert check_linearizable(history) == 1
+
+    def test_stale_read_rejected(self):
+        history = [
+            inv(1, "put", "k", "a", 0, 1),
+            inv(2, "put", "k", "b", 2, 3),
+            inv(3, "get", "k", "a", 4, 5),  # stale: b already installed
+        ]
+        with pytest.raises(LinearizabilityViolation):
+            check_linearizable(history)
+
+    def test_concurrent_put_get_either_value_ok(self):
+        base = [inv(1, "put", "k", "a", 0, 1)]
+        overlap_old = base + [
+            inv(2, "put", "k", "b", 2, 6),
+            inv(3, "get", "k", "a", 3, 4),  # read before concurrent put
+        ]
+        overlap_new = base + [
+            inv(4, "put", "k", "b", 2, 6),
+            inv(5, "get", "k", "b", 3, 4),  # or after it
+        ]
+        assert check_linearizable(overlap_old) == 1
+        assert check_linearizable(overlap_new) == 1
+
+    def test_new_then_old_rejected(self):
+        """Two sequential reads during one put cannot go new -> old."""
+        history = [
+            inv(1, "put", "k", "a", 0, 1),
+            inv(2, "put", "k", "b", 2, 10),
+            inv(3, "get", "k", "b", 3, 4),
+            inv(4, "get", "k", "a", 5, 6),  # went back in time
+        ]
+        with pytest.raises(LinearizabilityViolation):
+            check_linearizable(history)
+
+    def test_initial_value_read(self):
+        history = [inv(1, "get", "k", "init", 0, 1)]
+        assert check_linearizable(history, initial_values={"k": "init"}) == 1
+        with pytest.raises(LinearizabilityViolation):
+            check_linearizable(history, initial_values={"k": "other"})
+
+    def test_keys_are_independent(self):
+        history = [
+            inv(1, "put", "x", "a", 0, 1),
+            inv(2, "put", "y", "b", 0, 1),
+            inv(3, "get", "x", "a", 2, 3),
+            inv(4, "get", "y", "b", 2, 3),
+        ]
+        assert check_linearizable(history) == 2
+
+    def test_real_time_order_enforced_between_writes(self):
+        history = [
+            inv(1, "put", "k", "a", 0, 1),
+            inv(2, "put", "k", "b", 2, 3),   # strictly after
+            inv(3, "get", "k", "a", 10, 11),  # must see b
+        ]
+        with pytest.raises(LinearizabilityViolation):
+            check_linearizable(history)
+
+    def test_larger_concurrent_history(self):
+        # Five writers overlap; a read during the melee may see any of
+        # them; a read after everything must see some write (not init).
+        history = [inv(i, "put", "k", f"v{i}", 0, 10) for i in range(1, 6)]
+        history.append(inv(6, "get", "k", "v3", 5, 6))
+        history.append(inv(7, "get", "k", "v5", 20, 21))
+        assert check_linearizable(history) == 1
+
+
+class TestSerializability:
+    def test_timestamp_order_valid(self):
+        txns = [
+            CommittedTxn(1, 10, reads={"k": "init"}, writes={"k": "a"},
+                         start=0, finish=1),
+            CommittedTxn(2, 20, reads={"k": "a"}, writes={"k": "b"},
+                         start=2, finish=3),
+        ]
+        assert check_timestamp_serializable(
+            txns, initial_values={"k": "init"}) == 2
+
+    def test_bad_read_rejected(self):
+        txns = [
+            CommittedTxn(1, 10, reads={}, writes={"k": "a"}),
+            CommittedTxn(2, 20, reads={"k": "init"}, writes={"k": "b"}),
+        ]
+        with pytest.raises(SerializabilityViolation):
+            check_timestamp_serializable(txns, {"k": "init"})
+
+    def test_duplicate_timestamps_rejected(self):
+        txns = [CommittedTxn(1, 5, {}, {"k": 1}),
+                CommittedTxn(2, 5, {}, {"k": 2})]
+        with pytest.raises(SerializabilityViolation):
+            check_timestamp_serializable(txns, {})
+
+    def test_external_consistency(self):
+        """Conflicting non-overlapping txns must be timestamp-ordered
+        consistently with real time."""
+        txns = [
+            CommittedTxn(1, 20, reads={}, writes={"k": "a"},
+                         start=0, finish=1),
+            CommittedTxn(2, 10, reads={}, writes={"k": "b"},
+                         start=5, finish=6),  # later in time, earlier TS
+        ]
+        with pytest.raises(SerializabilityViolation):
+            check_timestamp_serializable(txns, {})
+
+    def test_non_conflicting_timestamps_free(self):
+        txns = [
+            CommittedTxn(1, 20, reads={}, writes={"x": "a"},
+                         start=0, finish=1),
+            CommittedTxn(2, 10, reads={}, writes={"y": "b"},
+                         start=5, finish=6),
+        ]
+        assert check_timestamp_serializable(txns, {}) == 0
+
+    def test_inferred_order_valid_chain(self):
+        txns = [
+            CommittedTxn(1, None, reads={"k": "init"}, writes={"k": "a"},
+                         start=0),
+            CommittedTxn(2, None, reads={"k": "a"}, writes={"k": "b"},
+                         start=1),
+            CommittedTxn(3, None, reads={"k": "b"}, writes={"k": "c"},
+                         start=2),
+        ]
+        assert check_serializable(txns, {"k": "init"}, infer_order=True) == 3
+
+    def test_inferred_order_cycle_rejected(self):
+        txns = [
+            CommittedTxn(1, None, reads={"x": "b1"}, writes={"y": "a1"},
+                         start=0),
+            CommittedTxn(2, None, reads={"y": "a1"}, writes={"x": "b1"},
+                         start=0),
+        ]
+        with pytest.raises(SerializabilityViolation):
+            check_serializable(txns, {}, infer_order=True)

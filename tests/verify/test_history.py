@@ -1,0 +1,58 @@
+"""History recording helpers."""
+
+import pytest
+
+from repro.verify.history import HistoryRecorder, Invocation
+
+
+def test_overlap_and_precedence():
+    a = Invocation(1, "c", "put", "k", 1, start=0, finish=5)
+    b = Invocation(2, "c", "get", "k", 1, start=3, finish=8)
+    c = Invocation(3, "c", "get", "k", 1, start=6, finish=9)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert a.precedes(c)
+    assert not a.precedes(b)
+
+
+def test_timed_put_and_get(sim, drive):
+    recorder = HistoryRecorder(sim)
+    store = {}
+
+    def putter(key, value):
+        yield sim.timeout(2)
+        store[key] = value
+
+    def getter(key):
+        yield sim.timeout(1)
+        return store.get(key)
+
+    def main():
+        yield from recorder.timed_put("c0", putter, "k", "v1")
+        value = yield from recorder.timed_get("c0", getter, "k")
+        return value
+
+    assert drive(sim, main()) == "v1"
+    assert len(recorder) == 2
+    put, get = recorder.invocations
+    assert put.kind == "put" and put.finish == 2.0
+    assert get.kind == "get" and get.value == "v1"
+    assert put.start == 0.0 and get.start == 2.0
+
+
+def test_for_key_filters():
+    recorder = HistoryRecorder.__new__(HistoryRecorder)
+    recorder.invocations = [
+        Invocation(1, "c", "put", "a", 1, 0, 1),
+        Invocation(2, "c", "put", "b", 1, 0, 1),
+        Invocation(3, "c", "get", "a", 1, 2, 3),
+    ]
+    assert len(recorder.for_key("a")) == 2
+    assert len(recorder.for_key("b")) == 1
+
+
+def test_record_assigns_unique_ids(sim):
+    recorder = HistoryRecorder(sim)
+    first = recorder.record("c", "get", "k", None, 0, 1)
+    second = recorder.record("c", "get", "k", None, 1, 2)
+    assert second.op_id > first.op_id

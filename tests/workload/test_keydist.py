@@ -1,0 +1,82 @@
+"""Key distributions: bounds, determinism, skew shape."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workload.keydist import UniformKeys, ZipfKeys, make_distribution
+
+
+class TestUniform:
+    def test_bounds(self):
+        dist = UniformKeys(100, seed=1)
+        samples = [dist.sample() for _ in range(1000)]
+        assert all(0 <= k < 100 for k in samples)
+
+    def test_determinism(self):
+        a = [UniformKeys(100, seed=7).sample() for _ in range(10)]
+        b = [UniformKeys(100, seed=7).sample() for _ in range(10)]
+        assert a == b
+
+    def test_roughly_uniform(self):
+        dist = UniformKeys(10, seed=3)
+        counts = Counter(dist.sample() for _ in range(10_000))
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+    def test_sample_distinct(self):
+        dist = UniformKeys(10, seed=2)
+        keys = dist.sample_distinct(10)
+        assert sorted(keys) == list(range(10))
+        with pytest.raises(ValueError):
+            dist.sample_distinct(11)
+
+
+class TestZipf:
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(10, -0.5)
+
+    def test_zero_coefficient_is_uniformish(self):
+        dist = ZipfKeys(10, 0.0, seed=5)
+        counts = Counter(dist.sample() for _ in range(10_000))
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+    def test_skew_increases_with_coefficient(self):
+        def hottest_fraction(coefficient):
+            dist = ZipfKeys(1000, coefficient, seed=9)
+            counts = Counter(dist.sample() for _ in range(20_000))
+            return counts.most_common(1)[0][1] / 20_000
+        assert (hottest_fraction(0.5) < hottest_fraction(0.99)
+                < hottest_fraction(1.4))
+
+    def test_high_skew_concentrates_mass(self):
+        dist = ZipfKeys(4000, 1.2, seed=1)
+        counts = Counter(dist.sample() for _ in range(20_000))
+        assert counts.most_common(1)[0][1] / 20_000 > 0.10
+
+    def test_clients_share_hot_keys(self):
+        """Different sampling seeds, same permutation seed -> the same
+        keys are hot for everyone (required for contention figures)."""
+        a = ZipfKeys(1000, 1.2, seed=1, permutation_seed=42)
+        b = ZipfKeys(1000, 1.2, seed=2, permutation_seed=42)
+        hot_a = Counter(a.sample() for _ in range(5000)).most_common(1)[0][0]
+        hot_b = Counter(b.sample() for _ in range(5000)).most_common(1)[0][0]
+        assert hot_a == hot_b
+
+    def test_different_permutation_seeds_move_hot_keys(self):
+        a = ZipfKeys(1000, 1.4, seed=1, permutation_seed=1)
+        b = ZipfKeys(1000, 1.4, seed=1, permutation_seed=2)
+        hot_a = Counter(a.sample() for _ in range(5000)).most_common(1)[0][0]
+        hot_b = Counter(b.sample() for _ in range(5000)).most_common(1)[0][0]
+        assert hot_a != hot_b
+
+    def test_sample_distinct_unique(self):
+        dist = ZipfKeys(100, 1.2, seed=3)
+        keys = dist.sample_distinct(5)
+        assert len(set(keys)) == 5
+
+
+def test_make_distribution_dispatch():
+    assert isinstance(make_distribution(10, zipf=0.0), UniformKeys)
+    assert isinstance(make_distribution(10, zipf=0.9), ZipfKeys)
+    assert isinstance(make_distribution(10, zipf=None), UniformKeys)

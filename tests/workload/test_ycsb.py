@@ -1,0 +1,72 @@
+"""YCSB workload definitions."""
+
+from collections import Counter
+
+from repro.workload.ycsb import (
+    YCSB_A,
+    YCSB_C,
+    YcsbTransactionalWorkload,
+    YcsbWorkload,
+)
+
+
+def test_ycsb_c_is_read_only():
+    workload = YCSB_C(100, seed=1, client_id=0)
+    ops = [workload.next_op() for _ in range(500)]
+    assert all(op.kind == "get" for op in ops)
+
+
+def test_ycsb_a_is_half_and_half():
+    workload = YCSB_A(100, seed=1, client_id=0)
+    kinds = Counter(workload.next_op().kind for _ in range(4000))
+    assert 0.42 < kinds["get"] / 4000 < 0.58
+    assert kinds["get"] + kinds["put"] == 4000
+
+
+def test_put_values_have_requested_size():
+    workload = YCSB_A(100, value_size=256, seed=1, client_id=0)
+    for _ in range(100):
+        op = workload.next_op()
+        if op.kind == "put":
+            assert len(op.value) == 256
+            return
+    raise AssertionError("no put generated")
+
+
+def test_keys_within_range():
+    workload = YCSB_C(50, seed=2, client_id=3)
+    assert all(0 <= workload.next_op().key < 50 for _ in range(500))
+
+
+def test_different_clients_different_streams():
+    a = [YCSB_C(1000, seed=1, client_id=0).next_op().key for _ in range(5)]
+    b = [YCSB_C(1000, seed=1, client_id=1).next_op().key for _ in range(5)]
+    assert a != b
+
+
+def test_transactional_workload_shape():
+    workload = YcsbTransactionalWorkload(100, keys_per_txn=3, seed=1,
+                                         client_id=0)
+    op = workload.next_op()
+    assert op.kind == "txn"
+    assert len(op.read_keys) == 3
+    assert len(set(op.read_keys)) == 3
+    assert op.read_keys == op.write_keys
+    assert op.read_keys == tuple(sorted(op.read_keys))
+    assert len(op.value) == 512
+
+
+def test_transactional_keys_sorted_for_deadlock_freedom():
+    workload = YcsbTransactionalWorkload(1000, keys_per_txn=4, seed=7,
+                                         client_id=2)
+    for _ in range(50):
+        op = workload.next_op()
+        assert list(op.read_keys) == sorted(op.read_keys)
+
+
+def test_ycsb_b_is_read_mostly():
+    from collections import Counter
+    from repro.workload.ycsb import YCSB_B
+    workload = YCSB_B(100, seed=2, client_id=0)
+    kinds = Counter(workload.next_op().kind for _ in range(4000))
+    assert 0.92 < kinds["get"] / 4000 < 0.98
