@@ -63,3 +63,14 @@ def test_fig3_kv_read_only(benchmark):
     peak_hw = peak_throughput(pilaf_hw)
     assert peak_prism > 1.10 * peak_hw
     assert peak_prism > 1.10 * peak_throughput(pilaf_sw)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import bench_main
+
+    sys.exit(bench_main(
+        "kv", "prism-sw",
+        lambda keys: (lambda i: YCSB_C(keys, seed=11, client_id=i)),
+        "Fig. 3 point: PRISM-KV (sw), YCSB-C uniform"))

@@ -61,3 +61,14 @@ def test_fig4_kv_mixed(benchmark):
     peak_prism = peak_throughput(prism)
     peak_hw = peak_throughput(pilaf_hw)
     assert peak_prism > 0.75 * peak_hw
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import bench_main
+
+    sys.exit(bench_main(
+        "kv", "prism-sw",
+        lambda keys: (lambda i: YCSB_A(keys, seed=13, client_id=i)),
+        "Fig. 4 point: PRISM-KV (sw), YCSB-A uniform"))

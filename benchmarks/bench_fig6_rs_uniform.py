@@ -59,3 +59,15 @@ def test_fig6_rs_uniform(benchmark):
     peak_hw = peak_throughput(abd_hw)
     assert peak_prism > 1.15 * peak_hw
     assert peak_prism > 1.15 * peak_throughput(abd_sw)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import bench_main
+
+    sys.exit(bench_main(
+        "rs", "prism-sw",
+        lambda keys: (lambda i: YCSB_A(keys, seed=17, client_id=i)),
+        "Fig. 6 point: PRISM-RS (sw), 50% writes uniform",
+        strict_sum=False))

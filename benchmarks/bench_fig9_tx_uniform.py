@@ -55,3 +55,15 @@ def test_fig9_tx_uniform(benchmark):
     # And reaches higher peak throughput (paper: ~1 M txn/s more).
     assert peak_throughput(prism) > 1.05 * peak_throughput(farm_hw)
     assert peak_throughput(prism) > 1.05 * peak_throughput(curves["farm-sw"])
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import bench_main
+
+    sys.exit(bench_main(
+        "tx", "prism-sw",
+        lambda keys: (lambda i: YcsbTransactionalWorkload(
+            keys, keys_per_txn=1, zipf=0.0, seed=23, client_id=i)),
+        "Fig. 9 point: PRISM-TX (sw), YCSB-T uniform"))

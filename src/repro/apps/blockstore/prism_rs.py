@@ -26,6 +26,7 @@ from repro.apps.blockstore.quorum import quorum
 from repro.apps.common import bump_tag, make_tag, split_tag
 from repro.core.ops import AllocateOp, CasMode, CasOp, ReadOp, WriteOp
 from repro.hw.layout import pack_uint
+from repro.obs.trace import NULL_SPAN
 from repro.prism.client import PrismClient
 from repro.prism.engine import OpStatus
 from repro.prism.recycler import RecyclerClient, RecyclerDaemon
@@ -93,40 +94,46 @@ class PrismRsClient:
 
     # -- public API --------------------------------------------------------
 
-    def get(self, block_id):
+    def get(self, block_id, span=NULL_SPAN):
         """Process helper: linearizable read; returns the value bytes."""
-        tag, value = yield from self._read_phase(block_id)
+        tag, value = yield from self._read_phase(block_id, span=span)
         # Write-back phase: propagate ⟨tag_max, v_max⟩ so later readers
         # cannot observe an older value (ABD's read write-phase).
-        yield from self._write_phase(block_id, tag, value)
+        yield from self._write_phase(block_id, tag, value, span=span)
         self.gets += 1
         return value
 
-    def put(self, block_id, value):
+    def put(self, block_id, value, span=NULL_SPAN):
         """Process helper: linearizable write."""
-        tag, _old_value = yield from self._read_phase(block_id)
+        tag, _old_value = yield from self._read_phase(block_id, span=span)
         new_tag = bump_tag(tag, self.client_id)
-        yield from self._write_phase(block_id, new_tag, value)
+        yield from self._write_phase(block_id, new_tag, value, span=span)
         self.puts += 1
         return None
 
-    def execute(self, op):
+    def execute(self, op, span=NULL_SPAN):
         """Driver adapter for :class:`~repro.workload.ycsb.KvOp`."""
         if op.kind == "get":
-            yield from self.get(op.key)
+            yield from self.get(op.key, span=span)
         else:
-            yield from self.put(op.key, op.value)
+            yield from self.put(op.key, op.value, span=span)
         return None
 
     # -- ABD phases ----------------------------------------------------------
 
-    def _read_phase(self, block_id):
-        """Indirect READ at f+1 replicas; returns ⟨tag_max, v_max⟩."""
+    def _read_phase(self, block_id, span=NULL_SPAN):
+        """Indirect READ at f+1 replicas; returns ⟨tag_max, v_max⟩.
+
+        Each replica's round trip is a sibling child span; they run in
+        parallel, so this operation's phase sums read as *total work*
+        across replicas, not wall-clock (see repro.obs.breakdown).
+        """
         read_len = 8 + self.layout.block_size
         generators = [
-            client.read(self.layout.addr_field(block_id), read_len,
-                        rkey=replica.meta_rkey, indirect=True)
-            for client, replica in zip(self.clients, self.replicas)
+            self._read_at(index, block_id, read_len,
+                          span.child(f"abd.read[{index}]", phase="other",
+                                     replica=self.replicas[index].host_name))
+            for index in range(len(self.replicas))
         ]
         replies = yield from quorum(self.sim, generators, self.f + 1,
                                     name=f"rs-read[{block_id}]")
@@ -137,32 +144,44 @@ class PrismRsClient:
                 best_tag, best_value = tag, value
         return best_tag, best_value
 
-    def _write_phase(self, block_id, tag, value):
+    def _write_phase(self, block_id, tag, value, span=NULL_SPAN):
         """Chained ALLOCATE/CAS_GT install at f+1 replicas."""
         generators = [
-            self._install_at(index, block_id, tag, value)
+            self._install_at(index, block_id, tag, value,
+                             span=span.child(f"abd.write[{index}]",
+                                             phase="other"))
             for index in range(len(self.replicas))
         ]
         yield from quorum(self.sim, generators, self.f + 1,
                           name=f"rs-write[{block_id}]")
 
-    def _install_at(self, index, block_id, tag, value):
+    def _read_at(self, index, block_id, read_len, span):
+        """One replica's read-phase round trip under its own span."""
+        with span:
+            data = yield from self.clients[index].read(
+                self.layout.addr_field(block_id), read_len,
+                rkey=self.replicas[index].meta_rkey, indirect=True,
+                span=span)
+        return data
+
+    def _install_at(self, index, block_id, tag, value, span=NULL_SPAN):
         client = self.clients[index]
         replica = self.replicas[index]
         tmp = client.sram_slot
         sram_rkey = replica.prism.sram_rkey
-        result = yield from client.execute(
-            WriteOp(addr=tmp, data=pack_uint(tag, 8), rkey=sram_rkey),
-            AllocateOp(freelist=replica.freelist_id,
-                       data=RsLayout.pack_buffer(tag, value),
-                       rkey=replica.buffer_rkey, redirect_to=tmp + 8,
-                       conditional=True),
-            CasOp(target=self.layout.meta_addr(block_id),
-                  data=tmp.to_bytes(8, "little"), rkey=replica.meta_rkey,
-                  mode=CasMode.GT, compare_mask=META_TAG_MASK,
-                  data_indirect=True, operand_width=META_SIZE,
-                  conditional=True),
-        )
+        with span:
+            result = yield from client.execute(
+                WriteOp(addr=tmp, data=pack_uint(tag, 8), rkey=sram_rkey),
+                AllocateOp(freelist=replica.freelist_id,
+                           data=RsLayout.pack_buffer(tag, value),
+                           rkey=replica.buffer_rkey, redirect_to=tmp + 8,
+                           conditional=True),
+                CasOp(target=self.layout.meta_addr(block_id),
+                      data=tmp.to_bytes(8, "little"), rkey=replica.meta_rkey,
+                      mode=CasMode.GT, compare_mask=META_TAG_MASK,
+                      data_indirect=True, operand_width=META_SIZE,
+                      conditional=True),
+                span=span)
         result.raise_on_nak()
         cas = result[2]
         if cas.status is OpStatus.OK:

@@ -16,6 +16,7 @@ fixed span, so a GET's second READ is one fixed-size transfer.
 
 from repro.apps.kv.crc import crc_bytes, crc_time_us, verify
 from repro.hw.layout import pack_uint, unpack_uint
+from repro.obs.trace import NULL_SPAN
 from repro.prism.client import PrismClient
 from repro.prism.server import PrismServer
 from repro.rpc.erpc import RpcClient, RpcServer
@@ -167,7 +168,7 @@ class PilafClient:
         self.puts = 0
         self.crc_failures = 0
 
-    def get(self, key):
+    def get(self, key, span=NULL_SPAN):
         """Process helper: two one-sided READs plus CRC verification."""
         if isinstance(key, int):
             key = key.to_bytes(8, "little")
@@ -177,8 +178,10 @@ class PilafClient:
             slot_addr = self.layout.slot_addr(
                 (start + offset) % self.layout.n_slots)
             slot = yield from self.client.read(slot_addr, SLOT_SIZE,
-                                               rkey=self.server.table_rkey)
-            yield self.sim.timeout(crc_time_us(SLOT_SIZE))
+                                               rkey=self.server.table_rkey,
+                                               span=span)
+            with span.child("crc.slot", phase="cpu"):
+                yield self.sim.timeout(crc_time_us(SLOT_SIZE))
             if not verify(slot[:8], slot[8:]):
                 self.crc_failures += 1
                 continue  # racing update: retry this probe
@@ -187,8 +190,10 @@ class PilafClient:
                 self.gets += 1
                 return None
             entry = yield from self.client.read(
-                ptr, self.layout.entry_stride, rkey=self.server.extents_rkey)
-            yield self.sim.timeout(crc_time_us(self.layout.entry_stride))
+                ptr, self.layout.entry_stride, rkey=self.server.extents_rkey,
+                span=span)
+            with span.child("crc.entry", phase="cpu"):
+                yield self.sim.timeout(crc_time_us(self.layout.entry_stride))
             data = entry[:self.layout.entry_data_bytes]
             if not verify(data, entry[self.layout.entry_data_bytes:]):
                 self.crc_failures += 1
@@ -200,20 +205,20 @@ class PilafClient:
         self.gets += 1
         return None
 
-    def put(self, key, value):
+    def put(self, key, value, span=NULL_SPAN):
         """Process helper: a single two-sided RPC."""
         if isinstance(key, int):
             key = key.to_bytes(8, "little")
         yield from self.rpc.call(
             self.server.host_name, PilafServer.PUT_METHOD,
             (bytes(key), bytes(value)),
-            request_payload_bytes=8 + len(key) + len(value))
+            request_payload_bytes=8 + len(key) + len(value), span=span)
         self.puts += 1
 
-    def execute(self, op):
+    def execute(self, op, span=NULL_SPAN):
         """Driver adapter for :class:`~repro.workload.ycsb.KvOp`."""
         if op.kind == "get":
-            yield from self.get(op.key)
+            yield from self.get(op.key, span=span)
         else:
-            yield from self.put(op.key, op.value)
+            yield from self.put(op.key, op.value, span=span)
         return None

@@ -27,6 +27,7 @@ from repro.apps.kv.layout import (
 from repro.core.errors import AccessViolation
 from repro.core.ops import AllocateOp, CasMode, CasOp, ReadOp, WriteOp
 from repro.hw.layout import pack_uint
+from repro.obs.trace import NULL_SPAN
 from repro.prism.client import PrismClient
 from repro.prism.engine import OpStatus
 from repro.prism.recycler import RecyclerClient, RecyclerDaemon
@@ -203,20 +204,21 @@ class PrismKvClient:
 
     # -- operations ---------------------------------------------------------
 
-    def get(self, key):
+    def get(self, key, span=NULL_SPAN):
         """Process helper: returns the value bytes, or None if absent."""
-        entry = yield from self._probe(key, self.layout.full_read_len())
+        entry = yield from self._probe(key, self.layout.full_read_len(),
+                                       span=span)
         self.gets += 1
         if entry is None:
             return None
         _ver, _key, value = KvLayout.unpack_entry(entry[1])
         return value
 
-    def put(self, key, value):
+    def put(self, key, value, span=NULL_SPAN):
         """Process helper: installs ``key -> value``; returns an info dict."""
         key_bytes = KvLayout.encode_key(key)
         probe = yield from self._probe(key, self.layout.probe_read_len(),
-                                       stop_at_empty=True)
+                                       stop_at_empty=True, span=span)
         if probe is None:
             raise RuntimeError("hash table full (no empty slot found)")
         slot_addr, entry = probe
@@ -237,7 +239,7 @@ class PrismKvClient:
                   rkey=self.server.table_rkey, mode=CasMode.GT,
                   compare_mask=SLOT_VER_MASK, data_indirect=True,
                   operand_width=SLOT_SIZE, conditional=True),
-        )
+            span=span)
         result.raise_on_nak()
         self.puts += 1
         cas = result[3]
@@ -254,17 +256,17 @@ class PrismKvClient:
         self._retire(new_ptr, len(payload))
         return {"superseded": True}
 
-    def execute(self, op):
+    def execute(self, op, span=NULL_SPAN):
         """Driver adapter for :class:`~repro.workload.ycsb.KvOp`."""
         if op.kind == "get":
-            yield from self.get(op.key)
+            yield from self.get(op.key, span=span)
         else:
-            yield from self.put(op.key, op.value)
+            yield from self.put(op.key, op.value, span=span)
         return None
 
     # -- internals ---------------------------------------------------------
 
-    def _probe(self, key, read_len, stop_at_empty=False):
+    def _probe(self, key, read_len, stop_at_empty=False, span=NULL_SPAN):
         """Probe for ``key``.
 
         For plain lookups returns ``(slot_addr, entry_bytes)`` or None
@@ -280,7 +282,8 @@ class PrismKvClient:
             result = yield from self.client.execute(
                 ReadOp(addr=slot_addr + 8, length=read_len,
                        rkey=self.server.table_rkey,
-                       indirect=True, bounded=True))
+                       indirect=True, bounded=True),
+                span=span)
             outcome = result[0]
             if outcome.status is OpStatus.NAK:
                 if isinstance(outcome.error, AccessViolation):

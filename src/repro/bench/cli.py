@@ -145,6 +145,17 @@ def cmd_point(args):
         workload = (lambda i: YcsbWorkload(
             args.keys, read_fraction=args.read_fraction, zipf=args.zipf,
             seed=1, client_id=i))
+    if args.trace:
+        from repro.bench.tracing import print_breakdown, run_traced_point
+        result, report, _tracer = run_traced_point(
+            args.kind, args.flavor, workload, args.clients[0],
+            trace_path=args.trace, n_keys=args.keys)
+        print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
+                    curve_rows([result]))
+        print_breakdown(f"{args.kind}/{args.flavor}: phase breakdown "
+                        "(mean µs per op)", report)
+        print(f"chrome trace written to {args.trace}")
+        return
     result = run_point(args.kind, args.flavor, workload, args.clients[0],
                        n_keys=args.keys)
     print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
@@ -177,6 +188,9 @@ def build_parser():
     parser.add_argument("--kind", choices=["kv", "rs", "tx"], default="kv")
     parser.add_argument("--flavor", default="prism-sw")
     parser.add_argument("--read-fraction", type=float, default=0.5)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="(point) trace the run and write Chrome "
+                             "trace-event JSON to PATH")
     return parser
 
 

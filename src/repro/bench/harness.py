@@ -187,12 +187,17 @@ def build_system(kind, flavor, sim, n_keys=DEFAULT_N_KEYS,
 def run_point(kind, flavor, workload_factory, n_clients,
               n_keys=DEFAULT_N_KEYS, value_size=DEFAULT_VALUE_SIZE,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
-              n_client_hosts=N_CLIENT_HOSTS):
+              n_client_hosts=N_CLIENT_HOSTS, tracer=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
+    Pass a :class:`repro.obs.Tracer` to collect per-operation span
+    trees (the default leaves the no-op tracer in place: tracing off
+    changes no timing, since spans only read the simulated clock).
     """
     sim = Simulator()
+    if tracer is not None:
+        sim.set_tracer(tracer)
     # Spare buffers must cover the recycling pipeline: retired buffers
     # sit in client-side batches and the daemon queue before reposting.
     system = build_system(kind, flavor, sim, n_keys=n_keys,
@@ -200,7 +205,7 @@ def run_point(kind, flavor, workload_factory, n_clients,
                           n_client_hosts=n_client_hosts,
                           spare_buffers=4096 + 48 * n_clients)
     driver = ClosedLoopDriver(sim, warmup_us=warmup_us,
-                              measure_us=measure_us)
+                              measure_us=measure_us, tracer=sim.tracer)
     for index in range(n_clients):
         host = f"client{index % n_client_hosts}"
         driver.add_client(system.executor(index, host),

@@ -1,0 +1,118 @@
+"""Traced benchmark points: phase breakdowns + Chrome trace export.
+
+:func:`run_traced_point` is :func:`repro.bench.harness.run_point` with
+a live tracer attached: it returns the usual :class:`RunResult` plus a
+per-phase latency breakdown (wire / nic / pcie / cpu / queue) computed
+from the measured operations' span trees, and optionally writes the
+whole trace as Chrome trace-event JSON (load it at
+https://ui.perfetto.dev).
+
+:func:`bench_main` is the shared ``__main__`` entry point for the
+``benchmarks/bench_fig*.py`` scripts::
+
+    PYTHONPATH=src python benchmarks/bench_fig3_kv_read.py \\
+        --trace /tmp/kv.json --clients 4
+
+Because spans only *read* the simulated clock, a traced run's timing
+is identical to the untraced run — the breakdown's phase sums match
+the measured mean latency exactly, not just within tolerance.
+"""
+
+import argparse
+
+from repro.bench.harness import run_point
+from repro.bench.reporting import print_table
+from repro.obs import Tracer, breakdown, breakdown_rows, write_chrome_trace
+
+
+def measured_roots(tracer):
+    """The root spans of operations counted in the measurement window."""
+    return [root for root in tracer.roots
+            if root.end is not None and root.attrs.get("measured")]
+
+
+def run_traced_point(kind, flavor, workload_factory, n_clients,
+                     trace_path=None, **kwargs):
+    """One measurement point with span tracing on.
+
+    Returns ``(result, report, tracer)`` where ``report`` is the
+    :func:`repro.obs.breakdown` over the measured operations. With
+    ``trace_path``, also writes the Chrome trace-event file.
+    """
+    tracer = Tracer()
+    result = run_point(kind, flavor, workload_factory, n_clients,
+                       tracer=tracer, **kwargs)
+    report = breakdown(measured_roots(tracer))
+    if trace_path:
+        write_chrome_trace(tracer.roots, trace_path,
+                           process_spans=tracer.process_spans)
+    return result, report, tracer
+
+
+def print_breakdown(title, report):
+    headers, rows = breakdown_rows(report)
+    print_table(title, headers, rows)
+
+
+def check_breakdown(result, report, tolerance=0.01):
+    """Assert the phase sums reconcile with the measured mean latency.
+
+    The measured mean is the count-weighted mean of the per-op-type
+    means, so the weighted phase sums must match it within
+    ``tolerance`` (they match exactly up to float rounding; the
+    tolerance is the acceptance bound, not slack we expect to use).
+    """
+    total_ops = sum(entry["count"] for entry in report.values())
+    if total_ops == 0:
+        raise AssertionError("no measured operations were traced")
+    weighted_sum = sum(entry["phase_sum_us"] * entry["count"]
+                       for entry in report.values()) / total_ops
+    mean = result.mean_latency_us
+    if abs(weighted_sum - mean) > tolerance * mean:
+        raise AssertionError(
+            f"phase sums ({weighted_sum:.4f} µs) diverge from measured "
+            f"mean latency ({mean:.4f} µs) by more than {tolerance:.0%}")
+    return weighted_sum
+
+
+def bench_main(kind, flavor, workload_maker, title, argv=None,
+               default_clients=4, default_keys=4000, strict_sum=True,
+               **point_kwargs):
+    """Argparse front end shared by the ``benchmarks/bench_*`` scripts.
+
+    ``workload_maker(n_keys)`` must return a ``workload_factory``
+    suitable for :func:`run_point` (a per-client-index callable).
+    ``strict_sum=False`` skips the sums-to-mean check for systems with
+    parallel fan-out (quorum replication), whose phase sums read as
+    total work across replicas rather than wall-clock latency.
+    """
+    parser = argparse.ArgumentParser(description=title)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON file")
+    parser.add_argument("--clients", type=int, default=default_clients)
+    parser.add_argument("--keys", type=int, default=default_keys)
+    args = parser.parse_args(argv)
+
+    result, report, _tracer = run_traced_point(
+        kind, flavor, workload_maker(args.keys), args.clients,
+        trace_path=args.trace, n_keys=args.keys, **point_kwargs)
+    print_table(title, ["clients", "ops", "Mops/s", "mean_us", "p99_us"],
+                [[result.clients, result.ops,
+                  round(result.throughput_ops_per_sec / 1e6, 3),
+                  round(result.mean_latency_us, 2),
+                  round(result.p99_latency_us, 2)]])
+    print_breakdown(f"{title}: phase breakdown (mean µs per op)", report)
+    if strict_sum:
+        weighted = check_breakdown(result, report)
+        print(f"phase sum {weighted:.3f} µs == mean latency "
+              f"{result.mean_latency_us:.3f} µs (within 1%)")
+    else:
+        total_ops = sum(entry["count"] for entry in report.values())
+        weighted = (sum(entry["phase_sum_us"] * entry["count"]
+                        for entry in report.values()) / total_ops
+                    if total_ops else float("nan"))
+        print(f"total traced work {weighted:.3f} µs/op vs wall-clock mean "
+              f"{result.mean_latency_us:.3f} µs (parallel fan-out)")
+    if args.trace:
+        print(f"chrome trace written to {args.trace}")
+    return 0

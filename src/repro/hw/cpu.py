@@ -7,6 +7,7 @@ is how the paper's saturation knees arise when the CPU (rather than the
 network) is the bottleneck.
 """
 
+from repro.obs.trace import NULL_SPAN
 from repro.sim.resources import Resource
 
 
@@ -20,16 +21,21 @@ class CorePool:
         self._pool = Resource(sim, capacity=cores, name=name)
         self.ops_executed = 0
 
-    def execute(self, service_time_us, work=None):
+    def execute(self, service_time_us, work=None, span=NULL_SPAN):
         """Process helper: occupy one core for ``service_time_us``.
 
         ``work``, if given, is a plain callable run at the *end* of the
         service interval (when the simulated instruction stream would
         have completed); its return value is this generator's value.
+
+        ``span`` parents a queue span (waiting for a free core) and a
+        cpu span (the service interval) for tracing.
         """
-        yield self._pool.acquire()
+        with span.child(f"{self.name}.queue", phase="queue"):
+            yield self._pool.acquire()
         try:
-            yield self.sim.timeout(service_time_us)
+            with span.child(f"{self.name}.exec", phase="cpu"):
+                yield self.sim.timeout(service_time_us)
             self.ops_executed += 1
             if work is not None:
                 return work()

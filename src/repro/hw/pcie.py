@@ -21,3 +21,15 @@ class PcieLink:
     def write_time(self, nbytes):
         """One posted DMA write: half a round trip + payload streaming."""
         return self.round_trip_us / 2 + nbytes / self.bytes_per_us
+
+    def access_time(self, kind, nbytes):
+        """Time for one access-trace entry: ``kind`` is "r" or "w".
+
+        The common currency between timing backends and the tracer's
+        per-phase attribution: both price an engine
+        :class:`~repro.prism.engine.Access` through this one method, so
+        the "pcie" slice of a traced op equals what the backend charged.
+        """
+        if kind == "r":
+            return self.read_time(nbytes)
+        return self.write_time(nbytes)

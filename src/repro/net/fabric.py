@@ -10,6 +10,7 @@ per host; they typically spawn a process to do timed work and reply
 via :meth:`Fabric.send`.
 """
 
+from repro.obs.trace import NULL_SPAN
 from repro.sim.resources import BandwidthPipe
 from repro.net.message import Message
 
@@ -69,24 +70,33 @@ class Fabric:
             return 0.0
         return self.one_way_latency_us
 
-    def send(self, src_name, dst_name, service, payload, size_bytes):
+    def send(self, src_name, dst_name, service, payload, size_bytes,
+             span=NULL_SPAN):
         """Process helper: send a message; returns when handed to RX queue.
 
         Delivery to the service handler happens asynchronously (a
         spawned process), so the sender is released as soon as its TX
         port is free — matching how a NIC really behaves.
+
+        ``span`` parents the transfer's wire/queue spans: TX
+        serialization here, propagation and RX serialization in the
+        delivery process (the span rides on the message).
         """
         message = Message(src_name, dst_name, service, payload, size_bytes)
         message.send_time = self.sim.now
+        message.span = span
         src = self.hosts[src_name]
-        yield from src.tx.transmit(size_bytes)
+        yield from src.tx.transmit(size_bytes, span=span)
         self.sim.spawn(self._deliver(message), name=f"deliver#{message.id}")
         return message
 
     def _deliver(self, message):
-        yield self.sim.timeout(self.path_latency_us(message.src, message.dst))
+        with message.span.child("net.propagate", phase="wire",
+                                src=message.src, dst=message.dst):
+            yield self.sim.timeout(
+                self.path_latency_us(message.src, message.dst))
         dst = self.hosts[message.dst]
-        yield from dst.rx.transmit(message.size_bytes)
+        yield from dst.rx.transmit(message.size_bytes, span=message.span)
         self.messages_delivered += 1
         handler = dst.handler_for(message.service)
         handler(message)

@@ -8,6 +8,8 @@ graph never needs to be byte-serialized to get correct timing.
 
 from itertools import count
 
+from repro.obs.trace import NULL_SPAN
+
 _ids = count(1)
 
 ETHERNET_HEADER_BYTES = 42  # Ethernet + IP + UDP framing
@@ -17,7 +19,8 @@ RDMA_HEADER_BYTES = 30      # IB BTH + RETH-style transport header
 class Message:
     """An envelope travelling through the fabric."""
 
-    __slots__ = ("id", "src", "dst", "service", "payload", "size_bytes", "send_time")
+    __slots__ = ("id", "src", "dst", "service", "payload", "size_bytes",
+                 "send_time", "span")
 
     def __init__(self, src, dst, service, payload, size_bytes):
         self.id = next(_ids)
@@ -27,6 +30,8 @@ class Message:
         self.payload = payload
         self.size_bytes = size_bytes
         self.send_time = None
+        #: tracing parent for the delivery-side (propagation + RX) spans
+        self.span = NULL_SPAN
 
     def __repr__(self):
         return (f"<Message #{self.id} {self.src}->{self.dst}/{self.service} "

@@ -14,18 +14,22 @@ completion overheads.
 from itertools import count
 
 from repro.core.errors import PrismError
+from repro.obs.trace import NULL_SPAN
 
 
 class Request:
     """Envelope body for a request expecting a reply."""
 
-    __slots__ = ("id", "reply_host", "reply_service", "body")
+    __slots__ = ("id", "reply_host", "reply_service", "body", "span")
 
     def __init__(self, id_, reply_host, reply_service, body):
         self.id = id_
         self.reply_host = reply_host
         self.reply_service = reply_service
         self.body = body
+        #: the issuing operation's span; servers parent their
+        #: processing spans under it so one trace crosses host borders
+        self.span = NULL_SPAN
 
 
 class Reply:
@@ -74,16 +78,19 @@ class RequestChannel:
             event.fail(reply.body if isinstance(reply.body, BaseException)
                        else PrismError(str(reply.body)))
 
-    def request(self, dst, service, body, request_size, timeout_us=None):
+    def request(self, dst, service, body, request_size, timeout_us=None,
+                span=NULL_SPAN):
         """Process helper: send ``body`` and wait for the reply payload."""
         request_id = next(self._ids)
         request = Request(request_id, self.host_name, self.reply_service, body)
+        request.span = span
         reply_event = self.sim.event()
         self._pending[request_id] = reply_event
         if self.post_overhead_us:
-            yield self.sim.timeout(self.post_overhead_us)
+            with span.child("client.post", phase="cpu"):
+                yield self.sim.timeout(self.post_overhead_us)
         yield from self.fabric.send(self.host_name, dst, service, request,
-                                    request_size)
+                                    request_size, span=span)
         if timeout_us is None:
             result = yield reply_event
         else:
@@ -96,12 +103,20 @@ class RequestChannel:
                     f"request {request_id} to {dst}/{service} timed out")
             result = value
         if self.completion_overhead_us:
-            yield self.sim.timeout(self.completion_overhead_us)
+            with span.child("client.completion", phase="cpu"):
+                yield self.sim.timeout(self.completion_overhead_us)
         return result
 
 
-def send_reply(fabric, server_host, request, body, size_bytes, ok=True):
-    """Process helper used by servers to answer a :class:`Request`."""
+def send_reply(fabric, server_host, request, body, size_bytes, ok=True,
+               span=NULL_SPAN):
+    """Process helper used by servers to answer a :class:`Request`.
+
+    Pass ``span=request.span`` so the reply's wire spans land in the
+    issuing operation's trace (as siblings of the server-side spans,
+    which keeps each phase's self-time tiling the operation exactly).
+    """
     reply = Reply(request.id, body, ok=ok)
     yield from fabric.send(server_host, request.reply_host,
-                           request.reply_service, reply, size_bytes)
+                           request.reply_service, reply, size_bytes,
+                           span=span)

@@ -1,0 +1,43 @@
+"""Observability: span tracing, metrics, and latency attribution.
+
+Three pieces, all driven by the simulated clock:
+
+* :mod:`repro.obs.trace` — a span-based tracer. Instrumented code
+  holds a parent :class:`Span` and opens children around timed work;
+  the default :data:`NULL_SPAN` / :data:`NULL_TRACER` singletons make
+  every instrumentation point a no-op, so untraced runs pay nothing.
+* :mod:`repro.obs.metrics` — a labeled metrics registry (counters,
+  gauges, histograms) that server/bench snapshots are built from.
+* :mod:`repro.obs.breakdown` — aggregates finished span trees into a
+  per-phase (wire / nic / pcie / cpu / queue) latency attribution, and
+  :mod:`repro.obs.chrome_trace` exports them as Chrome trace-event
+  JSON loadable in Perfetto.
+"""
+
+from repro.obs.breakdown import (
+    PHASES,
+    breakdown,
+    breakdown_rows,
+    phase_attribution,
+)
+from repro.obs.chrome_trace import to_chrome_events, write_chrome_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "PHASES",
+    "breakdown",
+    "breakdown_rows",
+    "phase_attribution",
+    "to_chrome_events",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,99 @@
+"""Per-phase latency attribution from span trees.
+
+Answers the paper's §4.3 question — *where do the microseconds go?* —
+for a traced run: how much of each operation's end-to-end latency was
+wire serialization/propagation, NIC verb processing, PCIe round trips,
+CPU work, and queueing.
+
+Attribution is by **self time**: each span contributes its duration
+minus the duration of its direct children to its own phase, so sibling
+spans that tile their parent sum exactly to the parent and the phase
+totals of one operation sum exactly to its end-to-end latency. A span
+may refine its own lump duration with ``parts`` (a ``{phase: µs}``
+dict) when the simulator charged heterogeneous work as one timeout —
+e.g. a hardware-NIC op whose cost mixes verb processing and PCIe.
+
+Spans that overlap their siblings (parallel fan-out, e.g. a quorum
+write to three replicas) make the phase sum exceed wall-clock latency;
+that is intentional — the report then reads as *total work* per phase,
+while sequential chains keep the sums-to-total invariant exactly.
+"""
+
+#: attribution phases, in display order
+PHASES = ("cpu", "wire", "queue", "nic", "pcie", "other")
+
+
+def phase_attribution(root):
+    """``{phase: µs}`` for one span tree; values sum to its duration
+    (exactly, for sequential operations).
+
+    Subtrees still open when the report runs (quorum stragglers past
+    the f+1 answers the operation waited for) are pruned outright —
+    an open span's ``duration`` would read the *current* clock, not
+    real work, and its children are work the operation never waited on.
+    """
+    totals = dict.fromkeys(PHASES, 0.0)
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        if span.end is None:
+            continue
+        finished = [c for c in span.children if c.end is not None]
+        stack.extend(finished)
+        child_time = sum(child.duration for child in finished)
+        self_time = max(0.0, span.duration - child_time)
+        if span.parts:
+            part_total = 0.0
+            for phase, amount in span.parts.items():
+                totals[phase] = totals.get(phase, 0.0) + amount
+                part_total += amount
+            self_time = max(0.0, self_time - part_total)
+        totals[span.phase] = totals.get(span.phase, 0.0) + self_time
+    return totals
+
+
+def breakdown(roots):
+    """Aggregate finished root spans into per-operation-type phase means.
+
+    Returns ``{op_name: {"count", "mean_us", "phases": {phase: mean µs},
+    "phase_sum_us"}}`` where ``phases`` are mean per-op attributions.
+    """
+    grouped = {}
+    for root in roots:
+        if root.end is None:
+            continue
+        entry = grouped.setdefault(
+            root.name, {"count": 0, "total_us": 0.0,
+                        "phases": dict.fromkeys(PHASES, 0.0)})
+        entry["count"] += 1
+        entry["total_us"] += root.duration
+        for phase, amount in phase_attribution(root).items():
+            entry["phases"][phase] = entry["phases"].get(phase, 0.0) + amount
+    report = {}
+    for name, entry in sorted(grouped.items()):
+        count = entry["count"]
+        phases = {phase: amount / count
+                  for phase, amount in entry["phases"].items()}
+        report[name] = {
+            "count": count,
+            "mean_us": entry["total_us"] / count,
+            "phases": phases,
+            "phase_sum_us": sum(phases.values()),
+        }
+    return report
+
+
+def breakdown_rows(report):
+    """(headers, rows) for :func:`repro.bench.reporting.print_table`."""
+    phases = [phase for phase in PHASES
+              if any(entry["phases"].get(phase, 0.0) > 1e-9
+                     for entry in report.values())]
+    headers = ["op", "count", "mean_us"] + [f"{p}_us" for p in phases] \
+        + ["sum_us"]
+    rows = []
+    for name, entry in report.items():
+        rows.append([name, entry["count"], round(entry["mean_us"], 3)]
+                    + [round(entry["phases"].get(p, 0.0), 3)
+                       for p in phases]
+                    + [round(entry["phase_sum_us"], 3)])
+    return headers, rows

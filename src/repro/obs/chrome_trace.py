@@ -1,0 +1,77 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+Each traced operation becomes one *thread track* (``tid``) holding its
+whole span tree as nested complete ("X") events; process-lifetime
+spans (``Tracer(trace_processes=True)``) land on a separate track.
+Timestamps are the simulator's microseconds, which is exactly the unit
+the trace-event format expects — load the file in https://ui.perfetto.dev
+and the clock reads in simulated µs.
+"""
+
+import json
+
+#: pid for operation tracks / kernel-process tracks
+OPS_PID = 1
+PROCESS_PID = 2
+
+
+def _event(span, pid, tid):
+    event = {
+        "name": span.name,
+        "cat": span.phase,
+        "ph": "X",
+        "ts": span.start,
+        "dur": span.duration,
+        "pid": pid,
+        "tid": tid,
+    }
+    args = {}
+    if span.attrs:
+        args.update({k: _jsonable(v) for k, v in span.attrs.items()})
+    if span.parts:
+        args["parts_us"] = {k: round(v, 4) for k, v in span.parts.items()}
+    if args:
+        event["args"] = args
+    return event
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def to_chrome_events(roots, process_spans=()):
+    """Flatten span trees into a ts-sorted trace-event list."""
+    events = []
+    for tid, root in enumerate(roots, start=1):
+        if root.end is None:
+            continue
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": OPS_PID, "tid": tid,
+            "args": {"name": f"op {tid}: {root.name}"},
+        })
+        for span in root.walk():
+            if span.end is None:
+                continue
+            events.append(_event(span, OPS_PID, tid))
+    for span in process_spans:
+        if span.end is None:
+            continue
+        events.append(_event(span, PROCESS_PID, 1))
+    metadata = [e for e in events if e["ph"] == "M"]
+    timed = sorted((e for e in events if e["ph"] != "M"),
+                   key=lambda e: (e["ts"], -e["dur"]))
+    return metadata + timed
+
+
+def write_chrome_trace(roots, path, process_spans=()):
+    """Write a ``{"traceEvents": [...]}`` JSON file; returns the path."""
+    payload = {
+        "traceEvents": to_chrome_events(roots, process_spans),
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "simulated microseconds"},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return path

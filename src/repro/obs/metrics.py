@@ -1,0 +1,189 @@
+"""A labeled metrics registry: counters, gauges, histograms.
+
+The registry is the system's one map from metric name + label set to a
+live instrument. Layers either update instruments directly (hot-path
+counters) or *absorb* the ad-hoc totals they already keep into a
+registry at snapshot time — :func:`repro.prism.stats.server_report` is
+a thin view built this way.
+
+Instruments are cheap plain objects; nothing here touches the
+simulated clock, so the registry is safe to read at any time.
+"""
+
+import math
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only increase")
+        self.value += amount
+        return self.value
+
+    def absorb(self, total):
+        """Set the counter to an externally maintained running total.
+
+        For snapshot-style collection of totals another layer already
+        counts (port bytes, engine ops): idempotent across repeated
+        collections, but still refuses to go backwards.
+        """
+        if total < self.value:
+            raise ValueError(
+                f"{self.name}: absorbed total went backwards "
+                f"({total} < {self.value})")
+        self.value = total
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (utilization, queue depth, free buffers)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+        return self.value
+
+    def inc(self, amount=1):
+        self.value += amount
+        return self.value
+
+    def dec(self, amount=1):
+        self.value -= amount
+        return self.value
+
+
+class Histogram:
+    """A distribution of observations with quantile queries."""
+
+    __slots__ = ("name", "labels", "samples", "total")
+
+    kind = "histogram"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.samples = []
+        self.total = 0.0
+
+    def observe(self, value):
+        self.samples.append(value)
+        self.total += value
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    def mean(self):
+        if not self.samples:
+            return float("nan")
+        return self.total / len(self.samples)
+
+    def percentile(self, p):
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    @property
+    def value(self):
+        """Summary dict (what :meth:`MetricsRegistry.collect` reports)."""
+        return {"count": self.count, "sum": self.total, "mean": self.mean()}
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument, keyed by name + labels."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, kind, name, labels):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = _KINDS[kind](name, dict(labels))
+            self._instruments[key] = instrument
+        elif instrument.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"not {kind}")
+        return instrument
+
+    def counter(self, name, **labels):
+        return self._get("counter", name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name, **labels):
+        return self._get("histogram", name, labels)
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def get(self, name, **labels):
+        """The instrument registered under this name + labels, or None."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def value(self, name, **labels):
+        """Shorthand: the instrument's current value (KeyError if absent)."""
+        instrument = self.get(name, **labels)
+        if instrument is None:
+            raise KeyError(f"no metric {name!r} with labels {labels}")
+        return instrument.value
+
+    def collect(self):
+        """Stable-sorted snapshot: list of (name, labels, kind, value)."""
+        return [(i.name, dict(i.labels), i.kind, i.value)
+                for _key, i in sorted(self._instruments.items(),
+                                      key=lambda item: item[0])]
+
+    def format(self):
+        """Plain-text rendering, one metric per line."""
+        lines = []
+        for name, labels, kind, value in self.collect():
+            label_text = ",".join(f"{k}={v}" for k, v in
+                                  sorted(labels.items()))
+            rendered = (f"{value:.6g}" if isinstance(value, float)
+                        else str(value))
+            lines.append(f"{name}{{{label_text}}} {rendered}")
+        return "\n".join(lines)

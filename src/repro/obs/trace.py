@@ -1,0 +1,231 @@
+"""Span tracing on the simulated clock.
+
+A :class:`Span` is one timed interval of an operation's life — a wire
+serialization, a PCIe access, a core occupancy — stamped with
+``sim.now`` at open and close and labeled with a *phase* (see
+:data:`repro.obs.breakdown.PHASES`). Spans form a tree: every
+instrumentation point receives its parent span and opens children
+around the work it times, so one PRISM request traces as
+
+    get
+    └── roundtrip
+        ├── client.post            (cpu)
+        ├── client0.tx.queue       (queue)
+        ├── client0.tx.xmit        (wire)
+        ├── net.propagate          (wire)
+        ├── server.rx.xmit         (wire)
+        ├── server.process         (queue)
+        │   ├── admission          (cpu/queue)
+        │   └── op.read            (nic, parts={nic, pcie})
+        ├── server.tx.xmit         (wire)   # reply
+        ├── net.propagate          (wire)
+        ├── client0.rx.xmit        (wire)
+        └── client.completion      (cpu)
+
+Parents are passed *explicitly* (there is no ambient "current span"):
+simulation processes interleave on one thread, so any global stack
+would attach one client's children to another client's operation.
+
+The no-op path: :data:`NULL_SPAN` is a singleton whose ``child()``
+returns itself and whose context-manager hooks do nothing. Untraced
+code threads it through the same call sites at the cost of a method
+call per instrumentation point — no allocation, no clock reads.
+"""
+
+
+class Span:
+    """One timed, labeled interval; node of a per-operation tree."""
+
+    __slots__ = ("tracer", "name", "phase", "parent", "start", "end",
+                 "attrs", "children", "parts")
+
+    #: real spans record; the NULL_SPAN overrides this with False
+    enabled = True
+
+    def __init__(self, tracer, name, phase, parent, start, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.phase = phase
+        self.parent = parent
+        self.start = start
+        self.end = None
+        self.attrs = attrs
+        self.children = []
+        #: optional {phase: µs} refinement of this span's own duration,
+        #: for work the simulator charges as one lump (e.g. a NIC op
+        #: whose op_time mixes verb processing and PCIe round trips).
+        self.parts = None
+
+    # -- construction ------------------------------------------------------
+
+    def child(self, name, phase="other", **attrs):
+        """Open a child span starting now."""
+        span = Span(self.tracer, name, phase, self, self.tracer.now, attrs)
+        self.children.append(span)
+        return span
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def finish(self):
+        """Close the span at the current simulated time (idempotent)."""
+        if self.end is None:
+            self.end = self.tracer.now
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.finish()
+        return False
+
+    # -- annotation --------------------------------------------------------
+
+    def annotate(self, **attrs):
+        self.attrs.update(attrs)
+        return self
+
+    def set_parts(self, parts):
+        """Attach a {phase: µs} split of this span's own duration."""
+        self.parts = parts
+        return self
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def duration(self):
+        """Length in µs; an open span measures up to the current time."""
+        end = self.end if self.end is not None else self.tracer.now
+        return end - self.start
+
+    def walk(self):
+        """Yield this span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self):
+        state = f"{self.duration:.3f}us" if self.end is not None else "open"
+        return f"<Span {self.name} [{self.phase}] {state}>"
+
+
+class _NullSpan:
+    """The do-nothing span: every operation returns self or a constant."""
+
+    __slots__ = ()
+
+    enabled = False
+    name = "null"
+    phase = "other"
+    parent = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    parts = None
+    children = ()
+    attrs = {}
+
+    def child(self, name, phase="other", **attrs):
+        return self
+
+    def finish(self):
+        pass
+
+    def annotate(self, **attrs):
+        return self
+
+    def set_parts(self, parts):
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def __repr__(self):
+        return "<NullSpan>"
+
+
+#: shared no-op span: the default value of every ``span=`` parameter
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span trees for one simulation run.
+
+    Bind it to a simulator (``Tracer(sim)`` or :meth:`bind`) so spans
+    read the simulated clock; then create per-operation roots with
+    :meth:`root` and thread them through the instrumented call sites.
+
+    ``trace_processes=True`` additionally records every kernel process
+    lifetime (spawn → completion) as a flat span list — the
+    ``sim/kernel`` timing hook — exported on its own track.
+    """
+
+    enabled = True
+
+    def __init__(self, sim=None, trace_processes=False):
+        self._sim = sim
+        self.trace_processes = trace_processes
+        #: finished (or still-open) root spans, in creation order
+        self.roots = []
+        #: process-lifetime spans when ``trace_processes`` is on
+        self.process_spans = []
+        self._live_processes = {}
+
+    def bind(self, sim):
+        """Attach to the simulator whose clock stamps the spans."""
+        self._sim = sim
+        return self
+
+    @property
+    def now(self):
+        return self._sim.now
+
+    def root(self, name, phase="other", **attrs):
+        """Open a new top-level span (one per traced operation)."""
+        span = Span(self, name, phase, None, self.now, attrs)
+        self.roots.append(span)
+        return span
+
+    # -- kernel hooks ------------------------------------------------------
+
+    def process_started(self, process):
+        if self.trace_processes:
+            span = Span(self, process.name, "process", None, self.now, {})
+            self._live_processes[id(process)] = span
+            self.process_spans.append(span)
+
+    def process_finished(self, process):
+        if self.trace_processes:
+            span = self._live_processes.pop(id(process), None)
+            if span is not None:
+                span.finish()
+
+
+class NullTracer:
+    """Default tracer: records nothing, creates only the NULL_SPAN."""
+
+    enabled = False
+    trace_processes = False
+    roots = ()
+    process_spans = ()
+
+    def bind(self, sim):
+        return self
+
+    def root(self, name, phase="other", **attrs):
+        return NULL_SPAN
+
+    def process_started(self, process):
+        pass
+
+    def process_finished(self, process):
+        pass
+
+
+#: shared no-op tracer: the default value of ``Simulator.tracer``
+NULL_TRACER = NullTracer()

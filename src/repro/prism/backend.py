@@ -11,6 +11,7 @@ is (§3.3).
 from dataclasses import dataclass, field
 
 from repro.core.chain import Chain
+from repro.obs.trace import NULL_SPAN
 from repro.prism.address_space import DOMAIN_HOST
 from repro.prism.engine import ChainResult, OpResult, OpStatus
 from repro.sim.resources import Resource
@@ -119,6 +120,12 @@ class Backend:
     supports_extensions = True
     #: whether CAS may use Mellanox-style masked/32-byte operands
     supports_extended_atomics = True
+    #: tracing phase of op execution time ("nic" for ASICs, "cpu" for
+    #: core-based stacks); see repro.obs.breakdown.PHASES
+    execution_phase = "nic"
+    #: tracing phase of request_admission time (a software stack's
+    #: pipeline latency is CPU work; a queue-only admission is "queue")
+    admission_phase = "queue"
 
     def __init__(self, sim, engine, config=None):
         self.sim = sim
@@ -149,22 +156,37 @@ class Backend:
         """
         raise NotImplementedError
 
+    def op_time_parts(self, op, accesses, op_index=0):
+        """``{phase: µs}`` split of :meth:`op_time` for tracing.
+
+        Must sum to exactly ``op_time(op, accesses, op_index)``; only
+        computed when a request is traced. The default attributes the
+        whole duration to :attr:`execution_phase`; device backends that
+        mix costs (NIC verb time + PCIe round trips) override it.
+        """
+        return {self.execution_phase: self.op_time(op, accesses, op_index)}
+
     def acquire_execution(self, op):
         """Acquire whatever unit executes ``op``; returns a release callable."""
         raise NotImplementedError
 
     # -- driver ------------------------------------------------------------
 
-    def process(self, connection, ops):
+    def process(self, connection, ops, span=NULL_SPAN):
         """Process helper: execute a request, yielding its time costs.
 
         Returns a :class:`ChainResult`. Semantics follow §3.4: a hard
         NAK aborts the remainder; a CAS miss only suppresses
         *conditional* successors.
+
+        ``span`` parents the request's device-side spans: admission,
+        per-op dispatch waits (execution unit + posting gate), and each
+        op's execution interval (refined by :meth:`op_time_parts`).
         """
         if isinstance(ops, Chain):
             ops = ops.ops
-        yield from self.request_admission(ops)
+        with span.child("admission", phase=self.admission_phase):
+            yield from self.request_admission(ops)
         results = []
         prev_ok = True
         aborted = False
@@ -172,14 +194,20 @@ class Backend:
             if aborted:
                 results.append(OpResult(OpStatus.SKIPPED))
                 continue
-            release = yield from self.acquire_execution(op)
-            yield from self.gate.enter()
+            with span.child(f"dispatch[{op_index}]", phase="queue"):
+                release = yield from self.acquire_execution(op)
+                yield from self.gate.enter()
             try:
                 result, accesses = self.engine.execute_op(
                     connection, op, prev_ok)
                 duration = self.op_time(op, accesses, op_index)
-                if duration > 0:
-                    yield self.sim.timeout(duration)
+                with span.child(f"op.{op.opname}", phase=self.execution_phase,
+                                status=result.status.value) as op_span:
+                    if op_span.enabled:
+                        op_span.set_parts(
+                            self.op_time_parts(op, accesses, op_index))
+                    if duration > 0:
+                        yield self.sim.timeout(duration)
             finally:
                 self.gate.exit()
                 release()

@@ -15,6 +15,7 @@ per-op outcomes (e.g. distinguishing a CAS miss from success).
 from repro.core.chain import Chain
 from repro.core.ops import AllocateOp, CasOp, ReadOp, WriteOp
 from repro.net.port import RequestChannel
+from repro.obs.trace import NULL_SPAN
 from repro.prism.engine import OpStatus
 
 
@@ -47,50 +48,54 @@ class PrismClient:
 
     # -- raw submission ----------------------------------------------------
 
-    def execute(self, *ops):
+    def execute(self, *ops, span=NULL_SPAN):
         """Submit ops as one request (one round trip); ChainResult back."""
         if len(ops) == 1 and isinstance(ops[0], Chain):
             chain = ops[0]
         else:
             chain = Chain(ops)
-        result = yield from self.channel.request(
-            self.server.host_name, self.server.service,
-            (self.connection.id, chain), chain.request_bytes())
+        with span.child("roundtrip", phase="cpu",
+                        ops=len(chain.ops)) as trip:
+            result = yield from self.channel.request(
+                self.server.host_name, self.server.service,
+                (self.connection.id, chain), chain.request_bytes(),
+                span=trip)
         self.round_trips += 1
         return result
 
     # -- Table 1 convenience wrappers --------------------------------------
 
     def read(self, addr, length, rkey=None, indirect=False, bounded=False,
-             redirect_to=None):
+             redirect_to=None, span=NULL_SPAN):
         """READ; returns bytes (b'' when redirected)."""
         op = ReadOp(addr=addr, length=length,
                     rkey=self._rkey(rkey), indirect=indirect, bounded=bounded,
                     redirect_to=redirect_to)
-        result = yield from self.execute(op)
+        result = yield from self.execute(op, span=span)
         result.raise_on_nak()
         return result[0].value
 
     def write(self, addr, data, rkey=None, length=None, addr_indirect=False,
-              addr_bounded=False, data_indirect=False):
+              addr_bounded=False, data_indirect=False, span=NULL_SPAN):
         """WRITE; returns None."""
         op = WriteOp(addr=addr, data=data, rkey=self._rkey(rkey),
                      length=length, addr_indirect=addr_indirect,
                      addr_bounded=addr_bounded, data_indirect=data_indirect)
-        result = yield from self.execute(op)
+        result = yield from self.execute(op, span=span)
         result.raise_on_nak()
 
-    def allocate(self, freelist, data, rkey=None, redirect_to=None):
+    def allocate(self, freelist, data, rkey=None, redirect_to=None,
+                 span=NULL_SPAN):
         """ALLOCATE; returns the buffer address (0 when redirected)."""
         op = AllocateOp(freelist=freelist, data=data, rkey=self._rkey(rkey),
                         redirect_to=redirect_to)
-        result = yield from self.execute(op)
+        result = yield from self.execute(op, span=span)
         result.raise_on_nak()
         return result[0].value
 
     def cas(self, target, data, rkey=None, mode=None, compare_mask=None,
             swap_mask=None, compare_data=None, target_indirect=False,
-            data_indirect=False, operand_width=None):
+            data_indirect=False, operand_width=None, span=NULL_SPAN):
         """Enhanced CAS; returns ``(swapped, old_value_bytes)``."""
         kwargs = {}
         if mode is not None:
@@ -101,16 +106,16 @@ class PrismClient:
                    target_indirect=target_indirect,
                    data_indirect=data_indirect,
                    operand_width=operand_width, **kwargs)
-        result = yield from self.execute(op)
+        result = yield from self.execute(op, span=span)
         result.raise_on_nak()
         outcome = result[0]
         return outcome.status is OpStatus.OK, outcome.value
 
-    def fetch_add(self, target, delta, rkey=None):
+    def fetch_add(self, target, delta, rkey=None, span=NULL_SPAN):
         """Classic FETCH-AND-ADD; returns the previous 64-bit value."""
         from repro.core.ops import FetchAddOp
         op = FetchAddOp(target=target, delta=delta, rkey=self._rkey(rkey))
-        result = yield from self.execute(op)
+        result = yield from self.execute(op, span=span)
         result.raise_on_nak()
         return int.from_bytes(result[0].value, "little")
 

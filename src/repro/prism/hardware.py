@@ -40,18 +40,32 @@ class HardwareRdmaBackend(_PooledBackend):
     # surcharge below models the read-modify-write unit's extra work.
 
     def op_time(self, op, accesses, op_index=0):
+        # Kept as a single accumulation (not sum-of-parts) so untraced
+        # timing is bit-identical whether or not tracing code exists;
+        # op_time_parts mirrors this arithmetic and a test pins the two
+        # to each other.
         total = self.config.nic_base_op_us
         for access in accesses:
             if access.domain == DOMAIN_HOST:
-                if access.kind == "r":
-                    total += self._pcie.read_time(access.nbytes)
-                else:
-                    total += self._pcie.write_time(access.nbytes)
+                total += self._pcie.access_time(access.kind, access.nbytes)
             else:
                 total += self.config.sram_access_us
             if access.atomic:
                 total += self.config.nic_atomic_unit_us
         return total
+
+    def op_time_parts(self, op, accesses, op_index=0):
+        """Verb-processing ("nic") vs host-memory DMA ("pcie") split."""
+        nic = self.config.nic_base_op_us
+        pcie = 0.0
+        for access in accesses:
+            if access.domain == DOMAIN_HOST:
+                pcie += self._pcie.access_time(access.kind, access.nbytes)
+            else:
+                nic += self.config.sram_access_us
+            if access.atomic:
+                nic += self.config.nic_atomic_unit_us
+        return {"nic": nic, "pcie": pcie}
 
 
 class HardwarePrismBackend(HardwareRdmaBackend):

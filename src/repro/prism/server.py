@@ -139,6 +139,7 @@ class PrismServer:
 
     def _serve(self, message):
         request = message.payload
+        root = request.span
         connection_id, ops = request.body
         connection = self.connections.get(connection_id)
         if connection is None:
@@ -146,12 +147,16 @@ class PrismServer:
             yield from send_reply(
                 self.fabric, self.host_name, request,
                 RemoteNak(f"unknown connection {connection_id}"), 12,
-                ok=False)
+                ok=False, span=root)
             return
-        result = yield from self.backend.process(connection, ops)
+        with root.child("server.process", phase="queue",
+                        host=self.host_name,
+                        backend=self.backend.label) as span:
+            result = yield from self.backend.process(connection, ops,
+                                                     span=span)
         size = self._response_bytes(ops, result)
         yield from send_reply(self.fabric, self.host_name, request,
-                              result, size)
+                              result, size, span=root)
 
     @staticmethod
     def _response_bytes(ops, result):

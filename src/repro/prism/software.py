@@ -23,6 +23,10 @@ class SoftwarePrismBackend(Backend):
     label = "prism-sw"
     supports_extensions = True
     supports_extended_atomics = True
+    # Both the stack pipeline latency and op execution are host-core
+    # work in this deployment, so traces attribute them to "cpu".
+    execution_phase = "cpu"
+    admission_phase = "cpu"
 
     def __init__(self, sim, engine, config=None, cores=None):
         config = config or BackendConfig()

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.hw.cpu import CorePool
 from repro.net.message import ETHERNET_HEADER_BYTES
 from repro.net.port import RequestChannel, send_reply
+from repro.obs.trace import NULL_SPAN
 
 
 @dataclass
@@ -61,12 +62,13 @@ class RpcServer:
 
     def _serve(self, message):
         request = message.payload
+        root = request.span
         method, args = request.body
         handler = self._methods.get(method)
         if handler is None:
             yield from send_reply(self.fabric, self.host_name, request,
                                   KeyError(f"no RPC method {method!r}"),
-                                  ETHERNET_HEADER_BYTES, ok=False)
+                                  ETHERNET_HEADER_BYTES, ok=False, span=root)
             return
         handler, service_us = handler
         if service_us is None:
@@ -77,16 +79,20 @@ class RpcServer:
             duration = service_us
         duration += self.config.dispatch_us
         try:
-            outcome = yield from self.cores.execute(
-                duration, work=lambda: handler(args))
+            with root.child("rpc.handler", phase="cpu", method=method,
+                            host=self.host_name) as span:
+                outcome = yield from self.cores.execute(
+                    duration, work=lambda: handler(args), span=span)
             result, response_payload = outcome
         except Exception as exc:  # handler bug: report, don't crash
             yield from send_reply(self.fabric, self.host_name, request,
-                                  exc, ETHERNET_HEADER_BYTES, ok=False)
+                                  exc, ETHERNET_HEADER_BYTES, ok=False,
+                                  span=root)
             return
         self.calls_served += 1
         yield from send_reply(self.fabric, self.host_name, request, result,
-                              ETHERNET_HEADER_BYTES + response_payload)
+                              ETHERNET_HEADER_BYTES + response_payload,
+                              span=root)
 
 
 class RpcClient:
@@ -104,10 +110,12 @@ class RpcClient:
         self.calls_made = 0
 
     def call(self, server_name, method, args, request_payload_bytes,
-             service="rpc"):
+             service="rpc", span=NULL_SPAN):
         """Process helper: invoke ``method`` on ``server_name``."""
-        result = yield from self.channel.request(
-            server_name, service, (method, args),
-            ETHERNET_HEADER_BYTES + request_payload_bytes)
+        with span.child("rpc.call", phase="cpu", method=method) as call_span:
+            result = yield from self.channel.request(
+                server_name, service, (method, args),
+                ETHERNET_HEADER_BYTES + request_payload_bytes,
+                span=call_span)
         self.calls_made += 1
         return result

@@ -10,6 +10,7 @@ process yields must be an :class:`~repro.sim.events.Event` (or another
 import heapq
 from itertools import count
 
+from repro.obs.trace import NULL_TRACER
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, SimulationError
 
 
@@ -30,6 +31,7 @@ class Process(Event):
         self._waiting_on = None
         self._ever_waited = False
         self.name = name or getattr(generator, "__name__", "process")
+        sim.tracer.process_started(self)
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
         bootstrap.succeed()
@@ -82,6 +84,7 @@ class Process(Event):
             target = advance()
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
+            self.sim.tracer.process_finished(self)
             return
         except Exception as exc:
             self._fail_or_crash(exc)
@@ -98,6 +101,7 @@ class Process(Event):
 
     def _fail_or_crash(self, exc):
         self.fail(exc)
+        self.sim.tracer.process_finished(self)
         self.sim._note_process_failure(self, exc)
 
     def __repr__(self):
@@ -105,13 +109,29 @@ class Process(Event):
 
 
 class Simulator:
-    """Deterministic discrete-event simulator with a microsecond clock."""
+    """Deterministic discrete-event simulator with a microsecond clock.
+
+    Observability: ``tracer`` defaults to the no-op
+    :data:`~repro.obs.trace.NULL_TRACER`; :meth:`set_tracer` installs a
+    recording :class:`~repro.obs.trace.Tracer` (binding it to this
+    clock) so instrumented layers emit spans and process lifetimes are
+    reported to the tracer's kernel hooks. ``events_executed`` counts
+    queue entries run — a cheap health counter the metrics registry can
+    absorb.
+    """
 
     def __init__(self):
         self._now = 0.0
         self._queue = []
         self._sequence = count()
         self._failed_processes = []
+        self.tracer = NULL_TRACER
+        self.events_executed = 0
+
+    def set_tracer(self, tracer):
+        """Install (and bind) a tracer; returns it for chaining."""
+        self.tracer = tracer.bind(self)
+        return tracer
 
     @property
     def now(self):
@@ -183,6 +203,7 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             self._now = when
+            self.events_executed += 1
             callback()
         else:
             if until is not None:
@@ -203,6 +224,7 @@ class Simulator:
                 self._push(when, callback)
                 break
             self._now = when
+            self.events_executed += 1
             callback()
         self._raise_orphan_failures()
         if not process.triggered:

@@ -7,6 +7,7 @@ link serialization are all instances of these classes.
 
 from collections import deque
 
+from repro.obs.trace import NULL_SPAN
 from repro.sim.events import Event, SimulationError
 
 
@@ -145,20 +146,41 @@ class BandwidthPipe:
         self.per_message_us = float(per_message_us)
         self.name = name or "pipe"
         self._port = Resource(sim, capacity=1, name=f"{self.name}.port")
-        self.bytes_sent = 0
-        self.messages_sent = 0
+        # Direction-neutral totals: a pipe serves as either a TX or an
+        # RX port, so "bytes that crossed it" is the honest name — an
+        # RX pipe's total is bytes *received*, not sent.
+        self.bytes_total = 0
+        self.messages_total = 0
+
+    @property
+    def bytes_sent(self):
+        """Deprecated alias for :attr:`bytes_total` (TX-centric name)."""
+        return self.bytes_total
+
+    @property
+    def messages_sent(self):
+        """Deprecated alias for :attr:`messages_total`."""
+        return self.messages_total
 
     def serialization_time(self, size_bytes):
         """Time for ``size_bytes`` to cross the port."""
         return self.per_message_us + size_bytes / self.bytes_per_us
 
-    def transmit(self, size_bytes):
-        """Process helper: occupy the port long enough to send the message."""
-        yield self._port.acquire()
+    def transmit(self, size_bytes, span=NULL_SPAN):
+        """Process helper: occupy the port long enough to send the message.
+
+        ``span`` parents two tracing children: a queue span for the
+        wait on the (busy) port and a wire span for the serialization
+        itself.
+        """
+        with span.child(f"{self.name}.queue", phase="queue"):
+            yield self._port.acquire()
         try:
-            yield self.sim.timeout(self.serialization_time(size_bytes))
-            self.bytes_sent += size_bytes
-            self.messages_sent += 1
+            with span.child(f"{self.name}.xmit", phase="wire",
+                            bytes=size_bytes):
+                yield self.sim.timeout(self.serialization_time(size_bytes))
+            self.bytes_total += size_bytes
+            self.messages_total += 1
         finally:
             self._port.release()
 

@@ -94,9 +94,18 @@ class ThroughputMeter:
         self.completed += n
 
     def ops_per_us(self):
-        """Throughput in operations per microsecond over the window."""
-        if self._first is None or self._last is None or self._last <= self._first:
+        """Throughput in operations per microsecond over the window.
+
+        Returns ``0.0`` when nothing completed. When completions exist
+        but all landed on one timestamp the window has zero width and a
+        rate is undefined — returns ``float("nan")`` as a documented
+        sentinel (the old behaviour quietly reported 0.0, which reads
+        as "idle" when the system actually completed work).
+        """
+        if self._first is None or self._last is None:
             return 0.0
+        if self._last <= self._first:
+            return float("nan")
         return self.completed / (self._last - self._first)
 
     def ops_per_sec(self):

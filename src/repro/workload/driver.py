@@ -7,8 +7,10 @@ window. Sweeping the client population out traces the
 throughput-versus-latency curves of Figs. 3, 4, 6, and 9.
 """
 
+import inspect
 from dataclasses import dataclass, field
 
+from repro.obs.trace import NULL_TRACER
 from repro.sim.stats import LatencyRecorder
 
 
@@ -37,6 +39,25 @@ class RunResult:
         }
 
 
+def _accepts_span(executor):
+    """True if ``executor(op, span=...)`` is callable with a span.
+
+    Checked once per client at registration (not per op) so the hot
+    loop pays no introspection cost. Executors that predate tracing
+    (plain ``executor(op)``) keep working untraced.
+    """
+    try:
+        signature = inspect.signature(executor)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "span":
+            return True
+    return False
+
+
 class ClosedLoopDriver:
     """Runs N closed-loop clients against an application adapter.
 
@@ -48,7 +69,7 @@ class ClosedLoopDriver:
     GOLDEN = 0.6180339887498949  # low-discrepancy stagger sequence
 
     def __init__(self, sim, warmup_us=200.0, measure_us=2_000.0,
-                 stagger_us=30.0):
+                 stagger_us=30.0, tracer=None):
         self.sim = sim
         self.warmup_us = warmup_us
         self.measure_us = measure_us
@@ -57,28 +78,43 @@ class ClosedLoopDriver:
         #: burst-queue at the server ports, inflating latency in a way
         #: real (decorrelated) clients do not.
         self.stagger_us = stagger_us
+        self.tracer = tracer or NULL_TRACER
         self._clients = []
 
     def add_client(self, executor, workload):
-        self._clients.append((executor, workload))
+        self._clients.append((executor, workload, _accepts_span(executor)))
         return self
 
     @property
     def end_time(self):
         return self.warmup_us + self.measure_us
 
-    def _client_loop(self, index, executor, workload, recorder, counters):
+    def _client_loop(self, index, executor, workload, recorder, counters,
+                     takes_span):
         if self.stagger_us:
             yield self.sim.timeout((index * self.GOLDEN % 1.0)
                                    * self.stagger_us)
+        traced = self.tracer.enabled
         while self.sim.now < self.end_time:
             op = workload.next_op()
+            root = None
             start = self.sim.now
-            info = yield from executor(op)
+            if traced:
+                name = getattr(op, "kind", None) or type(op).__name__
+                root = self.tracer.root(f"op.{name}", client=index)
+                if takes_span:
+                    info = yield from executor(op, span=root)
+                else:
+                    info = yield from executor(op)
+                root.finish()
+            else:
+                info = yield from executor(op)
             finish = self.sim.now
             if start >= self.warmup_us and finish <= self.end_time:
                 recorder.record(finish, finish - start)
                 counters["ops"] += 1
+                if root is not None:
+                    root.annotate(measured=True)
                 if info:
                     counters["aborts"] += info.get("aborts", 0)
                     counters["retries"] += info.get("retries", 0)
@@ -91,9 +127,11 @@ class ClosedLoopDriver:
         counters = {"ops": 0, "aborts": 0, "retries": 0}
         processes = [
             self.sim.spawn(
-                self._client_loop(i, executor, workload, recorder, counters),
+                self._client_loop(i, executor, workload, recorder, counters,
+                                  takes_span),
                 name=f"client{i}")
-            for i, (executor, workload) in enumerate(self._clients)
+            for i, (executor, workload, takes_span) in
+            enumerate(self._clients)
         ]
         done = self.sim.all_of(processes)
         waiter = self.sim.spawn(self._await(done), name="driver")

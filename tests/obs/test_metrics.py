@@ -1,0 +1,106 @@
+"""Metrics registry: counters, gauges, histograms, label keying."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", host="a")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("ops")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_absorb_is_idempotent_but_monotone(self):
+        counter = MetricsRegistry().counter("bytes")
+        counter.absorb(100)
+        counter.absorb(100)
+        counter.absorb(150)
+        assert counter.value == 150
+        with pytest.raises(ValueError):
+            counter.absorb(10)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3.0)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == pytest.approx(2.0)
+
+
+class TestHistogram:
+    def test_mean_and_percentile(self):
+        hist = MetricsRegistry().histogram("lat")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.mean() == pytest.approx(2.5)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 4.0
+        assert hist.percentile(50) == pytest.approx(2.5)
+
+    def test_empty_is_nan(self):
+        hist = MetricsRegistry().histogram("lat")
+        assert math.isnan(hist.mean())
+        assert math.isnan(hist.percentile(99))
+
+    def test_value_summary(self):
+        hist = MetricsRegistry().histogram("lat")
+        hist.observe(2.0)
+        assert hist.value == {"count": 1, "sum": 2.0, "mean": 2.0}
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", host="x")
+        b = registry.counter("ops", host="x")
+        c = registry.counter("ops", host="y")
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", host="x", service="kv")
+        b = registry.counter("ops", service="kv", host="x")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ops")
+        with pytest.raises(ValueError):
+            registry.gauge("ops")
+
+    def test_value_shorthand(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", host="x").inc(7)
+        assert registry.value("ops", host="x") == 7
+        with pytest.raises(KeyError):
+            registry.value("ops", host="missing")
+
+    def test_collect_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc(1)
+        registry.gauge("a_gauge", host="x").set(0.5)
+        collected = registry.collect()
+        assert [name for name, *_rest in collected] == ["a_gauge", "b_total"]
+        assert collected[0][1] == {"host": "x"}
+        assert collected[0][2] == "gauge"
+
+    def test_format_renders_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", host="s", service="kv").inc(3)
+        text = registry.format()
+        assert text == 'ops_total{host=s,service=kv} 3'

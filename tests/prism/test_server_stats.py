@@ -3,8 +3,14 @@
 import pytest
 
 from repro.net.topology import DIRECT, make_fabric
+from repro.obs.metrics import MetricsRegistry
 from repro.prism import HardwarePrismBackend, PrismClient, PrismServer
-from repro.prism.stats import bottleneck, format_report, server_report
+from repro.prism.stats import (
+    bottleneck,
+    collect_server_metrics,
+    format_report,
+    server_report,
+)
 
 
 @pytest.fixture
@@ -31,6 +37,45 @@ def test_report_counts(sim, loaded_server):
     assert 0.0 < report["tx_utilization"] < 1.0
     assert report["tx_bytes"] > 10 * 512
     assert len(report["freelists"]) == 1
+
+
+def test_rx_bytes_counts_received_traffic(sim, loaded_server):
+    """Regression: rx_bytes must be the server's *received* bytes (the
+    RX pipe's own total), not a copy of anything TX-related."""
+    host = loaded_server.fabric.host(loaded_server.host_name)
+    report = server_report(loaded_server, sim.now)
+    assert report["rx_bytes"] == host.rx.bytes_total
+    assert report["tx_bytes"] == host.tx.bytes_total
+    # 10 READ requests in, 10 512 B replies out: both sides saw traffic
+    # and the reply stream dwarfs the request stream.
+    assert report["rx_bytes"] > 0
+    assert report["tx_bytes"] > report["rx_bytes"]
+    # deprecated alias still answers during the migration
+    assert host.rx.bytes_sent == host.rx.bytes_total
+
+
+def test_collect_server_metrics_registry(sim, loaded_server):
+    registry = collect_server_metrics(loaded_server, sim.now)
+    labels = {"host": "server", "backend": loaded_server.backend.label,
+              "service": "prism"}
+    assert registry.value("prism_requests_total", **labels) == 10
+    assert registry.value("prism_engine_ops_total", **labels) == 10
+    assert 0.0 < registry.value("prism_tx_utilization", **labels) < 1.0
+    # repeated collection into the same registry is idempotent
+    collect_server_metrics(loaded_server, sim.now, registry)
+    assert registry.value("prism_requests_total", **labels) == 10
+    assert "prism_rx_bytes_total" in registry.format()
+
+
+def test_server_report_is_a_view_over_the_registry(sim, loaded_server):
+    registry = MetricsRegistry()
+    report = server_report(loaded_server, sim.now, registry)
+    labels = {"host": "server", "backend": loaded_server.backend.label,
+              "service": "prism"}
+    assert report["requests"] == registry.value("prism_requests_total",
+                                                **labels)
+    assert report["rx_bytes"] == registry.value("prism_rx_bytes_total",
+                                                **labels)
 
 
 def test_bottleneck_heuristics():

@@ -69,6 +69,21 @@ class TestThroughputMeter:
     def test_empty_meter_zero(self):
         assert ThroughputMeter().ops_per_sec() == 0.0
 
+    def test_zero_width_window_is_nan(self):
+        """Completions all at one timestamp: the rate is undefined, and
+        the documented sentinel is NaN — not 0.0, which would read as
+        'idle' when the system actually completed work."""
+        meter = ThroughputMeter()
+        meter.record(5.0)
+        meter.record(5.0)
+        assert math.isnan(meter.ops_per_us())
+        assert math.isnan(meter.ops_per_sec())
+
+    def test_single_completion_is_nan(self):
+        meter = ThroughputMeter()
+        meter.record(3.0)
+        assert math.isnan(meter.ops_per_us())
+
 
 def test_summarize_shape():
     recorder = LatencyRecorder()
