@@ -73,4 +73,5 @@ if __name__ == "__main__":
     sys.exit(bench_main(
         "kv", "prism-sw",
         lambda keys: (lambda i: YCSB_C(keys, seed=11, client_id=i)),
-        "Fig. 3 point: PRISM-KV (sw), YCSB-C uniform"))
+        "Fig. 3 point: PRISM-KV (sw), YCSB-C uniform",
+        seed=11, benchmark="fig3"))

@@ -71,4 +71,5 @@ if __name__ == "__main__":
     sys.exit(bench_main(
         "kv", "prism-sw",
         lambda keys: (lambda i: YCSB_A(keys, seed=13, client_id=i)),
-        "Fig. 4 point: PRISM-KV (sw), YCSB-A uniform"))
+        "Fig. 4 point: PRISM-KV (sw), YCSB-A uniform",
+        seed=13, benchmark="fig4"))

@@ -70,4 +70,4 @@ if __name__ == "__main__":
         "rs", "prism-sw",
         lambda keys: (lambda i: YCSB_A(keys, seed=17, client_id=i)),
         "Fig. 6 point: PRISM-RS (sw), 50% writes uniform",
-        strict_sum=False))
+        strict_sum=False, seed=17, benchmark="fig6"))

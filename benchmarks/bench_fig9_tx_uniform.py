@@ -66,4 +66,5 @@ if __name__ == "__main__":
         "tx", "prism-sw",
         lambda keys: (lambda i: YcsbTransactionalWorkload(
             keys, keys_per_txn=1, zipf=0.0, seed=23, client_id=i)),
-        "Fig. 9 point: PRISM-TX (sw), YCSB-T uniform"))
+        "Fig. 9 point: PRISM-TX (sw), YCSB-T uniform",
+        seed=23, benchmark="fig9"))

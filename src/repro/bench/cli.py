@@ -10,6 +10,13 @@ Regenerate any paper figure (or run a custom point) without pytest::
 
 Figure commands print the same tables as the benchmark suite but let
 you rescale client counts / key counts for quicker (or bigger) runs.
+
+Regression workflow: ``--json PATH`` on ``point`` and the fig3/4/6/9
+sweeps writes a versioned result record (see
+:mod:`repro.bench.regress`); ``compare baseline.json run.json`` diffs
+two records under per-metric tolerance bands and exits non-zero on
+regression — the CI perf-smoke gate is exactly that pipeline. ``--util``
+prints per-resource utilization and the bottleneck verdict.
 """
 
 import argparse
@@ -25,8 +32,15 @@ from repro.bench.microbench import (
     measure_rpc_read,
     measure_two_rdma_reads,
 )
-from repro.bench.reporting import CURVE_HEADERS, curve_rows, print_table
+from repro.bench.reporting import (
+    CURVE_HEADERS,
+    UTILIZATION_HEADERS,
+    curve_rows,
+    print_table,
+    utilization_rows,
+)
 from repro.net.topology import CLUSTER, DATACENTER, DIRECT, RACK
+from repro.obs import UtilizationCollector, analyze, format_analysis
 from repro.workload import (
     YCSB_A,
     YCSB_C,
@@ -84,31 +98,59 @@ def cmd_fig2(args):
 
 
 _FIGURE_SYSTEMS = {
-    "fig3": ("kv", ["prism-sw", "pilaf-hw", "pilaf-sw"],
+    "fig3": ("kv", ["prism-sw", "pilaf-hw", "pilaf-sw"], 11,
              lambda keys, zipf: (lambda i: YCSB_C(keys, zipf=zipf, seed=11,
                                                   client_id=i))),
-    "fig4": ("kv", ["prism-sw", "pilaf-hw", "pilaf-sw"],
+    "fig4": ("kv", ["prism-sw", "pilaf-hw", "pilaf-sw"], 13,
              lambda keys, zipf: (lambda i: YCSB_A(keys, zipf=zipf, seed=13,
                                                   client_id=i))),
-    "fig6": ("rs", ["prism-sw", "abdlock-hw", "abdlock-sw"],
+    "fig6": ("rs", ["prism-sw", "abdlock-hw", "abdlock-sw"], 17,
              lambda keys, zipf: (lambda i: YCSB_A(keys, zipf=zipf, seed=17,
                                                   client_id=i))),
-    "fig9": ("tx", ["prism-sw", "farm-hw", "farm-sw"],
+    "fig9": ("tx", ["prism-sw", "farm-hw", "farm-sw"], 23,
              lambda keys, zipf: (lambda i: YcsbTransactionalWorkload(
                  keys, keys_per_txn=1, zipf=zipf, seed=23, client_id=i))),
 }
 
 
 def cmd_figure_sweep(args):
-    kind, flavors, workload_maker = _FIGURE_SYSTEMS[args.command]
+    kind, flavors, seed, workload_maker = _FIGURE_SYSTEMS[args.command]
+    telemetry = bool(args.json or args.util)
+    points = []
     for flavor in flavors:
         started = time.time()
-        results = sweep_clients(kind, flavor,
-                                workload_maker(args.keys, args.zipf),
-                                args.clients, n_keys=args.keys)
+        results = []
+        for n_clients in args.clients:
+            collector = UtilizationCollector() if telemetry else None
+            result = run_point(kind, flavor,
+                               workload_maker(args.keys, args.zipf),
+                               n_clients, n_keys=args.keys,
+                               utilization=collector)
+            results.append(result)
+            if telemetry:
+                util = collector.report()
+                verdict = analyze(util)
+                if args.util:
+                    print_table(
+                        f"{args.command}: {flavor} c={n_clients} "
+                        "resource utilization",
+                        UTILIZATION_HEADERS, utilization_rows(util, top=10))
+                    print(format_analysis(verdict))
+                if args.json:
+                    from repro.bench.regress import make_point
+                    config = {"kind": kind, "flavor": flavor,
+                              "clients": n_clients, "keys": args.keys,
+                              "zipf": args.zipf, "seed": seed}
+                    points.append(make_point(kind, flavor, result, config,
+                                             utilization=util,
+                                             bottleneck=verdict))
         print_table(f"{args.command}: {flavor} "
                     f"({time.time() - started:.0f}s wall)",
                     CURVE_HEADERS, curve_rows(results))
+    if args.json:
+        from repro.bench.regress import make_record, write_record
+        write_record(make_record(args.command, points), args.json)
+        print(f"result record written to {args.json}")
 
 
 def cmd_contention(args):
@@ -145,21 +187,68 @@ def cmd_point(args):
         workload = (lambda i: YcsbWorkload(
             args.keys, read_fraction=args.read_fraction, zipf=args.zipf,
             seed=1, client_id=i))
+    collector = (UtilizationCollector()
+                 if (args.json or args.util) else None)
+    phases = None
     if args.trace:
         from repro.bench.tracing import print_breakdown, run_traced_point
-        result, report, _tracer = run_traced_point(
+        result, phases, _tracer = run_traced_point(
             args.kind, args.flavor, workload, args.clients[0],
-            trace_path=args.trace, n_keys=args.keys)
+            trace_path=args.trace, utilization=collector, n_keys=args.keys)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
         print_breakdown(f"{args.kind}/{args.flavor}: phase breakdown "
-                        "(mean µs per op)", report)
+                        "(mean µs per op)", phases)
         print(f"chrome trace written to {args.trace}")
-        return
-    result = run_point(args.kind, args.flavor, workload, args.clients[0],
-                       n_keys=args.keys)
-    print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
-                curve_rows([result]))
+    else:
+        result = run_point(args.kind, args.flavor, workload, args.clients[0],
+                           n_keys=args.keys, utilization=collector)
+        print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
+                    curve_rows([result]))
+    util_report = collector.report() if collector is not None else None
+    verdict = analyze(util_report) if util_report is not None else None
+    if args.util:
+        print_table(f"{args.kind}/{args.flavor}: resource utilization "
+                    "(measurement window)",
+                    UTILIZATION_HEADERS, utilization_rows(util_report))
+        print(format_analysis(verdict))
+    if args.json:
+        from repro.bench.regress import make_point, make_record, write_record
+        config = {"kind": args.kind, "flavor": args.flavor,
+                  "clients": args.clients[0], "keys": args.keys,
+                  "zipf": args.zipf, "read_fraction": args.read_fraction,
+                  "seed": 1}
+        point = make_point(args.kind, args.flavor, result, config,
+                           phases=phases, utilization=util_report,
+                           bottleneck=verdict)
+        write_record(make_record(f"point:{args.kind}/{args.flavor}", [point]),
+                     args.json)
+        print(f"result record written to {args.json}")
+
+
+def cmd_compare(args):
+    from repro.bench.regress import compare, format_compare, load_record
+    if len(args.paths) != 2:
+        print("usage: repro.bench.cli compare <baseline.json> <run.json>",
+              file=sys.stderr)
+        return 2
+    tolerances = {}
+    for spec in args.tolerance or []:
+        metric, sep, frac = spec.partition("=")
+        if not sep:
+            print(f"--tolerance expects metric=frac, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        tolerances[metric] = float(frac)
+    baseline = load_record(args.paths[0])
+    run = load_record(args.paths[1])
+    report = compare(baseline, run, tolerances=tolerances)
+    print(f"baseline: {args.paths[0]} "
+          f"(commit {report['baseline_commit'] or 'unknown'})")
+    print(f"run:      {args.paths[1]} "
+          f"(commit {report['run_commit'] or 'unknown'})")
+    print(format_compare(report))
+    return 0 if report["ok"] else 1
 
 
 def cmd_list(args):
@@ -176,7 +265,9 @@ def build_parser():
     parser.add_argument("command",
                         choices=["motivation", "fig1", "fig2", "fig3",
                                  "fig4", "fig6", "fig7", "fig9", "fig10",
-                                 "point", "list"])
+                                 "point", "compare", "list"])
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="(compare) baseline.json and run.json")
     parser.add_argument("--clients", type=_parse_int_list,
                         default=DEFAULT_CLIENTS,
                         help="comma-separated client counts")
@@ -191,6 +282,16 @@ def build_parser():
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="(point) trace the run and write Chrome "
                              "trace-event JSON to PATH")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="(point, fig3/4/6/9) write a machine-readable "
+                             "result record (repro.bench.regress schema)")
+    parser.add_argument("--util", action="store_true",
+                        help="(point, fig3/4/6/9) print per-resource "
+                             "utilization and the bottleneck verdict")
+    parser.add_argument("--tolerance", action="append", metavar="METRIC=REL",
+                        default=None,
+                        help="(compare) override a tolerance band, e.g. "
+                             "--tolerance p99_us=0.10 (repeatable)")
     return parser
 
 
@@ -207,10 +308,11 @@ def main(argv=None):
         "fig7": cmd_contention,
         "fig10": cmd_contention,
         "point": cmd_point,
+        "compare": cmd_compare,
         "list": cmd_list,
     }
-    dispatch[args.command](args)
-    return 0
+    result = dispatch[args.command](args)
+    return int(result or 0)
 
 
 if __name__ == "__main__":

@@ -187,17 +187,25 @@ def build_system(kind, flavor, sim, n_keys=DEFAULT_N_KEYS,
 def run_point(kind, flavor, workload_factory, n_clients,
               n_keys=DEFAULT_N_KEYS, value_size=DEFAULT_VALUE_SIZE,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
-              n_client_hosts=N_CLIENT_HOSTS, tracer=None):
+              n_client_hosts=N_CLIENT_HOSTS, tracer=None,
+              utilization=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
     Pass a :class:`repro.obs.Tracer` to collect per-operation span
-    trees (the default leaves the no-op tracer in place: tracing off
-    changes no timing, since spans only read the simulated clock).
+    trees, and/or a :class:`repro.obs.UtilizationCollector` to account
+    per-resource busy time and queue depth (the defaults leave both
+    off: neither changes timing, since they only read the simulated
+    clock at transitions the run already makes).
     """
     sim = Simulator()
     if tracer is not None:
         sim.set_tracer(tracer)
+    if utilization is not None:
+        sim.set_utilization(utilization)
+        # Report utilization over the measurement window, not warmup.
+        utilization.measure_from = warmup_us
+        utilization.measure_until = warmup_us + measure_us
     # Spare buffers must cover the recycling pipeline: retired buffers
     # sit in client-side batches and the daemon queue before reposting.
     system = build_system(kind, flavor, sim, n_keys=n_keys,
@@ -210,7 +218,10 @@ def run_point(kind, flavor, workload_factory, n_clients,
         host = f"client{index % n_client_hosts}"
         driver.add_client(system.executor(index, host),
                           workload_factory(index))
-    return driver.run()
+    result = driver.run()
+    if utilization is not None:
+        utilization.finish(sim.now)
+    return result
 
 
 def sweep_clients(kind, flavor, workload_factory, client_counts, **kwargs):

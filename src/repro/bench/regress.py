@@ -1,0 +1,247 @@
+"""Machine-readable benchmark results and regression comparison.
+
+Every benchmark run can be captured as a versioned JSON record —
+config, seed, git commit, throughput, mean/p50/p99 latency, per-phase
+breakdown, per-resource utilization, bottleneck verdict — via
+``--json PATH`` on the bench CLI and the ``benchmarks/bench_fig*``
+scripts. :func:`compare` then diffs two records under per-metric
+tolerance bands, so "did this change regress fig3?" is a command with
+an exit code instead of a table to eyeball::
+
+    PYTHONPATH=src python benchmarks/bench_fig3_kv_read.py \\
+        --clients 4 --keys 1000 --json /tmp/run.json
+    PYTHONPATH=src python -m repro.bench.cli compare \\
+        benchmarks/BENCH_baseline.json /tmp/run.json   # exit 1 on regression
+
+The simulator is deterministic, so a same-commit self-compare matches
+exactly; the tolerance bands absorb legitimate model recalibration and
+cross-platform float noise, and anything beyond them is a regression.
+
+Record shape (one file, one or more measurement points)::
+
+    {"schema": "repro-bench-result", "schema_version": 1,
+     "benchmark": "fig3",
+     "provenance": {"git_commit": ..., "python": ...},
+     "points": [{"id": "kv/prism-sw/c4",
+                 "config": {...}, "metrics": {...},
+                 "phases": {...}, "utilization": [...],
+                 "bottleneck": {...}}]}
+"""
+
+import json
+import math
+import platform
+import subprocess
+
+SCHEMA = "repro-bench-result"
+SCHEMA_VERSION = 1
+
+#: per-metric tolerance bands: direction is which way is *better*;
+#: ``rel`` is the allowed relative degradation before failing
+DEFAULT_TOLERANCES = {
+    "throughput_ops_per_sec": {"direction": "higher", "rel": 0.02},
+    "mean_us": {"direction": "lower", "rel": 0.02},
+    "p50_us": {"direction": "lower", "rel": 0.02},
+    "p99_us": {"direction": "lower", "rel": 0.05},
+}
+
+
+def git_commit():
+    """Current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def point_id(kind, flavor, clients):
+    return f"{kind}/{flavor}/c{clients}"
+
+
+def result_metrics(result):
+    """The comparable metrics of a :class:`~repro.workload.driver.RunResult`."""
+    return {
+        "ops": result.ops,
+        "throughput_ops_per_sec": result.throughput_ops_per_sec,
+        "mean_us": result.mean_latency_us,
+        "p50_us": result.median_latency_us,
+        "p99_us": result.p99_latency_us,
+        "aborts": result.aborts,
+        "retries": result.retries,
+    }
+
+
+def make_point(kind, flavor, result, config, phases=None, utilization=None,
+               bottleneck=None):
+    """One measurement point: config + metrics (+ optional telemetry).
+
+    ``config`` must contain everything needed to reproduce the point
+    (clients, keys, seed, windows); it is compared verbatim by
+    :func:`compare`, so a config drift fails loudly instead of
+    producing an apples-to-oranges diff.
+    """
+    point = {
+        "id": point_id(kind, flavor, result.clients),
+        "kind": kind,
+        "flavor": flavor,
+        "config": dict(config),
+        "metrics": result_metrics(result),
+    }
+    if phases is not None:
+        point["phases"] = phases
+    if utilization is not None:
+        point["utilization"] = utilization
+    if bottleneck is not None:
+        point["bottleneck"] = bottleneck
+    return point
+
+
+def make_record(benchmark, points):
+    """Wrap measurement points in the versioned result envelope."""
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "provenance": {
+            "git_commit": git_commit(),
+            "python": platform.python_version(),
+        },
+        "points": list(points),
+    }
+
+
+def write_record(record, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_record(path):
+    with open(path, encoding="utf-8") as handle:
+        record = json.load(handle)
+    if record.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} file")
+    if record.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {record.get('schema_version')} "
+            f"(this tool speaks {SCHEMA_VERSION})")
+    return record
+
+
+# -- comparison -------------------------------------------------------------
+
+
+def _is_nan(value):
+    return isinstance(value, float) and math.isnan(value)
+
+
+def _check_metric(metric, base, run, band):
+    """One finding dict for one metric of one point."""
+    finding = {"metric": metric, "baseline": base, "run": run,
+               "limit_rel": band["rel"], "direction": band["direction"]}
+    if _is_nan(base) and _is_nan(run):
+        finding.update(status="ok", delta_rel=0.0)
+        return finding
+    if _is_nan(run):
+        finding.update(status="regression", delta_rel=float("inf"))
+        return finding
+    if _is_nan(base) or base == 0:
+        # No meaningful baseline: a real measurement can only be news.
+        finding.update(status="ok", delta_rel=0.0)
+        return finding
+    delta = (run - base) / base
+    if band["direction"] == "higher":
+        degraded = delta < -band["rel"]
+        improved = delta > 0
+    else:
+        degraded = delta > band["rel"]
+        improved = delta < 0
+    finding["delta_rel"] = delta
+    finding["status"] = ("regression" if degraded
+                         else "improved" if improved else "ok")
+    return finding
+
+
+def compare(baseline, run, tolerances=None):
+    """Diff two result records; returns a report dict.
+
+    ``report["ok"]`` is False when any baseline point is missing from
+    the run, any point's config drifted, or any metric degraded beyond
+    its tolerance band. Improvements never fail.
+    """
+    bands = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        for metric, rel in tolerances.items():
+            if metric not in bands:
+                raise ValueError(f"no tolerance band for metric {metric!r}")
+            bands[metric] = dict(bands[metric], rel=rel)
+
+    findings = []
+    run_points = {point["id"]: point for point in run["points"]}
+    for base_point in baseline["points"]:
+        pid = base_point["id"]
+        run_point = run_points.get(pid)
+        if run_point is None:
+            findings.append({"point": pid, "metric": "-", "status": "missing",
+                             "baseline": None, "run": None,
+                             "delta_rel": None, "limit_rel": None,
+                             "direction": None})
+            continue
+        drifted = sorted(
+            key for key in
+            set(base_point["config"]) | set(run_point["config"])
+            if base_point["config"].get(key) != run_point["config"].get(key))
+        if drifted:
+            findings.append({
+                "point": pid, "metric": f"config:{','.join(drifted)}",
+                "status": "config-drift", "baseline": None, "run": None,
+                "delta_rel": None, "limit_rel": None, "direction": None})
+            continue
+        for metric, band in bands.items():
+            if metric not in base_point["metrics"]:
+                continue
+            finding = _check_metric(metric, base_point["metrics"][metric],
+                                    run_point["metrics"].get(metric,
+                                                             float("nan")),
+                                    band)
+            finding["point"] = pid
+            findings.append(finding)
+
+    bad = [f for f in findings
+           if f["status"] in ("regression", "missing", "config-drift")]
+    return {
+        "ok": not bad,
+        "baseline_commit": baseline.get("provenance", {}).get("git_commit"),
+        "run_commit": run.get("provenance", {}).get("git_commit"),
+        "findings": findings,
+        "regressions": bad,
+    }
+
+
+def format_compare(report):
+    """Plain-text rendering of a :func:`compare` report."""
+
+    def fmt(value):
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = []
+    for finding in report["findings"]:
+        delta = finding.get("delta_rel")
+        delta_text = "-" if delta is None else f"{delta:+.2%}"
+        lines.append(
+            f"  {finding['status']:<12} {finding['point']:<24} "
+            f"{finding['metric']:<24} base={fmt(finding['baseline'])} "
+            f"run={fmt(finding['run'])} delta={delta_text}")
+    verdict = "PASS" if report["ok"] else "FAIL"
+    lines.append(f"compare: {verdict} "
+                 f"({len(report['regressions'])} finding(s) over tolerance)")
+    return "\n".join(lines)

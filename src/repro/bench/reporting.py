@@ -57,6 +57,37 @@ def maybe_export(figure_name, curves):
     return export_sweep_figure(figure_name, curves, out_dir=out_dir)
 
 
+UTILIZATION_HEADERS = ["resource", "kind", "busy", "q_mean", "q_max",
+                       "q_delay_p99_us"]
+
+
+def utilization_rows(report, top=None):
+    """Rows for a per-resource utilization table, busiest first.
+
+    ``report`` is :meth:`repro.obs.UtilizationCollector.report` output.
+    Resources without a capacity ceiling (channels, fabric occupancy)
+    sort after capacity-bearing ones and show ``-`` for busy fraction.
+    """
+    def order(entry):
+        util = entry.get("utilization")
+        return (0, -util) if util is not None else (1, 0.0)
+
+    rows = []
+    for entry in sorted(report, key=order):
+        queue = entry.get("queue", {})
+        delay = queue.get("delay_us") or {}
+        util = entry.get("utilization")
+        p99 = delay.get("p99")
+        rows.append([
+            entry["name"], entry["kind"],
+            "-" if util is None else round(util, 3),
+            round(queue.get("mean_depth", 0.0), 2),
+            queue.get("max_depth", 0),
+            "-" if p99 is None or p99 != p99 else round(p99, 2),
+        ])
+    return rows[:top] if top else rows
+
+
 def low_load_latency(results):
     """Mean latency of the single-client point."""
     for r in results:

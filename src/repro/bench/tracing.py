@@ -21,8 +21,20 @@ the measured mean latency exactly, not just within tolerance.
 import argparse
 
 from repro.bench.harness import run_point
-from repro.bench.reporting import print_table
-from repro.obs import Tracer, breakdown, breakdown_rows, write_chrome_trace
+from repro.bench.reporting import (
+    UTILIZATION_HEADERS,
+    print_table,
+    utilization_rows,
+)
+from repro.obs import (
+    Tracer,
+    UtilizationCollector,
+    analyze,
+    breakdown,
+    breakdown_rows,
+    format_analysis,
+    write_chrome_trace,
+)
 
 
 def measured_roots(tracer):
@@ -32,16 +44,19 @@ def measured_roots(tracer):
 
 
 def run_traced_point(kind, flavor, workload_factory, n_clients,
-                     trace_path=None, **kwargs):
+                     trace_path=None, utilization=None, **kwargs):
     """One measurement point with span tracing on.
 
     Returns ``(result, report, tracer)`` where ``report`` is the
     :func:`repro.obs.breakdown` over the measured operations. With
-    ``trace_path``, also writes the Chrome trace-event file.
+    ``trace_path``, also writes the Chrome trace-event file. Pass a
+    :class:`repro.obs.UtilizationCollector` as ``utilization`` to also
+    account per-resource busy/queue telemetry (read it back from the
+    collector after the call).
     """
     tracer = Tracer()
     result = run_point(kind, flavor, workload_factory, n_clients,
-                       tracer=tracer, **kwargs)
+                       tracer=tracer, utilization=utilization, **kwargs)
     report = breakdown(measured_roots(tracer))
     if trace_path:
         write_chrome_trace(tracer.roots, trace_path,
@@ -77,7 +92,7 @@ def check_breakdown(result, report, tolerance=0.01):
 
 def bench_main(kind, flavor, workload_maker, title, argv=None,
                default_clients=4, default_keys=4000, strict_sum=True,
-               **point_kwargs):
+               seed=None, benchmark=None, **point_kwargs):
     """Argparse front end shared by the ``benchmarks/bench_*`` scripts.
 
     ``workload_maker(n_keys)`` must return a ``workload_factory``
@@ -85,17 +100,28 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
     ``strict_sum=False`` skips the sums-to-mean check for systems with
     parallel fan-out (quorum replication), whose phase sums read as
     total work across replicas rather than wall-clock latency.
+    ``seed`` is recorded in ``--json`` output so regression baselines
+    carry the workload seed; ``benchmark`` names the record (defaults
+    to the title).
     """
     parser = argparse.ArgumentParser(description=title)
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a Chrome trace-event JSON file")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable result record "
+                             "(repro.bench.regress schema) to PATH")
+    parser.add_argument("--util", action="store_true",
+                        help="print per-resource utilization and the "
+                             "bottleneck verdict")
     parser.add_argument("--clients", type=int, default=default_clients)
     parser.add_argument("--keys", type=int, default=default_keys)
     args = parser.parse_args(argv)
 
+    collector = UtilizationCollector() if (args.json or args.util) else None
     result, report, _tracer = run_traced_point(
         kind, flavor, workload_maker(args.keys), args.clients,
-        trace_path=args.trace, n_keys=args.keys, **point_kwargs)
+        trace_path=args.trace, utilization=collector, n_keys=args.keys,
+        **point_kwargs)
     print_table(title, ["clients", "ops", "Mops/s", "mean_us", "p99_us"],
                 [[result.clients, result.ops,
                   round(result.throughput_ops_per_sec / 1e6, 3),
@@ -113,6 +139,22 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                     if total_ops else float("nan"))
         print(f"total traced work {weighted:.3f} µs/op vs wall-clock mean "
               f"{result.mean_latency_us:.3f} µs (parallel fan-out)")
+    util_report = collector.report() if collector is not None else None
+    if args.util:
+        print_table(f"{title}: resource utilization (measurement window)",
+                    UTILIZATION_HEADERS, utilization_rows(util_report))
+        print(format_analysis(analyze(util_report)))
+    if args.json:
+        from repro.bench.regress import make_point, make_record, write_record
+        config = {"kind": kind, "flavor": flavor, "clients": args.clients,
+                  "keys": args.keys, "seed": seed}
+        config.update({key: value for key, value in point_kwargs.items()
+                       if isinstance(value, (int, float, str, bool))})
+        point = make_point(kind, flavor, result, config, phases=report,
+                           utilization=util_report,
+                           bottleneck=analyze(util_report))
+        write_record(make_record(benchmark or title, [point]), args.json)
+        print(f"result record written to {args.json}")
     if args.trace:
         print(f"chrome trace written to {args.trace}")
     return 0

@@ -18,7 +18,10 @@ class CorePool:
         self.sim = sim
         self.cores = cores
         self.name = name
-        self._pool = Resource(sim, capacity=cores, name=name)
+        # kind="cpu": with a utilization collector installed, the pool
+        # self-registers so core busy %, run-queue depth, and dispatch
+        # delay show up in the per-run report and bottleneck verdict.
+        self._pool = Resource(sim, capacity=cores, name=name, kind="cpu")
         self.ops_executed = 0
 
     def execute(self, service_time_us, work=None, span=NULL_SPAN):

@@ -8,11 +8,31 @@ the link as a fixed round-trip latency plus a small per-byte DMA cost.
 
 
 class PcieLink:
-    """Latency model for NIC <-> host-memory transfers."""
+    """Latency model for NIC <-> host-memory transfers.
+
+    The link charges latency inline (no queueing of its own — DMA
+    engines are per-PU), so utilization telemetry is charge-based: when
+    a :class:`~repro.obs.timeline.ChargeMonitor` is attached via
+    :meth:`set_monitor`, backends call :meth:`record` for every host
+    access they price, and the monitor accumulates windowed DMA busy
+    time (normalized by the NIC's parallelism into a utilization).
+    """
 
     def __init__(self, round_trip_us=0.85, bytes_per_us=15_000.0):
         self.round_trip_us = round_trip_us
         self.bytes_per_us = bytes_per_us
+        self.monitor = None
+
+    def set_monitor(self, monitor):
+        """Attach a charge monitor; returns it for chaining."""
+        self.monitor = monitor
+        return monitor
+
+    def record(self, kind, nbytes):
+        """Charge one access's DMA time to the attached monitor."""
+        if self.monitor is not None:
+            self.monitor.charge(self.access_time(kind, nbytes),
+                                units=nbytes)
 
     def read_time(self, nbytes):
         """One DMA read: request/completion round trip + payload streaming."""

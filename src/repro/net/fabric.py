@@ -54,6 +54,12 @@ class Fabric:
         self.one_way_latency_us = one_way_latency_us
         self.hosts = {}
         self.messages_delivered = 0
+        self.monitor = None
+        if sim.utilization is not None:
+            # Messages in flight (propagating or serializing into an RX
+            # port) across the whole fabric — the network's queue depth.
+            self.monitor = sim.utilization.depth_monitor(
+                "fabric.inflight", kind="net")
 
     def add_host(self, host):
         if host.name in self.hosts:
@@ -91,6 +97,8 @@ class Fabric:
         return message
 
     def _deliver(self, message):
+        if self.monitor is not None:
+            self.monitor.adjust(+1)
         with message.span.child("net.propagate", phase="wire",
                                 src=message.src, dst=message.dst):
             yield self.sim.timeout(
@@ -98,5 +106,7 @@ class Fabric:
         dst = self.hosts[message.dst]
         yield from dst.rx.transmit(message.size_bytes, span=message.span)
         self.messages_delivered += 1
+        if self.monitor is not None:
+            self.monitor.adjust(-1)
         handler = dst.handler_for(message.service)
         handler(message)

@@ -64,14 +64,28 @@ class RequestChannel:
         self.reply_service = f"reply.{next(self._channel_ids)}"
         self._pending = {}
         self._ids = count(1)
+        self.monitor = None
+        if sim.utilization is not None:
+            # In-flight request depth per channel: evidence for the
+            # bottleneck analyzer (deep client queues with an idle
+            # server mean the clients, not the server, are the limit).
+            self.monitor = sim.utilization.depth_monitor(
+                f"{host_name}.{self.reply_service}", kind="channel")
         fabric.host(host_name).register_service(self.reply_service,
                                                 self._on_reply)
+
+    @property
+    def outstanding(self):
+        """Number of requests awaiting replies."""
+        return len(self._pending)
 
     def _on_reply(self, message):
         reply = message.payload
         event = self._pending.pop(reply.id, None)
         if event is None:
             return  # duplicate or cancelled; drop silently like a NIC would
+        if self.monitor is not None:
+            self.monitor.adjust(-1)
         if reply.ok:
             event.succeed(reply.body)
         else:
@@ -86,6 +100,8 @@ class RequestChannel:
         request.span = span
         reply_event = self.sim.event()
         self._pending[request_id] = reply_event
+        if self.monitor is not None:
+            self.monitor.adjust(+1)
         if self.post_overhead_us:
             with span.child("client.post", phase="cpu"):
                 yield self.sim.timeout(self.post_overhead_us)
@@ -98,7 +114,9 @@ class RequestChannel:
                 [reply_event, self.sim.timeout(timeout_us)])
             index, value = winner
             if index == 1:
-                self._pending.pop(request_id, None)
+                if (self._pending.pop(request_id, None) is not None
+                        and self.monitor is not None):
+                    self.monitor.adjust(-1)
                 raise TimeoutError(
                     f"request {request_id} to {dst}/{service} timed out")
             result = value

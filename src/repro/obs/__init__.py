@@ -12,8 +12,20 @@ Three pieces, all driven by the simulated clock:
   per-phase (wire / nic / pcie / cpu / queue) latency attribution, and
   :mod:`repro.obs.chrome_trace` exports them as Chrome trace-event
   JSON loadable in Perfetto.
+* :mod:`repro.obs.timeline` — windowed busy/idle accounting and
+  queue-depth telemetry for every contended resource (install a
+  :class:`UtilizationCollector` via ``sim.set_utilization``), and
+  :mod:`repro.obs.bottleneck` — the analyzer that names the saturated
+  resource and its headroom.
+* :mod:`repro.obs.quantiles` — the one shared implementation of
+  linear-interpolated percentiles and fixed-width histograms.
 """
 
+from repro.obs.bottleneck import (
+    SATURATION_THRESHOLD,
+    analyze,
+    format_analysis,
+)
 from repro.obs.breakdown import (
     PHASES,
     breakdown,
@@ -22,22 +34,35 @@ from repro.obs.breakdown import (
 )
 from repro.obs.chrome_trace import to_chrome_events, write_chrome_trace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeline import (
+    ChargeMonitor,
+    DepthMonitor,
+    ResourceMonitor,
+    UtilizationCollector,
+)
 from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "PHASES",
+    "SATURATION_THRESHOLD",
+    "analyze",
     "breakdown",
     "breakdown_rows",
+    "format_analysis",
     "phase_attribution",
     "to_chrome_events",
     "write_chrome_trace",
+    "ChargeMonitor",
     "Counter",
+    "DepthMonitor",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "ResourceMonitor",
     "Span",
     "Tracer",
+    "UtilizationCollector",
 ]

@@ -1,0 +1,98 @@
+"""Bottleneck analysis over a utilization report.
+
+Turns :meth:`repro.obs.timeline.UtilizationCollector.report` output
+into the sentence the paper's evaluation keeps writing: *which
+resource saturates, and how much headroom is left* — the CPU-bound vs
+network-bound crossover framing of Storm and "RDMA vs RPC".
+
+The verdict is the kind of the most-utilized capacity-bearing
+resource: ``cpu-bound`` (core pools), ``nic-bound`` (verb-engine
+pools), ``wire-bound`` (TX/RX ports), ``pcie-bound`` (DMA link). When
+nothing reaches the saturation threshold the run is ``load-bound`` —
+offered load, not any modeled resource, limits throughput.
+"""
+
+#: a resource at or above this busy fraction is considered saturated
+SATURATION_THRESHOLD = 0.85
+
+#: kinds that represent real capacity (occupancy counters are evidence,
+#: not candidates)
+_CAPACITY_KINDS = ("cpu", "nic", "wire", "pcie")
+
+
+def _headroom(utilization):
+    """Additional load factor before 100% busy: 1/u - 1 (inf when idle)."""
+    if utilization <= 0:
+        return float("inf")
+    return max(0.0, 1.0 / utilization - 1.0)
+
+
+def analyze(report, saturation=SATURATION_THRESHOLD, top=5):
+    """Name the saturated resource of a run.
+
+    ``report`` is a list of summary rows from
+    :meth:`~repro.obs.timeline.UtilizationCollector.report`. Returns::
+
+        {"verdict": "cpu-bound" | "nic-bound" | "wire-bound"
+                    | "pcie-bound" | "load-bound",
+         "resource": <name of the binding resource>,
+         "kind": ..., "utilization": ..., "headroom": ...,
+         "mean_queue_depth": ..., "queue_delay_p99_us": ...,
+         "saturated": [names at/over the threshold],
+         "ranked": [top-N rows by utilization]}
+
+    An empty report (collection disabled) yields verdict ``unknown``.
+    """
+    candidates = [row for row in report
+                  if row.get("utilization") is not None
+                  and row["kind"] in _CAPACITY_KINDS]
+    if not candidates:
+        return {"verdict": "unknown", "resource": None, "kind": None,
+                "utilization": None, "headroom": None,
+                "mean_queue_depth": None, "queue_delay_p99_us": None,
+                "saturated": [], "ranked": []}
+    ranked = sorted(candidates, key=lambda row: row["utilization"],
+                    reverse=True)
+    binding = ranked[0]
+    saturated = [row["name"] for row in ranked
+                 if row["utilization"] >= saturation]
+    verdict = (f"{binding['kind']}-bound" if saturated else "load-bound")
+    queue = binding.get("queue", {})
+    delay = queue.get("delay_us", {})
+    return {
+        "verdict": verdict,
+        "resource": binding["name"],
+        "kind": binding["kind"],
+        "utilization": binding["utilization"],
+        "headroom": _headroom(binding["utilization"]),
+        "mean_queue_depth": queue.get("mean_depth"),
+        "queue_delay_p99_us": delay.get("p99"),
+        "saturated": saturated,
+        "ranked": [
+            {"name": row["name"], "kind": row["kind"],
+             "utilization": row["utilization"],
+             "mean_queue_depth": row.get("queue", {}).get("mean_depth")}
+            for row in ranked[:top]],
+    }
+
+
+def format_analysis(analysis):
+    """Human-readable multi-line rendering of :func:`analyze` output."""
+    if analysis["resource"] is None:
+        return "bottleneck: unknown (utilization collection disabled)"
+    lines = [
+        f"bottleneck: {analysis['verdict']} — {analysis['resource']} at "
+        f"{analysis['utilization']:.0%} busy "
+        f"(headroom {analysis['headroom']:.2f}x)",
+    ]
+    depth = analysis.get("mean_queue_depth")
+    p99 = analysis.get("queue_delay_p99_us")
+    if depth is not None:
+        detail = f"  queue: mean depth {depth:.2f}"
+        if p99 is not None and p99 == p99:  # not NaN
+            detail += f", delay p99 {p99:.2f} µs"
+        lines.append(detail)
+    for row in analysis["ranked"]:
+        lines.append(f"  {row['name']} [{row['kind']}] "
+                     f"{row['utilization']:.0%}")
+    return "\n".join(lines)

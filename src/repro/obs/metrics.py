@@ -10,7 +10,7 @@ Instruments are cheap plain objects; nothing here touches the
 simulated clock, so the registry is safe to read at any time.
 """
 
-import math
+from repro.obs import quantiles
 
 
 def _label_key(labels):
@@ -102,19 +102,8 @@ class Histogram:
         return self.total / len(self.samples)
 
     def percentile(self, p):
-        """Linear-interpolated percentile, ``p`` in [0, 100]."""
-        if not self.samples:
-            return float("nan")
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = (p / 100.0) * (len(ordered) - 1)
-        low = math.floor(rank)
-        high = math.ceil(rank)
-        if low == high:
-            return ordered[low]
-        frac = rank - low
-        return ordered[low] * (1 - frac) + ordered[high] * frac
+        """Linear-interpolated percentile, ``p`` in [0, 100]; NaN if empty."""
+        return quantiles.percentile(self.samples, p)
 
     @property
     def value(self):

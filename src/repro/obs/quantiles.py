@@ -1,0 +1,82 @@
+"""Shared quantile and histogram arithmetic.
+
+One implementation of linear-interpolated percentiles and fixed-width
+histograms, used by both sample collectors in the tree —
+:class:`repro.sim.stats.LatencyRecorder` (benchmark latencies) and
+:class:`repro.obs.metrics.Histogram` (registry instruments) — and by
+the utilization monitors' queueing-delay distributions. Keeping the
+arithmetic in one place guarantees a p99 means the same thing wherever
+it is reported.
+
+All functions are total: empty inputs yield ``nan`` (or an empty
+list), never an exception, so a report over a run that completed no
+operations renders as NaN columns instead of crashing.
+"""
+
+import math
+
+
+def percentile(samples, p):
+    """Linear-interpolated percentile of ``samples``, ``p`` in [0, 100].
+
+    ``samples`` need not be sorted. Returns ``nan`` when empty.
+    """
+    if not samples:
+        return float("nan")
+    return percentile_sorted(sorted(samples), p)
+
+
+def percentile_sorted(ordered, p):
+    """Like :func:`percentile` for an already ascending-sorted sequence."""
+    if not ordered:
+        return float("nan")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def mean(samples):
+    """Arithmetic mean; ``nan`` when empty."""
+    if not samples:
+        return float("nan")
+    return sum(samples) / len(samples)
+
+
+def fixed_width_histogram(samples, bucket_width=None, max_buckets=32):
+    """Fixed-width histogram: sorted list of ``(bucket_start, count)``.
+
+    Width defaults to span/``max_buckets`` rounded up so the histogram
+    always fits in ``max_buckets`` entries. Empty input yields ``[]``.
+    """
+    if not samples:
+        return []
+    low, high = min(samples), max(samples)
+    if bucket_width is None:
+        span = max(high - low, 1e-9)
+        bucket_width = span / max_buckets
+    counts = {}
+    for sample in samples:
+        bucket = low + bucket_width * int((sample - low) / bucket_width)
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return sorted(counts.items())
+
+
+def distribution_summary(samples):
+    """``{count, mean, p50, p99, max}`` of a sample list (NaNs if empty)."""
+    if not samples:
+        nan = float("nan")
+        return {"count": 0, "mean": nan, "p50": nan, "p99": nan, "max": nan}
+    ordered = sorted(samples)
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile_sorted(ordered, 50),
+        "p99": percentile_sorted(ordered, 99),
+        "max": ordered[-1],
+    }

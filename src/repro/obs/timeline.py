@@ -1,0 +1,408 @@
+"""Windowed busy/idle accounting and queue-depth telemetry.
+
+Answers the evaluation's other question — *which resource saturates?* —
+for any simulated run: every contended resource (NIC verb-engine
+pools, host TX/RX wire ports, CPU core pools, the PCIe link, the PRISM
+engine, client request channels) reports busy time, queue depth, and
+queueing delay, integrated on the simulated clock and bucketed into
+fixed windows so saturation onset is visible in time as well as in
+aggregate.
+
+Accounting is **event-driven**: monitors integrate piecewise-constant
+state (slots in use, waiters queued) at every transition instead of
+scheduling sampling events, so a monitored run executes the *same
+event sequence* as an unmonitored one — timing is bit-identical, the
+same discipline as the NULL_SPAN tracer. With no collector installed
+(the default) every hook is a single ``is None`` check.
+
+Usage::
+
+    from repro.obs.timeline import UtilizationCollector
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    collector = sim.set_utilization(UtilizationCollector())
+    ...build the system; every Resource self-registers...
+    sim.run(...)
+    collector.finish(sim.now)
+    for row in collector.report():
+        print(row["name"], row["utilization"], row["queue"]["mean_depth"])
+
+Three monitor flavours:
+
+* :class:`ResourceMonitor` — slot-based resources
+  (:class:`repro.sim.resources.Resource`): busy integral from slots in
+  use, queue-depth integral from the waiter queue, a queueing-delay
+  sample per grant.
+* :class:`ChargeMonitor` — charge-based resources with no explicit
+  queue (PCIe DMA time, engine op counts): callers add busy time or
+  event counts directly.
+* :class:`DepthMonitor` — pure occupancy counters (in-flight requests
+  on a client channel, messages in flight on the fabric).
+"""
+
+from collections import deque
+
+from repro.obs import quantiles
+
+#: default accounting window, simulated microseconds
+DEFAULT_WINDOW_US = 100.0
+
+
+class Window:
+    """One closed accounting window of a monitor's timeline."""
+
+    __slots__ = ("start", "end", "busy_us", "depth_time_us", "max_depth",
+                 "events", "units")
+
+    def __init__(self, start, end, busy_us, depth_time_us, max_depth,
+                 events, units):
+        self.start = start
+        self.end = end
+        self.busy_us = busy_us
+        self.depth_time_us = depth_time_us
+        self.max_depth = max_depth
+        self.events = events
+        self.units = units
+
+    @property
+    def width(self):
+        return self.end - self.start
+
+    def as_dict(self):
+        return {"start": self.start, "end": self.end,
+                "busy_us": self.busy_us,
+                "depth_time_us": self.depth_time_us,
+                "max_depth": self.max_depth,
+                "events": self.events, "units": self.units}
+
+
+class _WindowedMonitor:
+    """Shared piecewise-constant integration over a fixed window grid.
+
+    Subclasses mutate ``_in_use`` (busy level) and ``_depth`` (queue
+    depth) and call :meth:`_advance` *before* every state change; the
+    base class splits the integrals exactly at window boundaries.
+    """
+
+    def __init__(self, sim, name, kind, capacity=1,
+                 window_us=DEFAULT_WINDOW_US):
+        self.sim = sim
+        self.name = name
+        self.kind = kind
+        self.capacity = capacity  # None => occupancy has no ceiling
+        self.window_us = float(window_us)
+        self.windows = []
+        #: optional callable returning a dict merged into summary()
+        self.extra = None
+        self._in_use = 0
+        self._depth = 0
+        self._last = sim.now
+        self._win_start = sim.now
+        self._win_busy = 0.0
+        self._win_depth_time = 0.0
+        self._win_max_depth = 0
+        self._win_events = 0
+        self._win_units = 0
+        self._finished = False
+        # run totals
+        self.busy_us = 0.0
+        self.depth_time_us = 0.0
+        self.max_depth = 0
+        self.events = 0
+        self.units = 0
+
+    # -- integration -------------------------------------------------------
+
+    def _integrate_to(self, t):
+        dt = t - self._last
+        if dt > 0:
+            busy = self._in_use * dt
+            depth = self._depth * dt
+            self._win_busy += busy
+            self._win_depth_time += depth
+            self.busy_us += busy
+            self.depth_time_us += depth
+        self._last = t
+
+    def _close_window(self, end):
+        self.windows.append(Window(
+            self._win_start, end, self._win_busy, self._win_depth_time,
+            self._win_max_depth, self._win_events, self._win_units))
+        self._win_start = end
+        self._win_busy = 0.0
+        self._win_depth_time = 0.0
+        self._win_max_depth = self._depth
+        self._win_events = 0
+        self._win_units = 0
+
+    def _advance(self, now):
+        """Integrate current state up to ``now``, closing crossed windows."""
+        boundary = self._win_start + self.window_us
+        while now >= boundary:
+            self._integrate_to(boundary)
+            self._close_window(boundary)
+            boundary = self._win_start + self.window_us
+        self._integrate_to(now)
+
+    def _note_depth(self):
+        if self._depth > self._win_max_depth:
+            self._win_max_depth = self._depth
+        if self._depth > self.max_depth:
+            self.max_depth = self._depth
+
+    def finish(self, elapsed=None):
+        """Integrate up to ``elapsed`` (default: now) and close the
+        final partial window. Idempotent."""
+        if self._finished:
+            return
+        end = self.sim.now if elapsed is None else max(elapsed, self._last)
+        self._advance(end)
+        if end > self._win_start or not self.windows:
+            self._close_window(end)
+        self._finished = True
+
+    # -- reporting ---------------------------------------------------------
+
+    def busy_between(self, start, end):
+        """Busy µs inside [start, end], attributing partial windows
+        proportionally (state is near-uniform within a window)."""
+        return self._overlap_sum(start, end, "busy_us")
+
+    def depth_time_between(self, start, end):
+        return self._overlap_sum(start, end, "depth_time_us")
+
+    def _overlap_sum(self, start, end, field):
+        total = 0.0
+        for window in self.windows:
+            lo = max(window.start, start)
+            hi = min(window.end, end)
+            if hi <= lo or window.width <= 0:
+                continue
+            total += getattr(window, field) * (hi - lo) / window.width
+        return total
+
+    def utilization(self, start, end):
+        """Mean busy fraction over [start, end]; None when the monitor
+        has no capacity ceiling (pure occupancy counters)."""
+        width = end - start
+        if self.capacity is None or width <= 0:
+            return None
+        return self.busy_between(start, end) / (width * self.capacity)
+
+    def summary(self, start, end):
+        """One report row covering the [start, end] analysis window."""
+        width = max(end - start, 0.0)
+        row = {
+            "name": self.name,
+            "kind": self.kind,
+            "capacity": self.capacity,
+            "window_us": self.window_us,
+            "busy_us": self.busy_between(start, end),
+            "utilization": self.utilization(start, end),
+            "queue": {
+                "mean_depth": (self.depth_time_between(start, end) / width
+                               if width > 0 else 0.0),
+                "max_depth": self.max_depth,
+            },
+            "events": self.events,
+            "units": self.units,
+        }
+        if self.extra is not None:
+            row.update(self.extra())
+        return row
+
+
+class ResourceMonitor(_WindowedMonitor):
+    """Busy/queue accounting for a slot-based FIFO resource.
+
+    Driven by :class:`repro.sim.resources.Resource` at every acquire,
+    grant, and release. Also samples the queueing delay of every grant
+    (zero for uncontended acquires) into a distribution.
+    """
+
+    def __init__(self, sim, name, kind, capacity=1,
+                 window_us=DEFAULT_WINDOW_US):
+        super().__init__(sim, name, kind, capacity, window_us)
+        self.requests = 0
+        self.grants = 0
+        self.releases = 0
+        self.enqueues = 0
+        self.dequeues = 0
+        self.queue_delays = []
+
+    def on_request(self, queued):
+        """An acquire() arrived; ``queued`` when no slot was free."""
+        self._advance(self.sim.now)
+        self.requests += 1
+        if queued:
+            self._depth += 1
+            self.enqueues += 1
+            self._note_depth()
+
+    def on_grant(self, waited_us, from_queue):
+        """A slot was granted after ``waited_us`` in the queue."""
+        self._advance(self.sim.now)
+        self.grants += 1
+        self.events += 1
+        self._win_events += 1
+        if from_queue:
+            self._depth -= 1
+            self.dequeues += 1
+        self._in_use += 1
+        self.queue_delays.append(waited_us)
+
+    def on_release(self):
+        """A slot was freed (possibly handed straight to a waiter)."""
+        self._advance(self.sim.now)
+        self.releases += 1
+        self._in_use -= 1
+
+    def summary(self, start, end):
+        row = super().summary(start, end)
+        row["requests"] = self.requests
+        row["grants"] = self.grants
+        row["queue"]["delay_us"] = quantiles.distribution_summary(
+            self.queue_delays)
+        return row
+
+
+class ChargeMonitor(_WindowedMonitor):
+    """Busy accounting for resources charged by duration, not slots.
+
+    The PCIe link is the canonical case: backends charge each DMA's
+    duration as it is priced, so busy time is the total DMA time and
+    ``capacity`` (concurrent DMA engines, one per NIC PU) normalizes it
+    into a utilization. A charge is attributed to the window containing
+    the instant it is recorded.
+    """
+
+    def charge(self, duration_us, events=1, units=0):
+        self._advance(self.sim.now)
+        self._win_busy += duration_us
+        self.busy_us += duration_us
+        self._win_events += events
+        self.events += events
+        self._win_units += units
+        self.units += units
+
+    def count(self, events=1, units=0):
+        """Count events (engine ops, bytes touched) without busy time."""
+        self.charge(0.0, events=events, units=units)
+
+    def busy_between(self, start, end):
+        # Charges land at instants; proportional attribution within a
+        # window still applies, the totals are exact over full windows.
+        return self._overlap_sum(start, end, "busy_us")
+
+
+class DepthMonitor(_WindowedMonitor):
+    """A pure occupancy counter: in-flight requests, queued messages."""
+
+    def __init__(self, sim, name, kind, window_us=DEFAULT_WINDOW_US):
+        super().__init__(sim, name, kind, capacity=None,
+                         window_us=window_us)
+        self.enters = 0
+        self.exits = 0
+
+    def adjust(self, delta):
+        self._advance(self.sim.now)
+        self._depth += delta
+        if delta > 0:
+            self.enters += delta
+            self.events += delta
+            self._win_events += delta
+            self._note_depth()
+        else:
+            self.exits -= delta
+
+    def summary(self, start, end):
+        row = super().summary(start, end)
+        row["enters"] = self.enters
+        row["exits"] = self.exits
+        return row
+
+
+class UtilizationCollector:
+    """The per-run home of every monitor.
+
+    Install with :meth:`repro.sim.kernel.Simulator.set_utilization`
+    *before* building the system: every
+    :class:`~repro.sim.resources.Resource` created afterwards
+    self-registers, and the instrumented layers (PCIe, engine,
+    channels, fabric) attach their charge/depth monitors. After the
+    run, :meth:`finish` closes the books and :meth:`report` yields one
+    summary row per resource over the analysis window.
+    """
+
+    def __init__(self, window_us=DEFAULT_WINDOW_US):
+        self.window_us = float(window_us)
+        self.monitors = []
+        self._sim = None
+        #: analysis window bounds; the bench harness sets these to the
+        #: measurement window so warmup does not dilute utilization
+        self.measure_from = 0.0
+        self.measure_until = None
+        self.elapsed = None
+
+    def bind(self, sim):
+        self._sim = sim
+        return self
+
+    @property
+    def sim(self):
+        if self._sim is None:
+            raise RuntimeError(
+                "collector not bound; install it with sim.set_utilization()")
+        return self._sim
+
+    # -- attachment --------------------------------------------------------
+
+    def watch_resource(self, resource, kind=None):
+        """Attach a :class:`ResourceMonitor` to a FIFO resource."""
+        monitor = ResourceMonitor(
+            resource.sim, resource.name, kind or resource.kind,
+            capacity=resource.capacity, window_us=self.window_us)
+        resource.monitor = monitor
+        resource._wait_since = deque()
+        self.monitors.append(monitor)
+        return monitor
+
+    def charge_monitor(self, name, kind, capacity=1):
+        monitor = ChargeMonitor(self.sim, name, kind, capacity=capacity,
+                                window_us=self.window_us)
+        self.monitors.append(monitor)
+        return monitor
+
+    def depth_monitor(self, name, kind):
+        monitor = DepthMonitor(self.sim, name, kind,
+                               window_us=self.window_us)
+        self.monitors.append(monitor)
+        return monitor
+
+    # -- reporting ---------------------------------------------------------
+
+    def finish(self, elapsed=None):
+        """Close every monitor's final window at ``elapsed`` (or now)."""
+        self.elapsed = self.sim.now if elapsed is None else elapsed
+        for monitor in self.monitors:
+            monitor.finish(self.elapsed)
+        return self
+
+    def window_bounds(self):
+        end = self.measure_until
+        if end is None:
+            end = self.elapsed if self.elapsed is not None else self.sim.now
+        return self.measure_from, end
+
+    def report(self, start=None, end=None):
+        """Per-resource summaries over the analysis window, in
+        attachment order."""
+        bounds = self.window_bounds()
+        start = bounds[0] if start is None else start
+        end = bounds[1] if end is None else end
+        if not self.monitors:
+            return []
+        if self.elapsed is None:
+            self.finish()
+        return [monitor.summary(start, end) for monitor in self.monitors]

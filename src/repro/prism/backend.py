@@ -135,6 +135,9 @@ class Backend:
         self.gate = PostingGate(sim)
         engine.allow_extensions = self.supports_extensions
         engine.allow_extended_atomics = self.supports_extended_atomics
+        if sim.utilization is not None and engine.monitor is None:
+            engine.monitor = sim.utilization.charge_monitor(
+                f"{self.label}.engine", kind="engine")
 
     # -- per-backend hooks -------------------------------------------------
 
@@ -165,6 +168,13 @@ class Backend:
         mix costs (NIC verb time + PCIe round trips) override it.
         """
         return {self.execution_phase: self.op_time(op, accesses, op_index)}
+
+    def note_execution(self, op, accesses, op_index, duration):
+        """Utilization hook, called once per executed op (collection
+        on only). Device backends with side-channel resources (the
+        PCIe link) charge them here; the base backend does nothing —
+        pool busy time is already observed by the resource monitor.
+        """
 
     def acquire_execution(self, op):
         """Acquire whatever unit executes ``op``; returns a release callable."""
@@ -201,6 +211,8 @@ class Backend:
                 result, accesses = self.engine.execute_op(
                     connection, op, prev_ok)
                 duration = self.op_time(op, accesses, op_index)
+                if self.sim.utilization is not None:
+                    self.note_execution(op, accesses, op_index, duration)
                 with span.child(f"op.{op.opname}", phase=self.execution_phase,
                                 status=result.status.value) as op_span:
                     if op_span.enabled:
@@ -223,9 +235,10 @@ class _PooledBackend(Backend):
     """Common shape for backends that run ops on a pool of units."""
 
     def __init__(self, sim, engine, config=None, pool_capacity=1,
-                 pool_name="unit"):
+                 pool_name="unit", pool_kind="nic"):
         super().__init__(sim, engine, config)
-        self._pool = Resource(sim, capacity=pool_capacity, name=pool_name)
+        self._pool = Resource(sim, capacity=pool_capacity, name=pool_name,
+                              kind=pool_kind)
 
     def acquire_execution(self, op):
         yield self._pool.acquire()

@@ -29,6 +29,24 @@ class BlueFieldPrismBackend(Backend):
         super().__init__(sim, engine, config)
         self.pool = CorePool(sim, cores or config.bf_cores,
                              name=f"{self.label}.cores")
+        self._host_path_monitor = None
+        if sim.utilization is not None:
+            # The card's internal-switch path to host memory is its
+            # device<->host data path; report it alongside real PCIe.
+            # One outstanding host access per ARM core.
+            self._host_path_monitor = sim.utilization.charge_monitor(
+                f"{self.label}.hostpath", kind="pcie",
+                capacity=cores or config.bf_cores)
+
+    def note_execution(self, op, accesses, op_index, duration):
+        if self._host_path_monitor is None:
+            return
+        for access in accesses:
+            if access.domain == DOMAIN_HOST:
+                self._host_path_monitor.charge(
+                    self.config.bf_host_access_us
+                    + access.nbytes / self.config.bf_bytes_per_us,
+                    units=access.nbytes)
 
     def request_admission(self, ops):
         yield self.sim.timeout(self.config.bf_pipeline_latency_us)

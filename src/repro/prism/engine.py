@@ -136,6 +136,10 @@ class PrismEngine:
         self.allow_extensions = allow_extensions
         self.allow_extended_atomics = allow_extended_atomics
         self.ops_executed = 0
+        #: optional repro.obs.timeline.ChargeMonitor counting executed
+        #: ops and touched bytes per window (the engine itself is
+        #: functional — time is charged by the owning backend)
+        self.monitor = None
 
     # -- protection helpers ------------------------------------------------
 
@@ -237,6 +241,9 @@ class PrismEngine:
         except (AccessViolation, AllocationFailure, InvalidOperation) as exc:
             return OpResult(OpStatus.NAK, error=exc), accesses
         self.ops_executed += 1
+        if self.monitor is not None:
+            self.monitor.count(
+                events=1, units=sum(access.nbytes for access in accesses))
         return result, accesses
 
     def _do_read(self, connection, op, accesses):

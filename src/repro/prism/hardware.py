@@ -32,6 +32,12 @@ class HardwareRdmaBackend(_PooledBackend):
                          pool_name=f"{self.label}.pu")
         self._pcie = PcieLink(config.pcie_round_trip_us,
                               config.pcie_bytes_per_us)
+        if sim.utilization is not None:
+            # One DMA engine per processing unit, so the link's busy
+            # time normalizes against the NIC's parallelism.
+            self._pcie.set_monitor(sim.utilization.charge_monitor(
+                f"{self.label}.pcie", kind="pcie",
+                capacity=config.nic_parallelism))
 
     # Atomicity note: ConnectX-class NICs pipeline atomics to different
     # addresses and only serialize conflicting ones; the simulator's
@@ -53,6 +59,11 @@ class HardwareRdmaBackend(_PooledBackend):
             if access.atomic:
                 total += self.config.nic_atomic_unit_us
         return total
+
+    def note_execution(self, op, accesses, op_index, duration):
+        for access in accesses:
+            if access.domain == DOMAIN_HOST:
+                self._pcie.record(access.kind, access.nbytes)
 
     def op_time_parts(self, op, accesses, op_index=0):
         """Verb-processing ("nic") vs host-memory DMA ("pcie") split."""

@@ -115,9 +115,13 @@ class Simulator:
     :data:`~repro.obs.trace.NULL_TRACER`; :meth:`set_tracer` installs a
     recording :class:`~repro.obs.trace.Tracer` (binding it to this
     clock) so instrumented layers emit spans and process lifetimes are
-    reported to the tracer's kernel hooks. ``events_executed`` counts
-    queue entries run — a cheap health counter the metrics registry can
-    absorb.
+    reported to the tracer's kernel hooks. ``utilization`` defaults to
+    None; :meth:`set_utilization` installs a
+    :class:`~repro.obs.timeline.UtilizationCollector` *before* system
+    construction so every contended resource created on this simulator
+    self-registers for busy/queue accounting. ``events_executed``
+    counts queue entries run — a cheap health counter the metrics
+    registry can absorb.
     """
 
     def __init__(self):
@@ -126,12 +130,23 @@ class Simulator:
         self._sequence = count()
         self._failed_processes = []
         self.tracer = NULL_TRACER
+        self.utilization = None
         self.events_executed = 0
 
     def set_tracer(self, tracer):
         """Install (and bind) a tracer; returns it for chaining."""
         self.tracer = tracer.bind(self)
         return tracer
+
+    def set_utilization(self, collector):
+        """Install (and bind) a utilization collector; returns it.
+
+        Monitors integrate state at event transitions and never
+        schedule events of their own, so a collected run's timing is
+        bit-identical to an uncollected one.
+        """
+        self.utilization = collector.bind(self)
+        return collector
 
     @property
     def now(self):

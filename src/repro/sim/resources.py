@@ -21,19 +21,32 @@ class Resource:
         resource.release()
 
     Fairness is strict FIFO, which keeps runs deterministic.
+
+    ``kind`` classifies the resource for utilization reports and the
+    bottleneck analyzer ("cpu", "nic", "wire", ...). When the owning
+    simulator has a utilization collector installed
+    (``sim.set_utilization``), the resource self-registers a
+    :class:`~repro.obs.timeline.ResourceMonitor` that observes every
+    acquire/grant/release; with no collector the hooks are a single
+    ``is None`` check and timing is untouched.
     """
 
-    def __init__(self, sim, capacity=1, name=None):
+    def __init__(self, sim, capacity=1, name=None, kind="other"):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self.name = name or "resource"
+        self.kind = kind
         self._in_use = 0
         self._waiters = deque()
         self._total_acquired = 0
         self._busy_time = 0.0
         self._last_change = 0.0
+        self.monitor = None
+        self._wait_since = None
+        if sim.utilization is not None:
+            sim.utilization.watch_resource(self)
 
     @property
     def in_use(self):
@@ -52,9 +65,15 @@ class Resource:
             self._account()
             self._in_use += 1
             self._total_acquired += 1
+            if self.monitor is not None:
+                self.monitor.on_request(queued=False)
+                self.monitor.on_grant(0.0, from_queue=False)
             event.succeed(self)
         else:
             self._waiters.append(event)
+            if self.monitor is not None:
+                self.monitor.on_request(queued=True)
+                self._wait_since.append(self.sim.now)
         return event
 
     def release(self):
@@ -64,10 +83,17 @@ class Resource:
         if self._waiters:
             event = self._waiters.popleft()
             self._total_acquired += 1
+            if self.monitor is not None:
+                self.monitor.on_release()
+                self.monitor.on_grant(
+                    self.sim.now - self._wait_since.popleft(),
+                    from_queue=True)
             event.succeed(self)
         else:
             self._account()
             self._in_use -= 1
+            if self.monitor is not None:
+                self.monitor.on_release()
 
     def utilization(self, elapsed):
         """Mean busy fraction over ``elapsed`` simulated microseconds."""
@@ -145,7 +171,13 @@ class BandwidthPipe:
         self.bytes_per_us = float(bytes_per_us)
         self.per_message_us = float(per_message_us)
         self.name = name or "pipe"
-        self._port = Resource(sim, capacity=1, name=f"{self.name}.port")
+        self._port = Resource(sim, capacity=1, name=f"{self.name}.port",
+                              kind="wire")
+        if self._port.monitor is not None:
+            # Enrich the port's utilization row with wire throughput.
+            self._port.monitor.extra = lambda: {
+                "bytes": self.bytes_total,
+                "messages": self.messages_total}
         # Direction-neutral totals: a pipe serves as either a TX or an
         # RX port, so "bytes that crossed it" is the honest name — an
         # RX pipe's total is bytes *received*, not sent.

@@ -1,6 +1,11 @@
-"""Measurement helpers: latency recorders and throughput meters."""
+"""Measurement helpers: latency recorders and throughput meters.
 
-import math
+Quantile arithmetic is shared with the metrics registry through
+:mod:`repro.obs.quantiles` — one linear-interpolation implementation,
+guarded on empty inputs (NaN, never an exception).
+"""
+
+from repro.obs import quantiles
 
 
 class LatencyRecorder:
@@ -20,24 +25,11 @@ class LatencyRecorder:
         return len(self.samples)
 
     def mean(self):
-        if not self.samples:
-            return float("nan")
-        return sum(self.samples) / len(self.samples)
+        return quantiles.mean(self.samples)
 
     def percentile(self, p):
-        """Linear-interpolated percentile, ``p`` in [0, 100]."""
-        if not self.samples:
-            return float("nan")
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = (p / 100.0) * (len(ordered) - 1)
-        low = math.floor(rank)
-        high = math.ceil(rank)
-        if low == high:
-            return ordered[low]
-        frac = rank - low
-        return ordered[low] * (1 - frac) + ordered[high] * frac
+        """Linear-interpolated percentile, ``p`` in [0, 100]; NaN if empty."""
+        return quantiles.percentile(self.samples, p)
 
     def median(self):
         return self.percentile(50)
@@ -51,18 +43,9 @@ class LatencyRecorder:
         Width defaults to span/max_buckets rounded up so the histogram
         always fits in ``max_buckets`` entries.
         """
-        if not self.samples:
-            return []
-        low, high = min(self.samples), max(self.samples)
-        if bucket_width_us is None:
-            span = max(high - low, 1e-9)
-            bucket_width_us = span / max_buckets
-        counts = {}
-        for sample in self.samples:
-            bucket = low + bucket_width_us * int(
-                (sample - low) / bucket_width_us)
-            counts[bucket] = counts.get(bucket, 0) + 1
-        return sorted(counts.items())
+        return quantiles.fixed_width_histogram(
+            self.samples, bucket_width=bucket_width_us,
+            max_buckets=max_buckets)
 
     def cdf(self, points=20):
         """Evenly spaced ``(latency, fraction_completed_within)`` pairs."""

@@ -1,0 +1,224 @@
+"""The machine-readable result schema and regression comparator."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import run_point
+from repro.bench.regress import (
+    DEFAULT_TOLERANCES,
+    SCHEMA,
+    SCHEMA_VERSION,
+    compare,
+    format_compare,
+    load_record,
+    make_point,
+    make_record,
+    point_id,
+    write_record,
+)
+from repro.workload import YCSB_C
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_point("kv", "prism-sw",
+                     lambda i: YCSB_C(200, seed=11, client_id=i), 2,
+                     n_keys=200)
+
+
+@pytest.fixture
+def record(small_result):
+    config = {"kind": "kv", "flavor": "prism-sw", "clients": 2,
+              "keys": 200, "seed": 11}
+    point = make_point("kv", "prism-sw", small_result, config)
+    return make_record("test", [point])
+
+
+class TestRecord:
+    def test_envelope(self, record):
+        assert record["schema"] == SCHEMA
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["benchmark"] == "test"
+        assert "python" in record["provenance"]
+
+    def test_point_shape(self, record, small_result):
+        point = record["points"][0]
+        assert point["id"] == point_id("kv", "prism-sw", 2)
+        metrics = point["metrics"]
+        assert metrics["throughput_ops_per_sec"] == \
+            small_result.throughput_ops_per_sec
+        assert metrics["mean_us"] == small_result.mean_latency_us
+        assert metrics["p99_us"] == small_result.p99_latency_us
+
+    def test_round_trip(self, record, tmp_path):
+        path = tmp_path / "r.json"
+        write_record(record, path)
+        loaded = load_record(path)
+        assert loaded == json.loads(json.dumps(record))
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"some": "thing"}')
+        with pytest.raises(ValueError, match="not a"):
+            load_record(path)
+
+    def test_load_rejects_future_schema(self, record, tmp_path):
+        record = dict(record, schema_version=SCHEMA_VERSION + 1)
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(record))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_record(path)
+
+
+def _degrade(record, metric, factor):
+    worse = copy.deepcopy(record)
+    worse["points"][0]["metrics"][metric] *= factor
+    return worse
+
+
+class TestCompare:
+    def test_self_compare_passes(self, record):
+        report = compare(record, record)
+        assert report["ok"]
+        assert report["regressions"] == []
+        assert all(f["status"] == "ok" for f in report["findings"])
+
+    def test_degraded_throughput_fails(self, record):
+        report = compare(record, _degrade(record,
+                                          "throughput_ops_per_sec", 0.90))
+        assert not report["ok"]
+        bad = report["regressions"]
+        assert [f["metric"] for f in bad] == ["throughput_ops_per_sec"]
+        assert bad[0]["delta_rel"] == pytest.approx(-0.10)
+
+    def test_degraded_latency_fails(self, record):
+        report = compare(record, _degrade(record, "p99_us", 1.10))
+        assert not report["ok"]
+        assert report["regressions"][0]["metric"] == "p99_us"
+
+    def test_improvement_never_fails(self, record):
+        better = _degrade(record, "throughput_ops_per_sec", 1.30)
+        better = _degrade(better, "mean_us", 0.70)
+        report = compare(record, better)
+        assert report["ok"]
+        improved = {f["metric"] for f in report["findings"]
+                    if f["status"] == "improved"}
+        assert {"throughput_ops_per_sec", "mean_us"} <= improved
+
+    def test_within_tolerance_passes(self, record):
+        # p99 band is 5%: a 3% slip is noise, not a regression.
+        report = compare(record, _degrade(record, "p99_us", 1.03))
+        assert report["ok"]
+
+    def test_tolerance_override(self, record):
+        slipped = _degrade(record, "p99_us", 1.03)
+        assert not compare(record, slipped,
+                           tolerances={"p99_us": 0.01})["ok"]
+        assert compare(record, _degrade(record, "mean_us", 1.10),
+                       tolerances={"mean_us": 0.20})["ok"]
+
+    def test_unknown_tolerance_metric_rejected(self, record):
+        with pytest.raises(ValueError, match="no tolerance band"):
+            compare(record, record, tolerances={"bogus": 0.1})
+
+    def test_missing_point_fails(self, record):
+        empty = dict(record, points=[])
+        report = compare(record, empty)
+        assert not report["ok"]
+        assert report["regressions"][0]["status"] == "missing"
+
+    def test_config_drift_fails(self, record):
+        drifted = copy.deepcopy(record)
+        drifted["points"][0]["config"]["keys"] = 999
+        report = compare(record, drifted)
+        assert not report["ok"]
+        finding = report["regressions"][0]
+        assert finding["status"] == "config-drift"
+        assert "keys" in finding["metric"]
+
+    def test_nan_handling(self, record):
+        nan = float("nan")
+        both_nan = copy.deepcopy(record)
+        both_nan["points"][0]["metrics"]["p99_us"] = nan
+        assert compare(both_nan, both_nan)["ok"]
+        run_nan = copy.deepcopy(record)
+        run_nan["points"][0]["metrics"]["p99_us"] = nan
+        assert not compare(record, run_nan)["ok"]
+
+    def test_format_ends_with_verdict(self, record):
+        assert format_compare(compare(record, record)).endswith(
+            "compare: PASS (0 finding(s) over tolerance)")
+        text = format_compare(
+            compare(record, _degrade(record, "mean_us", 2.0)))
+        assert "FAIL" in text.splitlines()[-1]
+
+    def test_default_bands_cover_core_metrics(self):
+        assert {"throughput_ops_per_sec", "mean_us", "p50_us",
+                "p99_us"} <= set(DEFAULT_TOLERANCES)
+
+
+class TestCli:
+    def _write_run(self, tmp_path, name="run.json"):
+        path = tmp_path / name
+        assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                     "--clients", "2", "--keys", "200",
+                     "--json", str(path)]) == 0
+        return path
+
+    def test_json_flag_writes_record(self, tmp_path, capsys):
+        path = self._write_run(tmp_path)
+        record = load_record(path)
+        assert record["points"][0]["id"] == "kv/prism-sw/c2"
+        assert record["points"][0]["utilization"]
+        assert record["points"][0]["bottleneck"]["verdict"]
+        assert "result record written" in capsys.readouterr().out
+
+    def test_util_flag_prints_report(self, capsys):
+        assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                     "--clients", "2", "--keys", "200", "--util"]) == 0
+        out = capsys.readouterr().out
+        assert "resource utilization" in out
+        assert "bottleneck:" in out
+
+    def test_compare_self_exits_zero(self, tmp_path, capsys):
+        path = self._write_run(tmp_path)
+        assert main(["compare", str(path), str(path)]) == 0
+        assert "compare: PASS" in capsys.readouterr().out
+
+    def test_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        path = self._write_run(tmp_path)
+        worse = json.loads(path.read_text())
+        worse["points"][0]["metrics"]["throughput_ops_per_sec"] *= 0.5
+        worse_path = tmp_path / "worse.json"
+        worse_path.write_text(json.dumps(worse))
+        assert main(["compare", str(path), str(worse_path)]) == 1
+        assert "compare: FAIL" in capsys.readouterr().out
+
+    def test_compare_tolerance_flag(self, tmp_path):
+        path = self._write_run(tmp_path)
+        slightly = json.loads(path.read_text())
+        slightly["points"][0]["metrics"]["p99_us"] *= 1.03
+        other = tmp_path / "slip.json"
+        other.write_text(json.dumps(slightly))
+        assert main(["compare", str(path), str(other)]) == 0
+        assert main(["compare", str(path), str(other),
+                     "--tolerance", "p99_us=0.01"]) == 1
+
+    def test_compare_wants_two_paths(self, tmp_path, capsys):
+        path = self._write_run(tmp_path)
+        assert main(["compare", str(path)]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_sweep_json(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        assert main(["fig3", "--clients", "1,2", "--keys", "200",
+                     "--json", str(path)]) == 0
+        record = load_record(path)
+        assert record["benchmark"] == "fig3"
+        ids = {point["id"] for point in record["points"]}
+        # one point per (flavor, client count)
+        assert "kv/prism-sw/c1" in ids and "kv/pilaf-hw/c2" in ids
+        assert len(record["points"]) == 6
