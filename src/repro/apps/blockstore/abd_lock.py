@@ -19,7 +19,7 @@ Protocol per operation:
 
 from repro.apps.blockstore.layout import AbdLockLayout
 from repro.apps.blockstore.quorum import QuorumError, quorum
-from repro.apps.common import bump_tag, make_tag
+from repro.apps.common import bump_tag, make_tag, note_key
 from repro.prism.client import PrismClient
 from repro.prism.server import PrismServer
 from repro.sim.rng import SeededRng
@@ -79,18 +79,21 @@ class AbdLockClient:
 
     def get(self, block_id):
         """Process helper: linearizable read (4 round trips + locking)."""
+        note_key(self.sim, "abd-lock", "get", block_id)
         value, _retries = yield from self._locked_operation(block_id, None)
         self.gets += 1
         return value
 
     def put(self, block_id, value):
         """Process helper: linearizable write (4 round trips + locking)."""
+        note_key(self.sim, "abd-lock", "put", block_id)
         _value, _retries = yield from self._locked_operation(block_id, value)
         self.puts += 1
         return None
 
     def execute(self, op):
         """Driver adapter for :class:`~repro.workload.ycsb.KvOp`."""
+        note_key(self.sim, "abd-lock", op.kind, op.key)
         if op.kind == "get":
             _value, retries = yield from self._locked_operation(op.key, None)
             self.gets += 1

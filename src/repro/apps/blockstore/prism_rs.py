@@ -23,7 +23,7 @@ miss) are reported to the replica's recycler daemon asynchronously.
 
 from repro.apps.blockstore.layout import META_SIZE, META_TAG_MASK, RsLayout
 from repro.apps.blockstore.quorum import quorum
-from repro.apps.common import bump_tag, make_tag, split_tag
+from repro.apps.common import bump_tag, make_tag, note_key, split_tag
 from repro.core.ops import AllocateOp, CasMode, CasOp, ReadOp, WriteOp
 from repro.hw.layout import pack_uint
 from repro.obs.trace import NULL_SPAN
@@ -96,6 +96,7 @@ class PrismRsClient:
 
     def get(self, block_id, span=NULL_SPAN):
         """Process helper: linearizable read; returns the value bytes."""
+        note_key(self.sim, "prism-rs", "get", block_id)
         tag, value = yield from self._read_phase(block_id, span=span)
         # Write-back phase: propagate ⟨tag_max, v_max⟩ so later readers
         # cannot observe an older value (ABD's read write-phase).
@@ -105,6 +106,7 @@ class PrismRsClient:
 
     def put(self, block_id, value, span=NULL_SPAN):
         """Process helper: linearizable write."""
+        note_key(self.sim, "prism-rs", "put", block_id)
         tag, _old_value = yield from self._read_phase(block_id, span=span)
         new_tag = bump_tag(tag, self.client_id)
         yield from self._write_phase(block_id, new_tag, value, span=span)

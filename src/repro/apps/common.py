@@ -29,6 +29,19 @@ def bump_tag(tag, client_id):
     return make_tag(counter + 1, client_id)
 
 
+def note_key(sim, app, kind, key):
+    """Record one app-level op on ``key`` with the primitive-telemetry
+    collector, when one is installed (``sim.set_primitives``).
+
+    A single attribute check on the off path, and the collector only
+    counts — no clock reads, no events — so instrumented apps keep the
+    bit-identical-timing guarantee.
+    """
+    collector = sim.primitives
+    if collector is not None:
+        collector.note_key(app, kind, key)
+
+
 def field_mask(offset_bytes, width_bytes):
     """Bitmask selecting ``width_bytes`` at ``offset_bytes`` of a
     little-endian multi-byte CAS operand."""

@@ -14,6 +14,7 @@ pointer bytes). Extent (fixed stride): ``klen u16 | vlen u32 | pad u16
 fixed span, so a GET's second READ is one fixed-size transfer.
 """
 
+from repro.apps.common import note_key
 from repro.apps.kv.crc import crc_bytes, crc_time_us, verify
 from repro.hw.layout import pack_uint, unpack_uint
 from repro.obs.trace import NULL_SPAN
@@ -170,6 +171,7 @@ class PilafClient:
 
     def get(self, key, span=NULL_SPAN):
         """Process helper: two one-sided READs plus CRC verification."""
+        note_key(self.sim, "pilaf", "get", key)
         if isinstance(key, int):
             key = key.to_bytes(8, "little")
         key = bytes(key)
@@ -207,6 +209,7 @@ class PilafClient:
 
     def put(self, key, value, span=NULL_SPAN):
         """Process helper: a single two-sided RPC."""
+        note_key(self.sim, "pilaf", "put", key)
         if isinstance(key, int):
             key = key.to_bytes(8, "little")
         yield from self.rpc.call(

@@ -18,7 +18,7 @@ the PUT is superseded (last-writer-wins by tag, as in the paper). The
 old buffer is retired to the server's recycler daemon asynchronously.
 """
 
-from repro.apps.common import bump_tag, make_tag
+from repro.apps.common import bump_tag, make_tag, note_key
 from repro.apps.kv.layout import (
     KvLayout,
     SLOT_SIZE,
@@ -206,6 +206,7 @@ class PrismKvClient:
 
     def get(self, key, span=NULL_SPAN):
         """Process helper: returns the value bytes, or None if absent."""
+        note_key(self.sim, "prism-kv", "get", key)
         entry = yield from self._probe(key, self.layout.full_read_len(),
                                        span=span)
         self.gets += 1
@@ -216,6 +217,7 @@ class PrismKvClient:
 
     def put(self, key, value, span=NULL_SPAN):
         """Process helper: installs ``key -> value``; returns an info dict."""
+        note_key(self.sim, "prism-kv", "put", key)
         key_bytes = KvLayout.encode_key(key)
         probe = yield from self._probe(key, self.layout.probe_read_len(),
                                        stop_at_empty=True, span=span)

@@ -14,6 +14,7 @@ protocol is three phases, two of which need the server CPU:
    release locks.
 """
 
+from repro.apps.common import note_key
 from repro.apps.tx.layout import FarmLayout
 from repro.core.ops import ReadOp
 from repro.hw.layout import unpack_uint
@@ -251,6 +252,10 @@ class FarmClient:
 
     def execute(self, op):
         """Driver adapter for :class:`~repro.workload.ycsb.TxnOp`."""
+        for key in op.read_keys:
+            note_key(self.sim, "farm", "read", key)
+        for key in op.write_keys:
+            note_key(self.sim, "farm", "write", key)
         _values, retries = yield from self.transact(
             op.read_keys, op.write_keys, op.value)
         return {"retries": retries, "aborts": retries}

@@ -26,7 +26,7 @@ temporaries, so up to two written keys commit in one request; larger
 write sets are split across parallel requests (still one round trip).
 """
 
-from repro.apps.common import split_tag
+from repro.apps.common import note_key, split_tag
 from repro.apps.tx.layout import (
     CADDR_C_MASK,
     META_SIZE,
@@ -177,6 +177,10 @@ class PrismTxClient:
 
     def execute(self, op):
         """Driver adapter for :class:`~repro.workload.ycsb.TxnOp`."""
+        for key in op.read_keys:
+            note_key(self.sim, "prism-tx", "read", key)
+        for key in op.write_keys:
+            note_key(self.sim, "prism-tx", "write", key)
         _values, retries = yield from self.transact(
             op.read_keys, op.write_keys, op.value)
         return {"retries": retries, "aborts": retries}

@@ -16,7 +16,11 @@ sweeps writes a versioned result record (see
 :mod:`repro.bench.regress`); ``compare baseline.json run.json`` diffs
 two records under per-metric tolerance bands and exits non-zero on
 regression — the CI perf-smoke gate is exactly that pipeline. ``--util``
-prints per-resource utilization and the bottleneck verdict.
+prints per-resource utilization and the bottleneck verdict;
+``--primitives`` prints primitive-level telemetry (CAS contention,
+pointer-chase depth, allocator watermarks, key hotness) plus the
+per-operation critical-path profile. All telemetry flags leave
+simulated timing bit-identical.
 """
 
 import argparse
@@ -36,11 +40,19 @@ from repro.bench.reporting import (
     CURVE_HEADERS,
     UTILIZATION_HEADERS,
     curve_rows,
+    print_primitives,
     print_table,
     utilization_rows,
 )
 from repro.net.topology import CLUSTER, DATACENTER, DIRECT, RACK
-from repro.obs import UtilizationCollector, analyze, format_analysis
+from repro.obs import (
+    PrimitiveCollector,
+    Tracer,
+    UtilizationCollector,
+    analyze,
+    critpath_profile,
+    format_analysis,
+)
 from repro.workload import (
     YCSB_A,
     YCSB_C,
@@ -113,6 +125,29 @@ _FIGURE_SYSTEMS = {
 }
 
 
+def _point_primitives(title, primitives, tracer, result=None):
+    """Report one point's primitive telemetry + critical-path profile.
+
+    Returns ``(report, profile)`` for the ``--json`` record. With
+    ``result``, also reconciles the critical-path sums against the
+    measured mean latency (they match exactly by construction).
+    """
+    from repro.bench.tracing import (
+        check_critpath,
+        measured_roots,
+        print_critpath,
+    )
+    report = primitives.report()
+    profile = critpath_profile(measured_roots(tracer))
+    print_primitives(f"{title} primitive telemetry", report)
+    print_critpath(f"{title} critical path (mean µs per op)", profile)
+    if result is not None:
+        weighted = check_critpath(result, profile)
+        print(f"critical-path sum {weighted:.3f} µs == mean latency "
+              f"{result.mean_latency_us:.3f} µs (exact)")
+    return report, profile
+
+
 def cmd_figure_sweep(args):
     kind, flavors, seed, workload_maker = _FIGURE_SYSTEMS[args.command]
     telemetry = bool(args.json or args.util)
@@ -122,11 +157,19 @@ def cmd_figure_sweep(args):
         results = []
         for n_clients in args.clients:
             collector = UtilizationCollector() if telemetry else None
+            primitives = PrimitiveCollector() if args.primitives else None
+            tracer = Tracer() if args.primitives else None
             result = run_point(kind, flavor,
                                workload_maker(args.keys, args.zipf),
                                n_clients, n_keys=args.keys,
-                               utilization=collector)
+                               tracer=tracer, utilization=collector,
+                               primitives=primitives)
             results.append(result)
+            prim_report = profile = None
+            if args.primitives:
+                prim_report, profile = _point_primitives(
+                    f"{args.command}: {flavor} c={n_clients}",
+                    primitives, tracer, result=result)
             if telemetry:
                 util = collector.report()
                 verdict = analyze(util)
@@ -143,7 +186,9 @@ def cmd_figure_sweep(args):
                               "zipf": args.zipf, "seed": seed}
                     points.append(make_point(kind, flavor, result, config,
                                              utilization=util,
-                                             bottleneck=verdict))
+                                             bottleneck=verdict,
+                                             primitives=prim_report,
+                                             critpath=profile))
         print_table(f"{args.command}: {flavor} "
                     f"({time.time() - started:.0f}s wall)",
                     CURVE_HEADERS, curve_rows(results))
@@ -169,8 +214,15 @@ def cmd_contention(args):
                 workload = (lambda i, z=zipf: YcsbTransactionalWorkload(
                     args.keys, keys_per_txn=1, zipf=z, seed=29,
                     client_id=i))
+            primitives = PrimitiveCollector() if args.primitives else None
+            tracer = Tracer() if args.primitives else None
             result = run_point(kind, flavor, workload, args.clients[0],
-                               n_keys=args.keys, measure_us=2000.0)
+                               n_keys=args.keys, measure_us=2000.0,
+                               tracer=tracer, primitives=primitives)
+            if args.primitives:
+                _point_primitives(
+                    f"{args.command}: {flavor} zipf={zipf}",
+                    primitives, tracer, result=result)
             row.append(result.mean_latency_us if kind == "rs"
                        else result.throughput_ops_per_sec / 1e6)
         rows.append(row)
@@ -189,22 +241,30 @@ def cmd_point(args):
             seed=1, client_id=i))
     collector = (UtilizationCollector()
                  if (args.json or args.util) else None)
+    primitives = PrimitiveCollector() if args.primitives else None
     phases = None
-    if args.trace:
+    tracer = None
+    if args.trace or args.primitives:
         from repro.bench.tracing import print_breakdown, run_traced_point
-        result, phases, _tracer = run_traced_point(
+        result, phases, tracer = run_traced_point(
             args.kind, args.flavor, workload, args.clients[0],
-            trace_path=args.trace, utilization=collector, n_keys=args.keys)
+            trace_path=args.trace, utilization=collector,
+            primitives=primitives, n_keys=args.keys)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
         print_breakdown(f"{args.kind}/{args.flavor}: phase breakdown "
                         "(mean µs per op)", phases)
-        print(f"chrome trace written to {args.trace}")
+        if args.trace:
+            print(f"chrome trace written to {args.trace}")
     else:
         result = run_point(args.kind, args.flavor, workload, args.clients[0],
                            n_keys=args.keys, utilization=collector)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
+    prim_report = profile = None
+    if args.primitives:
+        prim_report, profile = _point_primitives(
+            f"{args.kind}/{args.flavor}", primitives, tracer, result=result)
     util_report = collector.report() if collector is not None else None
     verdict = analyze(util_report) if util_report is not None else None
     if args.util:
@@ -220,7 +280,8 @@ def cmd_point(args):
                   "seed": 1}
         point = make_point(args.kind, args.flavor, result, config,
                            phases=phases, utilization=util_report,
-                           bottleneck=verdict)
+                           bottleneck=verdict, primitives=prim_report,
+                           critpath=profile)
         write_record(make_record(f"point:{args.kind}/{args.flavor}", [point]),
                      args.json)
         print(f"result record written to {args.json}")
@@ -288,6 +349,11 @@ def build_parser():
     parser.add_argument("--util", action="store_true",
                         help="(point, fig3/4/6/9) print per-resource "
                              "utilization and the bottleneck verdict")
+    parser.add_argument("--primitives", action="store_true",
+                        help="(point, fig3/4/6/7/9/10) print primitive-level "
+                             "telemetry (CAS contention, pointer-chase "
+                             "depth, allocator watermarks, key hotness) and "
+                             "the per-op critical-path profile")
     parser.add_argument("--tolerance", action="append", metavar="METRIC=REL",
                         default=None,
                         help="(compare) override a tolerance band, e.g. "

@@ -188,15 +188,17 @@ def run_point(kind, flavor, workload_factory, n_clients,
               n_keys=DEFAULT_N_KEYS, value_size=DEFAULT_VALUE_SIZE,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
               n_client_hosts=N_CLIENT_HOSTS, tracer=None,
-              utilization=None):
+              utilization=None, primitives=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
     Pass a :class:`repro.obs.Tracer` to collect per-operation span
-    trees, and/or a :class:`repro.obs.UtilizationCollector` to account
-    per-resource busy time and queue depth (the defaults leave both
-    off: neither changes timing, since they only read the simulated
-    clock at transitions the run already makes).
+    trees, a :class:`repro.obs.UtilizationCollector` to account
+    per-resource busy time and queue depth, and/or a
+    :class:`repro.obs.PrimitiveCollector` for primitive-level counters
+    (CAS outcomes, pointer-chase depth, allocator watermarks, key
+    hotness). The defaults leave all three off; none changes timing,
+    since they only observe transitions the run already makes.
     """
     sim = Simulator()
     if tracer is not None:
@@ -206,6 +208,8 @@ def run_point(kind, flavor, workload_factory, n_clients,
         # Report utilization over the measurement window, not warmup.
         utilization.measure_from = warmup_us
         utilization.measure_until = warmup_us + measure_us
+    if primitives is not None:
+        sim.set_primitives(primitives)
     # Spare buffers must cover the recycling pipeline: retired buffers
     # sit in client-side batches and the daemon queue before reposting.
     system = build_system(kind, flavor, sim, n_keys=n_keys,

@@ -19,13 +19,18 @@ cross-platform float noise, and anything beyond them is a regression.
 
 Record shape (one file, one or more measurement points)::
 
-    {"schema": "repro-bench-result", "schema_version": 1,
+    {"schema": "repro-bench-result", "schema_version": 2,
      "benchmark": "fig3",
      "provenance": {"git_commit": ..., "python": ...},
      "points": [{"id": "kv/prism-sw/c4",
                  "config": {...}, "metrics": {...},
                  "phases": {...}, "utilization": [...],
-                 "bottleneck": {...}}]}
+                 "bottleneck": {...},
+                 "primitives": {...}, "critpath": {...}}]}
+
+All optional point fields are additive; v1 records (without
+``primitives``/``critpath``) still load and compare — only metrics
+present in both baseline and tolerance bands are diffed.
 """
 
 import json
@@ -34,7 +39,12 @@ import platform
 import subprocess
 
 SCHEMA = "repro-bench-result"
-SCHEMA_VERSION = 1
+#: v2 (additive over v1): points may carry "primitives" (the
+#: PrimitiveCollector snapshot) and "critpath" (the per-op
+#: critical-path profile); every v1 field is unchanged, so this tool
+#: still reads v1 baselines.
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: per-metric tolerance bands: direction is which way is *better*;
 #: ``rel`` is the allowed relative degradation before failing
@@ -43,6 +53,7 @@ DEFAULT_TOLERANCES = {
     "mean_us": {"direction": "lower", "rel": 0.02},
     "p50_us": {"direction": "lower", "rel": 0.02},
     "p99_us": {"direction": "lower", "rel": 0.05},
+    "ops": {"direction": "higher", "rel": 0.02},
 }
 
 
@@ -76,7 +87,7 @@ def result_metrics(result):
 
 
 def make_point(kind, flavor, result, config, phases=None, utilization=None,
-               bottleneck=None):
+               bottleneck=None, primitives=None, critpath=None):
     """One measurement point: config + metrics (+ optional telemetry).
 
     ``config`` must contain everything needed to reproduce the point
@@ -97,6 +108,10 @@ def make_point(kind, flavor, result, config, phases=None, utilization=None,
         point["utilization"] = utilization
     if bottleneck is not None:
         point["bottleneck"] = bottleneck
+    if primitives is not None:
+        point["primitives"] = primitives
+    if critpath is not None:
+        point["critpath"] = critpath
     return point
 
 
@@ -126,10 +141,10 @@ def load_record(path):
         record = json.load(handle)
     if record.get("schema") != SCHEMA:
         raise ValueError(f"{path}: not a {SCHEMA} file")
-    if record.get("schema_version") != SCHEMA_VERSION:
+    if record.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
             f"{path}: schema_version {record.get('schema_version')} "
-            f"(this tool speaks {SCHEMA_VERSION})")
+            f"(this tool speaks {SUPPORTED_SCHEMA_VERSIONS})")
     return record
 
 

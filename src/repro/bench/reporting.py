@@ -88,6 +88,95 @@ def utilization_rows(report, top=None):
     return rows[:top] if top else rows
 
 
+def _fmt_hist(items, limit=8):
+    """``[[bucket, count], ...]`` as ``{bucket: count, ...}`` text."""
+    if not items:
+        return "{}"
+    shown = ", ".join(f"{bucket}: {count}" for bucket, count
+                      in items[:limit])
+    more = "" if len(items) <= limit else ", ..."
+    return "{" + shown + more + "}"
+
+
+def _fmt_topk(entries, limit=5):
+    if not entries:
+        return "(none)"
+    return ", ".join(
+        (f"{entry['key']:#x}" if isinstance(entry["key"], int)
+         else str(entry["key"])) + f" x{entry['count']}"
+        for entry in entries[:limit])
+
+
+def primitives_report_lines(report, top=5):
+    """Human-readable rendering of a
+    :meth:`repro.obs.PrimitiveCollector.report` snapshot."""
+    cas = report["cas"]
+    chains = report["chains"]
+    chase = report["pointer_chase"]
+    lines = []
+    lines.append(
+        f"CAS: {cas['attempts']} attempts, {cas['misses']} misses "
+        f"({cas['miss_rate']:.2%}), retry chains "
+        f"{_fmt_hist(cas['retry_chains'])} "
+        f"(open: {cas['open_retry_chains']})")
+    for mode, outcomes in cas["by_mode"].items():
+        lines.append(f"  mode {mode}: ok={outcomes['ok']} "
+                     f"miss={outcomes['miss']}")
+    lines.append("  contended addresses (top-K by misses): "
+                 + _fmt_topk(cas["contended_topk"], top))
+    lines.append("  hot targets (top-K by attempts): "
+                 + _fmt_topk(cas["hot_targets_topk"], top))
+    lines.append(
+        f"chains: {chains['requests']} requests "
+        f"({chains['committed']} committed, {chains['aborted']} aborted), "
+        f"lengths {_fmt_hist(chains['lengths'])}, "
+        f"derefs/chain {_fmt_hist(chains['hops'])}")
+    if chains["abort_reasons"]:
+        reasons = ", ".join(f"{reason}: {count}" for reason, count
+                            in chains["abort_reasons"].items())
+        lines.append(f"  abort reasons: {reasons}")
+    if chains["nak_reasons"]:
+        naks = "; ".join(
+            f"{opname}: " + ", ".join(f"{cls} x{count}" for cls, count
+                                      in classes.items())
+            for opname, classes in chains["nak_reasons"].items())
+        lines.append(f"  NAKs: {naks}")
+    lines.append(
+        f"  ops executed {chains['ops_executed']}, "
+        f"skipped {chains['ops_skipped']}")
+    if chase["depth_by_op"]:
+        depths = "; ".join(f"{opname} {_fmt_hist(hist)}" for opname, hist
+                           in chase["depth_by_op"].items())
+        lines.append(f"pointer chase (derefs per op): {depths} "
+                     f"(bounded reads: {chase['bounded_reads']})")
+    if report["allocator"]:
+        lines.append("allocator free-list watermarks:")
+        for row in report["allocator"]:
+            lines.append(
+                f"  {row['name']}#{row['freelist']}: "
+                f"depth {row['depth']}/{row['capacity']} "
+                f"(occupancy {row['occupancy']:.1%}), low watermark "
+                f"{row['low_watermark']} (lifetime "
+                f"{row['lifetime_low_watermark']}), pops {row['pops']}, "
+                f"exhaustions {row['exhaustions']}")
+    if report["keys"]:
+        lines.append("hot keys (top-K per app):")
+        for app, entry in report["keys"].items():
+            ops = ", ".join(f"{kind}: {count}" for kind, count
+                            in entry["ops"].items())
+            lines.append(f"  {app} ({ops}): " + _fmt_topk(entry["topk"], top))
+    return lines
+
+
+def print_primitives(title, report, top=5, out=print):
+    """Print the primitive-telemetry report as a titled block."""
+    out("")
+    out(f"== {title} ==")
+    for line in primitives_report_lines(report, top=top):
+        out(line)
+    out("")
+
+
 def low_load_latency(results):
     """Mean latency of the single-client point."""
     for r in results:

@@ -23,18 +23,23 @@ import argparse
 from repro.bench.harness import run_point
 from repro.bench.reporting import (
     UTILIZATION_HEADERS,
+    print_primitives,
     print_table,
     utilization_rows,
 )
 from repro.obs import (
+    PrimitiveCollector,
     Tracer,
     UtilizationCollector,
     analyze,
     breakdown,
     breakdown_rows,
+    critpath_profile,
+    critpath_rows,
     format_analysis,
     write_chrome_trace,
 )
+from repro.obs.critpath import format_contributors
 
 
 def measured_roots(tracer):
@@ -44,19 +49,22 @@ def measured_roots(tracer):
 
 
 def run_traced_point(kind, flavor, workload_factory, n_clients,
-                     trace_path=None, utilization=None, **kwargs):
+                     trace_path=None, utilization=None, primitives=None,
+                     **kwargs):
     """One measurement point with span tracing on.
 
     Returns ``(result, report, tracer)`` where ``report`` is the
     :func:`repro.obs.breakdown` over the measured operations. With
     ``trace_path``, also writes the Chrome trace-event file. Pass a
-    :class:`repro.obs.UtilizationCollector` as ``utilization`` to also
-    account per-resource busy/queue telemetry (read it back from the
-    collector after the call).
+    :class:`repro.obs.UtilizationCollector` as ``utilization`` and/or
+    a :class:`repro.obs.PrimitiveCollector` as ``primitives`` to also
+    collect those telemetry families (read them back from the
+    collectors after the call).
     """
     tracer = Tracer()
     result = run_point(kind, flavor, workload_factory, n_clients,
-                       tracer=tracer, utilization=utilization, **kwargs)
+                       tracer=tracer, utilization=utilization,
+                       primitives=primitives, **kwargs)
     report = breakdown(measured_roots(tracer))
     if trace_path:
         write_chrome_trace(tracer.roots, trace_path,
@@ -67,6 +75,33 @@ def run_traced_point(kind, flavor, workload_factory, n_clients,
 def print_breakdown(title, report):
     headers, rows = breakdown_rows(report)
     print_table(title, headers, rows)
+
+
+def print_critpath(title, profile):
+    """Critical-path profile table + per-op contributor lines."""
+    headers, rows = critpath_rows(profile)
+    print_table(title, headers, rows)
+    print(format_contributors(profile))
+
+
+def check_critpath(result, profile, tolerance=1e-6):
+    """Assert per-request critical-path sums equal measured latency.
+
+    The critical path tiles ``[root.start, root.end]`` by
+    construction, so the count-weighted mean of ``critical_sum_us``
+    must equal the measured mean latency to float rounding.
+    """
+    total_ops = sum(entry["count"] for entry in profile.values())
+    if total_ops == 0:
+        raise AssertionError("no measured operations were traced")
+    weighted = sum(entry["critical_sum_us"] * entry["count"]
+                   for entry in profile.values()) / total_ops
+    mean = result.mean_latency_us
+    if abs(weighted - mean) > tolerance * max(mean, 1.0):
+        raise AssertionError(
+            f"critical-path sums ({weighted:.6f} µs) diverge from measured "
+            f"mean latency ({mean:.6f} µs)")
+    return weighted
 
 
 def check_breakdown(result, report, tolerance=0.01):
@@ -113,15 +148,21 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
     parser.add_argument("--util", action="store_true",
                         help="print per-resource utilization and the "
                              "bottleneck verdict")
+    parser.add_argument("--primitives", action="store_true",
+                        help="print primitive-level telemetry (CAS "
+                             "contention, pointer-chase depth, allocator "
+                             "watermarks, key hotness) and the "
+                             "critical-path profile")
     parser.add_argument("--clients", type=int, default=default_clients)
     parser.add_argument("--keys", type=int, default=default_keys)
     args = parser.parse_args(argv)
 
     collector = UtilizationCollector() if (args.json or args.util) else None
-    result, report, _tracer = run_traced_point(
+    primitives = PrimitiveCollector() if args.primitives else None
+    result, report, tracer = run_traced_point(
         kind, flavor, workload_maker(args.keys), args.clients,
-        trace_path=args.trace, utilization=collector, n_keys=args.keys,
-        **point_kwargs)
+        trace_path=args.trace, utilization=collector, primitives=primitives,
+        n_keys=args.keys, **point_kwargs)
     print_table(title, ["clients", "ops", "Mops/s", "mean_us", "p99_us"],
                 [[result.clients, result.ops,
                   round(result.throughput_ops_per_sec / 1e6, 3),
@@ -144,6 +185,16 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
         print_table(f"{title}: resource utilization (measurement window)",
                     UTILIZATION_HEADERS, utilization_rows(util_report))
         print(format_analysis(analyze(util_report)))
+    primitives_report = None
+    profile = None
+    if args.primitives:
+        primitives_report = primitives.report()
+        profile = critpath_profile(measured_roots(tracer))
+        print_primitives(f"{title}: primitive telemetry", primitives_report)
+        print_critpath(f"{title}: critical path (mean µs per op)", profile)
+        weighted = check_critpath(result, profile)
+        print(f"critical-path sum {weighted:.3f} µs == mean latency "
+              f"{result.mean_latency_us:.3f} µs (exact)")
     if args.json:
         from repro.bench.regress import make_point, make_record, write_record
         config = {"kind": kind, "flavor": flavor, "clients": args.clients,
@@ -152,7 +203,8 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                        if isinstance(value, (int, float, str, bool))})
         point = make_point(kind, flavor, result, config, phases=report,
                            utilization=util_report,
-                           bottleneck=analyze(util_report))
+                           bottleneck=analyze(util_report),
+                           primitives=primitives_report, critpath=profile)
         write_record(make_record(benchmark or title, [point]), args.json)
         print(f"result record written to {args.json}")
     if args.trace:

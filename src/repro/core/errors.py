@@ -28,6 +28,22 @@ class AllocationFailure(RemoteNak):
     """ALLOCATE found the designated free list empty."""
 
 
+class FreeListExhausted(AllocationFailure):
+    """A free-list queue pair ran dry; carries its final watermark
+    counters so exhaustion is diagnosable (did the server never post
+    enough buffers, or did recycling fall behind the pop rate?)."""
+
+    def __init__(self, name, posted, popped, high_watermark):
+        super().__init__(
+            f"{name}: free list exhausted (posted={posted}, "
+            f"popped={popped}, high watermark={high_watermark}, "
+            "low watermark=0)")
+        self.freelist_name = name
+        self.posted = posted
+        self.popped = popped
+        self.high_watermark = high_watermark
+
+
 class CasFailure(PrismError):
     """Internal marker used by engines to signal an unsuccessful
     comparison to the chain executor. Not raised to clients: a failed

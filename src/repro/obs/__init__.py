@@ -19,6 +19,13 @@ Three pieces, all driven by the simulated clock:
   resource and its headroom.
 * :mod:`repro.obs.quantiles` — the one shared implementation of
   linear-interpolated percentiles and fixed-width histograms.
+* :mod:`repro.obs.primitives` — semantic counters for the PRISM
+  primitives themselves (CAS outcomes and contention, pointer-chase
+  depth, chain lengths/aborts, allocator watermarks, key hotness);
+  install a :class:`PrimitiveCollector` via ``sim.set_primitives``.
+* :mod:`repro.obs.critpath` — per-request critical-path attribution
+  over span trees: which phase/span actually bounded end-to-end
+  latency, vs slack the request never waited on.
 """
 
 from repro.obs.bottleneck import (
@@ -33,7 +40,16 @@ from repro.obs.breakdown import (
     phase_attribution,
 )
 from repro.obs.chrome_trace import to_chrome_events, write_chrome_trace
+from repro.obs.critpath import (
+    critical_attribution,
+    critical_contributors,
+    critical_segments,
+    critpath_profile,
+    critpath_rows,
+    slack_us,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.primitives import PrimitiveCollector, TopK
 from repro.obs.timeline import (
     ChargeMonitor,
     DepthMonitor,
@@ -48,8 +64,14 @@ __all__ = [
     "analyze",
     "breakdown",
     "breakdown_rows",
+    "critical_attribution",
+    "critical_contributors",
+    "critical_segments",
+    "critpath_profile",
+    "critpath_rows",
     "format_analysis",
     "phase_attribution",
+    "slack_us",
     "to_chrome_events",
     "write_chrome_trace",
     "ChargeMonitor",
@@ -61,8 +83,10 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "PrimitiveCollector",
     "ResourceMonitor",
     "Span",
+    "TopK",
     "Tracer",
     "UtilizationCollector",
 ]

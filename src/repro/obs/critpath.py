@@ -1,0 +1,182 @@
+"""Critical-path attribution over span trees.
+
+:mod:`repro.obs.breakdown` totals *work* per phase; for sequential
+requests those sums equal end-to-end latency, but for operations with
+parallel fan-out (a quorum write hitting three replicas at once) the
+work exceeds the wall clock and the breakdown cannot say which replica
+— which phase of which replica — actually *bounded* the request.
+
+This module answers that question. Walking one request's span tree
+backward from its completion time, it selects at every instant the
+span whose completion gated progress (the latest-finishing child not
+overlapped by an already-chosen later sibling) and recurses into it.
+The result is a set of half-open segments ``(span, lo, hi)`` that tile
+``[root.start, root.end]`` exactly — so per-request critical-path
+attributions sum to measured end-to-end latency by construction — and
+everything off the path is *slack*: work the request never waited on.
+
+Open subtrees (quorum stragglers still running when the root finished,
+or past it) are excluded, mirroring :func:`~repro.obs.breakdown.
+phase_attribution`'s pruning.
+"""
+
+from repro.obs.breakdown import PHASES, phase_attribution
+
+
+def critical_segments(root):
+    """``[(span, lo, hi), ...]`` tiling ``[root.start, root.end]``.
+
+    Segments appear in reverse time order (the walk runs backward).
+    An open root yields no segments.
+    """
+    if root.end is None:
+        return []
+    segments = []
+    _walk(root, root.start, root.end, segments)
+    return segments
+
+
+def _walk(span, lo, hi, out):
+    """Attribute ``(lo, hi]`` of ``span``'s life, recursing into the
+    children that gated completion; emit segments into ``out``."""
+    cursor = hi
+    # Candidates: finished children that ended inside the window.
+    # Sorted by end time, walked latest-first; a child ending after the
+    # cursor was overlapped by an already-chosen sibling — off-path.
+    children = sorted(
+        (child for child in span.children
+         if child.end is not None and lo < child.end <= hi),
+        key=lambda child: (child.end, child.start))
+    for child in reversed(children):
+        if cursor <= lo:
+            break
+        if child.end > cursor:
+            continue
+        if child.end < cursor:
+            out.append((span, child.end, cursor))  # span self time
+        child_lo = max(child.start, lo)
+        _walk(child, child_lo, child.end, out)
+        cursor = child_lo
+    if cursor > lo:
+        out.append((span, lo, cursor))
+
+
+def _segment_phases(span, duration):
+    """``{phase: µs}`` for ``duration`` of ``span``'s own time,
+    scaling any ``parts`` refinement to the attributed share."""
+    if not span.parts:
+        return {span.phase: duration}
+    total = span.duration
+    scale = duration / total if total > 0 else 0.0
+    phases = {}
+    part_sum = 0.0
+    for phase, amount in span.parts.items():
+        scaled = amount * scale
+        phases[phase] = phases.get(phase, 0.0) + scaled
+        part_sum += scaled
+    remainder = duration - part_sum
+    if remainder > 1e-12:
+        phases[span.phase] = phases.get(span.phase, 0.0) + remainder
+    return phases
+
+
+def critical_attribution(root):
+    """``{phase: µs}`` along the critical path; sums to
+    ``root.duration`` exactly (the segments tile the request)."""
+    totals = {}
+    for span, lo, hi in critical_segments(root):
+        for phase, amount in _segment_phases(span, hi - lo).items():
+            totals[phase] = totals.get(phase, 0.0) + amount
+    return totals
+
+
+def critical_contributors(root):
+    """``{span name: µs}`` of critical-path time, per contributing span."""
+    totals = {}
+    for span, lo, hi in critical_segments(root):
+        totals[span.name] = totals.get(span.name, 0.0) + (hi - lo)
+    return totals
+
+
+def slack_us(root):
+    """Traced work the request never waited on (µs).
+
+    Total per-phase work minus wall-clock latency; zero for purely
+    sequential requests, positive under parallel fan-out (the losing
+    quorum replicas' work).
+    """
+    work = sum(phase_attribution(root).values())
+    return max(0.0, work - root.duration)
+
+
+def critpath_profile(roots):
+    """Aggregate per-operation critical-path profiles.
+
+    Returns ``{op_name: {"count", "mean_us", "phases": {phase: mean
+    µs}, "critical_sum_us", "contributors": [{"name", "mean_us"},
+    ...], "slack_us"}}`` where ``phases`` attributes each operation
+    type's mean latency to the phases that bounded it, ``contributors``
+    ranks the spans that spent that time (heaviest first), and
+    ``slack_us`` is mean off-path work.
+    """
+    grouped = {}
+    for root in roots:
+        if root.end is None:
+            continue
+        entry = grouped.setdefault(root.name, {
+            "count": 0, "total_us": 0.0, "phases": {},
+            "contributors": {}, "slack_us": 0.0})
+        entry["count"] += 1
+        entry["total_us"] += root.duration
+        for phase, amount in critical_attribution(root).items():
+            entry["phases"][phase] = entry["phases"].get(phase, 0.0) + amount
+        for name, amount in critical_contributors(root).items():
+            entry["contributors"][name] = \
+                entry["contributors"].get(name, 0.0) + amount
+        entry["slack_us"] += slack_us(root)
+    profile = {}
+    for name, entry in sorted(grouped.items()):
+        count = entry["count"]
+        phases = {phase: amount / count
+                  for phase, amount in entry["phases"].items()}
+        contributors = sorted(
+            ({"name": cname, "mean_us": amount / count}
+             for cname, amount in entry["contributors"].items()),
+            key=lambda row: (-row["mean_us"], row["name"]))
+        profile[name] = {
+            "count": count,
+            "mean_us": entry["total_us"] / count,
+            "phases": phases,
+            "critical_sum_us": sum(phases.values()),
+            "contributors": contributors,
+            "slack_us": entry["slack_us"] / count,
+        }
+    return profile
+
+
+def critpath_rows(profile):
+    """(headers, rows) for :func:`repro.bench.reporting.print_table`."""
+    phases = [phase for phase in PHASES
+              if any(entry["phases"].get(phase, 0.0) > 1e-9
+                     for entry in profile.values())]
+    headers = (["op", "count", "mean_us"]
+               + [f"{phase}_us" for phase in phases]
+               + ["crit_sum_us", "slack_us"])
+    rows = []
+    for name, entry in profile.items():
+        rows.append([name, entry["count"], round(entry["mean_us"], 3)]
+                    + [round(entry["phases"].get(phase, 0.0), 3)
+                       for phase in phases]
+                    + [round(entry["critical_sum_us"], 3),
+                       round(entry["slack_us"], 3)])
+    return headers, rows
+
+
+def format_contributors(profile, top=4):
+    """One line per op type naming its heaviest critical-path spans."""
+    lines = []
+    for name, entry in profile.items():
+        heavy = ", ".join(f"{row['name']} {row['mean_us']:.2f}"
+                          for row in entry["contributors"][:top])
+        lines.append(f"  {name}: bounded by {heavy} (µs/op)")
+    return "\n".join(lines)

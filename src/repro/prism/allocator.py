@@ -39,12 +39,14 @@ class SizeClassAllocator:
         self.min_class = min_class
         self.max_class = max_class
         self._classes = {}  # size -> (freelist_id, rkey)
+        self._server = None  # set by install(); needed for watermarks()
 
     @classmethod
     def install(cls, server, min_class=64, max_class=4096,
                 buffers_per_class=256):
         """Create and post every class's free list on ``server``."""
         allocator = cls(min_class, max_class)
+        allocator._server = server
         size = min_class
         while size <= max_class:
             freelist_id, rkey = server.create_freelist(
@@ -79,3 +81,48 @@ class SizeClassAllocator:
     def worst_case_overhead_factor(self):
         """The §3.2 bound: powers of two waste at most 2x."""
         return 2.0
+
+    # -- watermark reporting -------------------------------------------------
+
+    def watermarks(self):
+        """Final per-class occupancy report (installed allocators only).
+
+        One row per size class: current depth, capacity (deepest the
+        queue ever was), low watermark (closest ALLOCATE came to
+        draining it), and lifetime post/pop counters. Empty for
+        allocators not created via :meth:`install`.
+        """
+        rows = []
+        if self._server is None:
+            return rows
+        for size in self.classes:
+            freelist_id, _rkey = self._classes[size]
+            qp = self._server.freelist(freelist_id)
+            depth = len(qp)
+            capacity = qp.high_watermark or depth
+            rows.append({
+                "class": size,
+                "freelist": freelist_id,
+                "name": qp.name,
+                "depth": depth,
+                "capacity": capacity,
+                "occupancy": (1.0 - depth / capacity) if capacity else 0.0,
+                "low_watermark": qp.low_watermark,
+                "posted": qp.total_posted,
+                "popped": qp.total_popped,
+            })
+        return rows
+
+    def format_watermarks(self):
+        """Human-readable final watermark report, one line per class."""
+        lines = ["free-list watermarks:"]
+        rows = self.watermarks()
+        if not rows:
+            lines.append("  (allocator not installed on a server)")
+        for row in rows:
+            lines.append(
+                f"  {row['name']}: depth {row['depth']}/{row['capacity']} "
+                f"(occupancy {row['occupancy']:.1%}), low watermark "
+                f"{row['low_watermark']}, posted {row['posted']}, "
+                f"popped {row['popped']}")
+        return "\n".join(lines)

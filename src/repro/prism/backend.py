@@ -138,6 +138,8 @@ class Backend:
         if sim.utilization is not None and engine.monitor is None:
             engine.monitor = sim.utilization.charge_monitor(
                 f"{self.label}.engine", kind="engine")
+        if sim.primitives is not None and engine.primitives is None:
+            engine.primitives = sim.primitives
 
     # -- per-backend hooks -------------------------------------------------
 
@@ -228,6 +230,8 @@ class Backend:
                 aborted = True
             prev_ok = result.successful
         self.requests_processed += 1
+        if self.sim.primitives is not None:
+            self.sim.primitives.note_chain(ops, results)
         return ChainResult(results)
 
 

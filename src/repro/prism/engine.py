@@ -140,6 +140,10 @@ class PrismEngine:
         #: ops and touched bytes per window (the engine itself is
         #: functional — time is charged by the owning backend)
         self.monitor = None
+        #: optional repro.obs.primitives.PrimitiveCollector recording
+        #: CAS outcomes, dereference depth, allocator watermarks, and
+        #: NAK reasons (wired by the owning backend from sim.primitives)
+        self.primitives = None
 
     # -- protection helpers ------------------------------------------------
 
@@ -239,6 +243,8 @@ class PrismEngine:
             else:
                 raise InvalidOperation(f"unknown operation {op!r}")
         except (AccessViolation, AllocationFailure, InvalidOperation) as exc:
+            if self.primitives is not None:
+                self.primitives.note_nak(op.opname, exc)
             return OpResult(OpStatus.NAK, error=exc), accesses
         self.ops_executed += 1
         if self.monitor is not None:
@@ -248,6 +254,9 @@ class PrismEngine:
 
     def _do_read(self, connection, op, accesses):
         target, length = self._resolve_read_target(connection, op, accesses)
+        if self.primitives is not None:
+            self.primitives.note_deref("READ", int(op.indirect),
+                                       bounded=op.bounded)
         data = self.space.read(target, length)
         accesses.append(Access("r", self.space.domain(target), length))
         if op.redirect_to is not None:
@@ -271,6 +280,9 @@ class PrismEngine:
 
     def _do_write(self, connection, op, accesses):
         target, length = self._resolve_write_target(connection, op, accesses)
+        if self.primitives is not None:
+            self.primitives.note_deref(
+                "WRITE", int(op.addr_indirect) + int(op.data_indirect))
         data = self._source_data(connection, op, op.length, accesses,
                                  "WRITE data source")
         data = data[:length]
@@ -286,7 +298,14 @@ class PrismEngine:
             raise InvalidOperation(
                 f"ALLOCATE: {len(op.data)} bytes exceeds buffer size "
                 f"{freelist.buffer_size} of {freelist.name}")
-        buffer_addr = freelist.pop()  # raises AllocationFailure when empty
+        try:
+            buffer_addr = freelist.pop()  # FreeListExhausted when empty
+        except AllocationFailure:
+            if self.primitives is not None:
+                self.primitives.note_exhaustion(op.freelist, freelist)
+            raise
+        if self.primitives is not None:
+            self.primitives.note_allocate(op.freelist, freelist)
         self._check_derived(connection, buffer_addr, freelist.buffer_size,
                             AccessFlags.WRITE, "ALLOCATE buffer")
         self.space.write(buffer_addr, op.data)
@@ -330,8 +349,13 @@ class PrismEngine:
             Access("r", self.space.domain(target), width, atomic=True))
         old = int.from_bytes(old_bytes, "little")
 
-        if op.mode.compare(comparand & op.compare_mask,
-                           old & op.compare_mask):
+        swapped = op.mode.compare(comparand & op.compare_mask,
+                                  old & op.compare_mask)
+        if self.primitives is not None:
+            self.primitives.note_deref(
+                "CAS", int(op.target_indirect) + int(op.data_indirect))
+            self.primitives.note_cas(connection.id, target, op.mode, swapped)
+        if swapped:
             new = (old & ~op.swap_mask) | (operand & op.swap_mask)
             self.space.write(target, new.to_bytes(width, "little"))
             accesses.append(
@@ -375,4 +399,6 @@ class PrismEngine:
             if result.status is OpStatus.NAK:
                 aborted = True
             prev_ok = result.successful
+        if self.primitives is not None:
+            self.primitives.note_chain(ops, results)
         return ChainResult(results)

@@ -12,7 +12,7 @@ Queue pairs serve two roles in this reproduction, mirroring the paper:
 from collections import deque
 from itertools import count
 
-from repro.core.errors import AllocationFailure, RemoteNak
+from repro.core.errors import FreeListExhausted, RemoteNak
 
 _qp_ids = count(1)
 
@@ -56,14 +56,28 @@ class QueuePair:
         self._buffers = deque()
         self.total_posted = 0
         self.total_popped = 0
+        #: deepest the queue has ever been (capacity actually provisioned)
+        self.high_watermark = 0
+        self._min_depth = None  # shallowest depth seen after a pop
 
     def __len__(self):
         return len(self._buffers)
+
+    @property
+    def low_watermark(self):
+        """Shallowest depth the queue reached (current depth if never
+        popped) — how close ALLOCATE came to draining it."""
+        if self._min_depth is None:
+            return len(self._buffers)
+        return self._min_depth
 
     def post(self, addr):
         """Add one free buffer (server CPU side)."""
         self._buffers.append(addr)
         self.total_posted += 1
+        depth = len(self._buffers)
+        if depth > self.high_watermark:
+            self.high_watermark = depth
 
     def post_many(self, addrs):
         for addr in addrs:
@@ -72,11 +86,16 @@ class QueuePair:
     def pop(self):
         """Pop the first free buffer (NIC data-plane side)."""
         if not self._buffers:
-            raise AllocationFailure(
-                f"{self.name}: free list empty "
-                f"(posted={self.total_posted}, popped={self.total_popped})")
+            self._min_depth = 0
+            raise FreeListExhausted(self.name, posted=self.total_posted,
+                                    popped=self.total_popped,
+                                    high_watermark=self.high_watermark)
         self.total_popped += 1
-        return self._buffers.popleft()
+        addr = self._buffers.popleft()
+        depth = len(self._buffers)
+        if self._min_depth is None or depth < self._min_depth:
+            self._min_depth = depth
+        return addr
 
     def would_satisfy(self, nbytes):
         """True if this queue's buffers can hold ``nbytes``."""

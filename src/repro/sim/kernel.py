@@ -131,6 +131,7 @@ class Simulator:
         self._failed_processes = []
         self.tracer = NULL_TRACER
         self.utilization = None
+        self.primitives = None
         self.events_executed = 0
 
     def set_tracer(self, tracer):
@@ -146,6 +147,17 @@ class Simulator:
         bit-identical to an uncollected one.
         """
         self.utilization = collector.bind(self)
+        return collector
+
+    def set_primitives(self, collector):
+        """Install (and bind) a primitive-telemetry collector; returns it.
+
+        Like :meth:`set_utilization`: install before system
+        construction so engines/backends/apps pick it up. The collector
+        only increments counters at transitions the run already makes,
+        so timing stays bit-identical (see :mod:`repro.obs.primitives`).
+        """
+        self.primitives = collector.bind(self)
         return collector
 
     @property

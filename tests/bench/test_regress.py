@@ -222,3 +222,72 @@ class TestCli:
         # one point per (flavor, client count)
         assert "kv/prism-sw/c1" in ids and "kv/pilaf-hw/c2" in ids
         assert len(record["points"]) == 6
+
+
+class TestSchemaV2:
+    """v2 is additive: v1 records still load and compare cleanly."""
+
+    def test_v1_record_still_loads(self, record, tmp_path):
+        v1 = copy.deepcopy(record)
+        v1["schema_version"] = 1
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(v1))
+        assert load_record(path)["schema_version"] == 1
+
+    def test_v1_baseline_compares_against_v2_run(self, small_result,
+                                                 tmp_path):
+        config = {"kind": "kv", "flavor": "prism-sw", "clients": 2,
+                  "keys": 200, "seed": 11}
+        baseline = make_record(
+            "test", [make_point("kv", "prism-sw", small_result, config)])
+        baseline["schema_version"] = 1
+        # A v2 run of the same point carries the new telemetry fields.
+        enriched = make_point(
+            "kv", "prism-sw", small_result, config,
+            primitives={"cas": {"attempts": 0}},
+            critpath={"get": {"count": 1, "critical_sum_us": 1.0}})
+        current = make_record("test", [enriched])
+        report = compare(baseline, current)
+        assert report["ok"]
+        assert report["regressions"] == []
+
+    def test_telemetry_fields_are_optional(self, small_result):
+        config = {"kind": "kv", "flavor": "prism-sw", "clients": 2}
+        bare = make_point("kv", "prism-sw", small_result, config)
+        assert "primitives" not in bare
+        assert "critpath" not in bare
+        rich = make_point("kv", "prism-sw", small_result, config,
+                          primitives={"cas": {}}, critpath={})
+        assert rich["primitives"] == {"cas": {}}
+        assert rich["critpath"] == {}
+
+    def test_ops_band_present(self):
+        assert DEFAULT_TOLERANCES["ops"]["direction"] == "higher"
+
+
+class TestPrimitivesCli:
+    def test_point_primitives_prints_telemetry(self, capsys):
+        assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                     "--clients", "2", "--keys", "200",
+                     "--primitives"]) == 0
+        out = capsys.readouterr().out
+        assert "primitive telemetry" in out
+        assert "chains:" in out
+        assert "critical path" in out
+        assert "critical-path sum" in out
+        assert "== mean latency" in out
+
+    def test_json_with_primitives_embeds_reports(self, tmp_path, capsys):
+        path = tmp_path / "prim.json"
+        assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                     "--clients", "2", "--keys", "200",
+                     "--primitives", "--json", str(path)]) == 0
+        record = load_record(path)
+        point = record["points"][0]
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert point["primitives"]["chains"]["requests"] > 0
+        assert point["critpath"]
+        # The telemetry must not leak into the config fingerprint:
+        # a v1 baseline of the same point would otherwise drift.
+        assert "primitives" not in point["config"]
+        capsys.readouterr()

@@ -1,0 +1,52 @@
+"""Observability must be free when off and invisible when on.
+
+The collectors (tracer, utilization, primitives) only read state at
+transitions the run already makes, so a fully monitored run must be
+*bit-identical* in simulated time to a bare one — same ops, same mean,
+same p99, same abort count. This is the regression test that keeps
+that guarantee honest.
+"""
+
+from repro.bench.harness import run_point
+from repro.obs import PrimitiveCollector, Tracer, UtilizationCollector
+from repro.workload import YCSB_C
+
+CLIENTS = 4
+KEYS = 400
+
+
+def _workloads(index):
+    return YCSB_C(KEYS, zipf=0.9, seed=11, client_id=index)
+
+
+def _run(**collectors):
+    return run_point("kv", "prism-sw", _workloads, CLIENTS,
+                     n_keys=KEYS, warmup_us=100.0, measure_us=500.0,
+                     **collectors)
+
+
+def test_all_collectors_do_not_perturb_simulated_time():
+    bare = _run()
+    monitored = _run(tracer=Tracer(),
+                     utilization=UtilizationCollector(),
+                     primitives=PrimitiveCollector())
+    # RunResult is a dataclass: equality compares every measured field
+    # (ops, throughput, mean/p50/p99 latency, aborts) exactly.
+    assert monitored == bare
+
+
+def test_primitives_alone_do_not_perturb_simulated_time():
+    bare = _run()
+    monitored = _run(primitives=PrimitiveCollector())
+    assert monitored == bare
+
+
+def test_collectors_saw_the_run():
+    """The identical-timing run must still have *collected*."""
+    primitives = PrimitiveCollector()
+    tracer = Tracer()
+    _run(tracer=tracer, primitives=primitives)
+    report = primitives.report()
+    assert report["chains"]["requests"] > 0
+    assert report["keys"]["prism-kv"]["total"] > 0
+    assert any(root.end is not None for root in tracer.roots)

@@ -102,3 +102,88 @@ class TestInstalled:
                                               rkey=allocator.rkey_for(10))
             return addr
         assert drive(sim, main()) != 0
+
+
+class TestQueuePairWatermarks:
+    def _qp(self, count=4):
+        from repro.rdma.qp import QueuePair
+        qp = QueuePair(64, name="wm")
+        qp.post_many(0x1000 + i * 64 for i in range(count))
+        return qp
+
+    def test_high_watermark_tracks_deepest(self):
+        qp = self._qp(4)
+        assert qp.high_watermark == 4
+        qp.pop()
+        qp.pop()
+        assert qp.high_watermark == 4
+        qp.post_many([0x5000, 0x5040, 0x5080])
+        assert qp.high_watermark == 5
+
+    def test_low_watermark_is_depth_until_first_pop(self):
+        qp = self._qp(4)
+        assert qp.low_watermark == 4
+        qp.pop()
+        assert qp.low_watermark == 3
+        qp.post(0x6000)
+        # Reposting raises depth but never the recorded minimum.
+        assert qp.low_watermark == 3
+        qp.pop()
+        qp.pop()
+        assert qp.low_watermark == 2
+
+    def test_exhaustion_raises_typed_error_with_counters(self):
+        from repro.core.errors import AllocationFailure, FreeListExhausted
+        qp = self._qp(2)
+        qp.pop()
+        qp.pop()
+        with pytest.raises(FreeListExhausted) as excinfo:
+            qp.pop()
+        error = excinfo.value
+        assert isinstance(error, AllocationFailure)
+        assert error.freelist_name == "wm"
+        assert error.posted == 2
+        assert error.popped == 2
+        assert error.high_watermark == 2
+        assert "free list exhausted" in str(error)
+        assert "high watermark=2" in str(error)
+        assert qp.low_watermark == 0
+
+
+class TestWatermarkReport:
+    def test_uninstalled_allocator_reports_nothing(self):
+        allocator = SizeClassAllocator(64, 256)
+        assert allocator.watermarks() == []
+        assert "(allocator not installed" in allocator.format_watermarks()
+
+    def test_installed_report_tracks_pops(self, sim, drive):
+        fabric = make_fabric(sim, DIRECT, ["client", "server"])
+        server = PrismServer(sim, fabric, "server", HardwarePrismBackend,
+                             memory_bytes=16 << 20)
+        allocator = SizeClassAllocator.install(server, min_class=64,
+                                               max_class=256,
+                                               buffers_per_class=8)
+        client = PrismClient(sim, fabric, "client", server)
+
+        def main():
+            for _ in range(3):
+                yield from client.allocate(allocator.freelist_for(100),
+                                           b"z" * 100,
+                                           rkey=allocator.rkey_for(100))
+        drive(sim, main())
+
+        rows = {row["class"]: row for row in allocator.watermarks()}
+        assert sorted(rows) == [64, 128, 256]
+        row = rows[128]
+        assert row["capacity"] == 8
+        assert row["depth"] == 5
+        assert row["popped"] == 3
+        assert row["low_watermark"] == 5
+        assert row["occupancy"] == pytest.approx(3 / 8)
+        untouched = rows[64]
+        assert untouched["popped"] == 0
+        assert untouched["low_watermark"] == 8
+        assert untouched["occupancy"] == pytest.approx(0.0)
+        text = allocator.format_watermarks()
+        assert "class128: depth 5/8" in text
+        assert "popped 3" in text

@@ -163,3 +163,103 @@ def test_cas_algebra_property(old, new, cmask, smask):
         assert result.status is OpStatus.CAS_MISS
         assert after == old
     assert result.value == _u(old)
+
+
+class TestMaskEdgeCases:
+    """Degenerate masks must fall out of the general definition:
+    ``compare(cmp & cmask, *target & cmask)`` then
+    ``*target = (*target & ~smask) | (data & smask)``."""
+
+    FULL = (1 << 64) - 1
+
+    def test_explicit_all_ones_masks_match_classic_cas(self, harness):
+        harness.space.write(harness.base, _u(7))
+        classic, _ = harness.run(
+            CasOp(target=harness.base, data=_u(9), rkey=harness.rkey,
+                  compare_data=_u(7)))
+        assert classic.status is OpStatus.OK
+        assert harness.space.read_uint(harness.base) == 9
+
+        harness.space.write(harness.base, _u(7))
+        masked, _ = harness.run(
+            CasOp(target=harness.base, data=_u(9), rkey=harness.rkey,
+                  mode=CasMode.EQ, compare_data=_u(7),
+                  compare_mask=self.FULL, swap_mask=self.FULL))
+        assert masked.status is OpStatus.OK
+        assert harness.space.read_uint(harness.base) == 9
+        assert masked.value == classic.value == _u(7)
+
+        # And the miss case agrees too: full masks hide nothing.
+        miss, _ = harness.run(
+            CasOp(target=harness.base, data=_u(1), rkey=harness.rkey,
+                  compare_data=_u(7), compare_mask=self.FULL,
+                  swap_mask=self.FULL))
+        assert miss.status is OpStatus.CAS_MISS
+        assert harness.space.read_uint(harness.base) == 9
+
+    def test_zero_compare_mask_eq_always_hits(self, harness):
+        harness.space.write(harness.base, _u(0xDEAD))
+        result, _ = harness.run(
+            CasOp(target=harness.base, data=_u(5), rkey=harness.rkey,
+                  compare_data=_u(123), compare_mask=0))
+        # 123 & 0 == 0xDEAD & 0: the comparison sees only zeros.
+        assert result.status is OpStatus.OK
+        assert harness.space.read_uint(harness.base) == 5
+
+    def test_zero_compare_mask_gt_never_hits(self, harness):
+        harness.space.write(harness.base, _u(1))
+        result, _ = harness.run(
+            CasOp(target=harness.base, data=_u(999), rkey=harness.rkey,
+                  mode=CasMode.GT, compare_mask=0))
+        # 0 > 0 is false no matter the operands.
+        assert result.status is OpStatus.CAS_MISS
+        assert harness.space.read_uint(harness.base) == 1
+
+    def test_zero_swap_mask_hits_but_writes_nothing(self, harness):
+        harness.space.write(harness.base, _u(77))
+        result, _ = harness.run(
+            CasOp(target=harness.base, data=_u(99), rkey=harness.rkey,
+                  compare_data=_u(77), swap_mask=0))
+        assert result.status is OpStatus.OK
+        assert harness.space.read_uint(harness.base) == 77
+        assert result.value == _u(77)  # old value still returned
+
+
+class TestVersionedCompare:
+    """The §3.3 versioned-install pattern under stale operands."""
+
+    def test_gt_rejects_stale_and_equal_versions(self, harness):
+        harness.space.write(harness.base, _u(10))
+        for stale in (9, 10):
+            result, _ = harness.run(
+                CasOp(target=harness.base, data=_u(stale),
+                      rkey=harness.rkey, mode=CasMode.GT))
+            assert result.status is OpStatus.CAS_MISS
+            assert result.value == _u(10)  # losing writer learns current
+            assert harness.space.read_uint(harness.base) == 10
+        fresh, _ = harness.run(
+            CasOp(target=harness.base, data=_u(11), rkey=harness.rkey,
+                  mode=CasMode.GT))
+        assert fresh.status is OpStatus.OK
+        assert harness.space.read_uint(harness.base) == 11
+
+    def test_masked_gt_compares_version_field_only(self, harness):
+        # [ver(8) | ptr(8)]: version 5, pointer 0xAAAA.
+        harness.space.write(harness.base, _u(5) + _u(0xAAAA))
+        ver_mask = (1 << 64) - 1
+        stale = _u(4) + _u(0xBBBB)
+        miss, _ = harness.run(
+            CasOp(target=harness.base, data=stale, rkey=harness.rkey,
+                  mode=CasMode.GT, compare_mask=ver_mask,
+                  operand_width=16))
+        # The pointer field (0xBBBB > 0xAAAA) must not influence the
+        # comparison: the masked version 4 is stale, so no install.
+        assert miss.status is OpStatus.CAS_MISS
+        assert harness.space.read(harness.base, 16) == _u(5) + _u(0xAAAA)
+        fresh = _u(6) + _u(0x1111)
+        hit, _ = harness.run(
+            CasOp(target=harness.base, data=fresh, rkey=harness.rkey,
+                  mode=CasMode.GT, compare_mask=ver_mask,
+                  operand_width=16))
+        assert hit.status is OpStatus.OK
+        assert harness.space.read(harness.base, 16) == fresh
