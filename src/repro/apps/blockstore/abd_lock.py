@@ -18,7 +18,7 @@ Protocol per operation:
 """
 
 from repro.apps.blockstore.layout import AbdLockLayout
-from repro.apps.blockstore.quorum import QuorumError, quorum
+from repro.apps.blockstore.quorum import quorum, settle
 from repro.apps.common import bump_tag, make_tag, note_key
 from repro.prism.client import PrismClient
 from repro.prism.server import PrismServer
@@ -156,12 +156,8 @@ class AbdLockClient:
         generators = [self._cas_lock(index, block_id,
                                      expect=0, install=self.client_id)
                       for index in range(len(self.replicas))]
-        try:
-            replies = yield from quorum(self.sim, generators,
-                                        len(self.replicas),
-                                        name=f"abd-lock[{block_id}]")
-        except QuorumError:
-            replies = []
+        replies = yield from settle(self.sim, generators,
+                                    name=f"abd-lock[{block_id}]")
         acquired = [index for index, ok in replies if ok]
         if len(acquired) >= self.f + 1:
             return acquired
@@ -170,22 +166,35 @@ class AbdLockClient:
         return None
 
     def _cas_lock(self, index, block_id, expect, install):
-        """Classic IB atomic CmpSwap on the lock word."""
-        swapped, _old = yield from self.clients[index].cas(
+        """Classic IB atomic CmpSwap on the lock word.
+
+        Retransmission makes a plain CAS ambiguous: the first delivery
+        may have swapped and the retry then sees its own install value
+        and "fails". The lock word disambiguates — only we ever install
+        ``client_id`` and only we ever clear our own lock — so a missed
+        compare whose *old value equals what we tried to install* means
+        an earlier delivery already did the job, and counts as success.
+        """
+        swapped, old = yield from self.clients[index].cas(
             self.layout.lock_addr(block_id),
             data=install.to_bytes(8, "little"),
             compare_data=expect.to_bytes(8, "little"),
             rkey=self.replicas[index].blocks_rkey)
-        return swapped
+        return swapped or int.from_bytes(old, "little") == install
 
     def _release_locks(self, block_id, indices):
-        """CAS the lock back to 0 at ``indices`` (must hold it)."""
-        yield from quorum(
+        """CAS the lock back to 0 at ``indices`` (must hold it).
+
+        Settled, not quorum'd: a release must be attempted everywhere
+        and a failed one (retries exhausted against a dead replica)
+        must not abort the caller's cleanup path.
+        """
+        yield from settle(
             self.sim,
             [self._cas_lock(index, block_id,
                             expect=self.client_id, install=0)
              for index in indices],
-            len(indices), name=f"abd-unlock[{block_id}]")
+            name=f"abd-unlock[{block_id}]")
 
     def _backoff(self, attempt):
         ceiling = min(self.backoff_max_us,

@@ -172,6 +172,10 @@ class PrismRsClient:
         tmp = client.sram_slot
         sram_rkey = replica.prism.sram_rkey
         with span:
+            # retryable: a duplicate execution of this chain is safe by
+            # construction — the CAS_GT misses on an equal tag, and the
+            # miss path below retires whatever the *last* delivery
+            # allocated (its address is in the scratch slot).
             result = yield from client.execute(
                 WriteOp(addr=tmp, data=pack_uint(tag, 8), rkey=sram_rkey),
                 AllocateOp(freelist=replica.freelist_id,
@@ -183,7 +187,7 @@ class PrismRsClient:
                       mode=CasMode.GT, compare_mask=META_TAG_MASK,
                       data_indirect=True, operand_width=META_SIZE,
                       conditional=True),
-                span=span)
+                span=span, retryable=True)
         result.raise_on_nak()
         cas = result[2]
         if cas.status is OpStatus.OK:

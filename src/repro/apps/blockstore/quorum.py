@@ -43,3 +43,38 @@ def quorum(sim, generators, need, name="quorum"):
         process.add_callback(make_callback(index))
     results = yield event
     return results
+
+
+def settle(sim, generators, name="settle"):
+    """Process helper: run replica ops concurrently and wait for *all*
+    of them to finish; returns the successful ``(index, value)`` pairs.
+
+    Unlike :func:`quorum` this never fails fast and never raises:
+    failures are consumed, not propagated. Lock protocols need this —
+    after a fail-fast quorum the losing side's in-flight operations are
+    in an unknown state, and an op that quietly succeeds *after* the
+    caller gave up (a lock CAS whose reply was delayed or
+    retransmitted) would be held forever. Settling first means the
+    caller knows exactly which operations took effect before it
+    decides what to roll back.
+    """
+    if not generators:
+        return []
+    event = sim.event()
+    state = {"done": 0, "successes": []}
+    total = len(generators)
+
+    def make_callback(index):
+        def on_done(process):
+            state["done"] += 1
+            if process.ok:
+                state["successes"].append((index, process.value))
+            if state["done"] == total:
+                event.succeed(state["successes"])
+        return on_done
+
+    for index, generator in enumerate(generators):
+        process = sim.spawn(generator, name=f"{name}[{index}]")
+        process.add_callback(make_callback(index))
+    results = yield event
+    return results

@@ -27,6 +27,7 @@ write sets are split across parallel requests (still one round trip).
 """
 
 from repro.apps.common import note_key, split_tag
+from repro.sim.events import TimeoutExpired
 from repro.apps.tx.layout import (
     CADDR_C_MASK,
     META_SIZE,
@@ -115,6 +116,7 @@ class PrismTxClient:
         self.backoff_max_us = backoff_max_us
         self.commits = 0
         self.aborts = 0
+        self.timeout_aborts = 0
         #: optional hook called on every commit with
         #: ``(timestamp, reads_dict, writes_dict, start, finish)`` —
         #: used by the serializability checker in the test suite.
@@ -157,7 +159,13 @@ class PrismTxClient:
             max_attempts=max_attempts))
 
     def transact_kv(self, read_keys, writes, max_attempts=None):
-        """Retry loop around :meth:`run_transaction_kv`."""
+        """Retry loop around :meth:`run_transaction_kv`.
+
+        A coordinator timeout (channel retransmissions exhausted under
+        fault injection) is handled like an abort: the attempt's PR/PW
+        stamps are safe to leave in place (§8.2), and the whole
+        transaction retries with a fresh, higher timestamp.
+        """
         attempts = 0
         while True:
             attempts += 1
@@ -165,8 +173,10 @@ class PrismTxClient:
                 values = yield from self.run_transaction_kv(read_keys,
                                                             writes)
                 return values, attempts - 1
-            except TxAborted:
+            except (TxAborted, TimeoutExpired) as exc:
                 self.aborts += 1
+                if isinstance(exc, TimeoutExpired):
+                    self.timeout_aborts += 1
                 if max_attempts is not None and attempts >= max_attempts:
                     raise
                 ceiling = min(self.backoff_max_us,
@@ -239,25 +249,54 @@ class PrismTxClient:
                 kinds.append(("wv", key))
         result = yield from self.client.execute(*ops)
         result.raise_on_nak()
+        # Under fault injection the prepare request may be delivered
+        # more than once (retransmission after a lost reply), and the
+        # reply the client consumes may come from the *second*
+        # delivery, which ran against the first delivery's stamps.
+        # Timestamps are unique per attempt, so PW == ts in a returned
+        # old value is proof the earlier delivery already performed
+        # our validation: the rv "miss" it causes is not a conflict
+        # (rv executed before wv in the first delivery, against the
+        # pre-stamp state), and the wv SKIPPED/missed behind it
+        # already took effect. Missing this poisons the key forever —
+        # PW stays raised, the abort path never advances C past it
+        # (the key never reaches ``write_checked``), and every later
+        # read validation of the key aborts.
+        faulty = self.client.retry_policy is not None
         ok = True
         write_checked = []
+        own_stamped = set()  # keys whose PW == ts came back (ours)
         for (kind, key), op_result in zip(kinds, result):
             if op_result.status is OpStatus.SKIPPED:
-                ok = False
+                # A wv chained behind an rv that missed. If the rv
+                # missed on our own stamp, the first delivery already
+                # did this wv; otherwise the skip is a real failure.
+                if key in own_stamped:
+                    write_checked.append(key)
+                else:
+                    ok = False
                 continue
             old_pr, old_pw = TxLayout.unpack_prpw(op_result.value)
             if kind == "rv":
                 # Read is valid iff it observed the latest prepared
                 # write. PR may legitimately not have moved (TS <= PR).
                 if old_pw != read_versions[key]:
-                    ok = False
+                    if faulty and old_pw == ts:
+                        own_stamped.add(key)
+                    else:
+                        ok = False
             else:
                 # PR == ts is our *own* read validation (timestamps are
                 # unique per transaction), which our write never
                 # invalidates; only a strictly greater PR aborts.
-                if op_result.status is OpStatus.OK and old_pr <= ts:
+                effective = op_result.status is OpStatus.OK
+                if faulty and not effective and old_pw == ts:
+                    effective = True  # an earlier delivery swapped PW
+                if effective and (faulty or old_pr <= ts):
+                    # The PW stamp is ours: if this attempt aborts, C
+                    # must advance past it so readers are not blocked.
                     write_checked.append(key)
-                else:
+                if not effective or old_pr > ts:
                     ok = False
         if not ok:
             yield from self._abort(write_checked, ts)
@@ -309,7 +348,10 @@ class PrismTxClient:
                 data=tmp.to_bytes(8, "little"), rkey=self.server.meta_rkey,
                 mode=CasMode.GT, compare_mask=CADDR_C_MASK,
                 data_indirect=True, operand_width=16, conditional=True))
-        result = yield from self.client.execute(*ops)
+        # retryable: same argument as the PRISM-RS install chain — a
+        # duplicate execution misses the CAS_GT (equal C) and the miss
+        # path retires the re-allocated buffer via the scratch slot.
+        result = yield from self.client.execute(*ops, retryable=True)
         result.raise_on_nak()
         for slot, ((key, _value), cas_index) in enumerate(
                 zip(chunk, cas_indices)):

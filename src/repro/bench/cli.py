@@ -21,6 +21,12 @@ prints per-resource utilization and the bottleneck verdict;
 pointer-chase depth, allocator watermarks, key hotness) plus the
 per-operation critical-path profile. All telemetry flags leave
 simulated timing bit-identical.
+
+``--faults SPEC`` (e.g. ``seed=3,drop=0.01,crash=replica1@500+400``)
+runs any point or sweep under a seeded fault plan — message loss /
+duplication / jitter, crash-stop windows, free-list starvation — with
+timeout + retry recovery on, and prints the goodput-under-faults
+report (see :mod:`repro.faults` and docs/faults.md).
 """
 
 import argparse
@@ -40,6 +46,7 @@ from repro.bench.reporting import (
     CURVE_HEADERS,
     UTILIZATION_HEADERS,
     curve_rows,
+    print_faults,
     print_primitives,
     print_table,
     utilization_rows,
@@ -125,6 +132,14 @@ _FIGURE_SYSTEMS = {
 }
 
 
+def _point_faults(title, result):
+    """Print the goodput-under-faults report; returns it for ``--json``."""
+    report = result.extra.get("faults")
+    if report is not None:
+        print_faults(f"{title} faults", report)
+    return report
+
+
 def _point_primitives(title, primitives, tracer, result=None):
     """Report one point's primitive telemetry + critical-path profile.
 
@@ -163,8 +178,10 @@ def cmd_figure_sweep(args):
                                workload_maker(args.keys, args.zipf),
                                n_clients, n_keys=args.keys,
                                tracer=tracer, utilization=collector,
-                               primitives=primitives)
+                               primitives=primitives, faults=args.faults)
             results.append(result)
+            faults_report = _point_faults(
+                f"{args.command}: {flavor} c={n_clients}", result)
             prim_report = profile = None
             if args.primitives:
                 prim_report, profile = _point_primitives(
@@ -184,11 +201,14 @@ def cmd_figure_sweep(args):
                     config = {"kind": kind, "flavor": flavor,
                               "clients": n_clients, "keys": args.keys,
                               "zipf": args.zipf, "seed": seed}
+                    if args.faults:
+                        config["faults"] = args.faults
                     points.append(make_point(kind, flavor, result, config,
                                              utilization=util,
                                              bottleneck=verdict,
                                              primitives=prim_report,
-                                             critpath=profile))
+                                             critpath=profile,
+                                             faults=faults_report))
         print_table(f"{args.command}: {flavor} "
                     f"({time.time() - started:.0f}s wall)",
                     CURVE_HEADERS, curve_rows(results))
@@ -218,7 +238,9 @@ def cmd_contention(args):
             tracer = Tracer() if args.primitives else None
             result = run_point(kind, flavor, workload, args.clients[0],
                                n_keys=args.keys, measure_us=2000.0,
-                               tracer=tracer, primitives=primitives)
+                               tracer=tracer, primitives=primitives,
+                               faults=args.faults)
+            _point_faults(f"{args.command}: {flavor} zipf={zipf}", result)
             if args.primitives:
                 _point_primitives(
                     f"{args.command}: {flavor} zipf={zipf}",
@@ -249,7 +271,7 @@ def cmd_point(args):
         result, phases, tracer = run_traced_point(
             args.kind, args.flavor, workload, args.clients[0],
             trace_path=args.trace, utilization=collector,
-            primitives=primitives, n_keys=args.keys)
+            primitives=primitives, n_keys=args.keys, faults=args.faults)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
         print_breakdown(f"{args.kind}/{args.flavor}: phase breakdown "
@@ -258,9 +280,11 @@ def cmd_point(args):
             print(f"chrome trace written to {args.trace}")
     else:
         result = run_point(args.kind, args.flavor, workload, args.clients[0],
-                           n_keys=args.keys, utilization=collector)
+                           n_keys=args.keys, utilization=collector,
+                           faults=args.faults)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
+    faults_report = _point_faults(f"{args.kind}/{args.flavor}", result)
     prim_report = profile = None
     if args.primitives:
         prim_report, profile = _point_primitives(
@@ -278,10 +302,12 @@ def cmd_point(args):
                   "clients": args.clients[0], "keys": args.keys,
                   "zipf": args.zipf, "read_fraction": args.read_fraction,
                   "seed": 1}
+        if args.faults:
+            config["faults"] = args.faults
         point = make_point(args.kind, args.flavor, result, config,
                            phases=phases, utilization=util_report,
                            bottleneck=verdict, primitives=prim_report,
-                           critpath=profile)
+                           critpath=profile, faults=faults_report)
         write_record(make_record(f"point:{args.kind}/{args.flavor}", [point]),
                      args.json)
         print(f"result record written to {args.json}")
@@ -354,6 +380,12 @@ def build_parser():
                              "telemetry (CAS contention, pointer-chase "
                              "depth, allocator watermarks, key hotness) and "
                              "the per-op critical-path profile")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="(point, fig3/4/6/7/9/10) run under a seeded "
+                             "fault plan, e.g. seed=3,drop=0.01 or "
+                             "crash=replica1@500+400 (see "
+                             "repro.faults.parse_faults); prints the "
+                             "goodput-under-faults report")
     parser.add_argument("--tolerance", action="append", metavar="METRIC=REL",
                         default=None,
                         help="(compare) override a tolerance band, e.g. "

@@ -188,7 +188,7 @@ def run_point(kind, flavor, workload_factory, n_clients,
               n_keys=DEFAULT_N_KEYS, value_size=DEFAULT_VALUE_SIZE,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
               n_client_hosts=N_CLIENT_HOSTS, tracer=None,
-              utilization=None, primitives=None):
+              utilization=None, primitives=None, faults=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
@@ -199,8 +199,20 @@ def run_point(kind, flavor, workload_factory, n_clients,
     (CAS outcomes, pointer-chase depth, allocator watermarks, key
     hotness). The defaults leave all three off; none changes timing,
     since they only observe transitions the run already makes.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan` (or a spec
+    string for :func:`repro.faults.parse_faults`): the run then
+    suffers the plan's seeded message loss/duplication/jitter, crash
+    schedule, and free-list starvation, clients adopt the plan's retry
+    policy, and the injector's counters land in
+    ``result.extra["faults"]`` — the goodput-under-faults report.
     """
     sim = Simulator()
+    if faults is not None:
+        if isinstance(faults, str):
+            from repro.faults import parse_faults
+            faults = parse_faults(faults)
+        sim.set_faults(faults)
     if tracer is not None:
         sim.set_tracer(tracer)
     if utilization is not None:
@@ -225,6 +237,12 @@ def run_point(kind, flavor, workload_factory, n_clients,
     result = driver.run()
     if utilization is not None:
         utilization.finish(sim.now)
+    if sim.faults is not None:
+        report = sim.faults.report()
+        # Goodput: operations that *completed* per second of measured
+        # time, i.e. the throughput that survived the fault plan.
+        report["goodput_mops"] = result.throughput_ops_per_sec / 1e6
+        result.extra["faults"] = report
     return result
 
 

@@ -26,7 +26,8 @@ Record shape (one file, one or more measurement points)::
                  "config": {...}, "metrics": {...},
                  "phases": {...}, "utilization": [...],
                  "bottleneck": {...},
-                 "primitives": {...}, "critpath": {...}}]}
+                 "primitives": {...}, "critpath": {...},
+                 "faults": {...}}]}
 
 All optional point fields are additive; v1 records (without
 ``primitives``/``critpath``) still load and compare — only metrics
@@ -87,7 +88,7 @@ def result_metrics(result):
 
 
 def make_point(kind, flavor, result, config, phases=None, utilization=None,
-               bottleneck=None, primitives=None, critpath=None):
+               bottleneck=None, primitives=None, critpath=None, faults=None):
     """One measurement point: config + metrics (+ optional telemetry).
 
     ``config`` must contain everything needed to reproduce the point
@@ -112,6 +113,8 @@ def make_point(kind, flavor, result, config, phases=None, utilization=None,
         point["primitives"] = primitives
     if critpath is not None:
         point["critpath"] = critpath
+    if faults is not None:
+        point["faults"] = faults
     return point
 
 

@@ -177,6 +177,63 @@ def print_primitives(title, report, top=5, out=print):
     out("")
 
 
+def faults_report_lines(report):
+    """Human-readable goodput-under-faults summary.
+
+    ``report`` is the dict :func:`repro.bench.harness.run_point` stores
+    in ``result.extra["faults"]`` (the injector's counters plus the
+    bound plan and the run's goodput).
+    """
+    plan = report.get("plan", {})
+    retry = plan.get("retry", {})
+    lines = []
+    crashes = plan.get("crashes", [])
+    lines.append(
+        f"plan: seed={plan.get('seed')} drop={plan.get('drop', 0.0):g} "
+        f"dup={plan.get('duplicate', 0.0):g} "
+        f"jitter={plan.get('jitter_us', 0.0):g}us "
+        f"crashes={len(crashes)} starve={plan.get('starve', 0.0):g}")
+    lines.append(
+        f"retry policy: timeout={retry.get('timeout_us', 0.0):g}us, "
+        f"max_retries={retry.get('max_retries')}, backoff "
+        f"{retry.get('backoff_base_us', 0.0):g}.."
+        f"{retry.get('backoff_max_us', 0.0):g}us")
+    lines.append(
+        f"injected: {report.get('messages_dropped', 0)} dropped, "
+        f"{report.get('messages_duplicated', 0)} duplicated, "
+        f"{report.get('messages_delayed', 0)} delayed "
+        f"(+{report.get('delay_injected_us', 0.0):g}us), "
+        f"{report.get('crash_drops', 0)} killed at down hosts")
+    if crashes or report.get("crashes", 0):
+        hosts_down = report.get("hosts_down", [])
+        lines.append(
+            f"crashes: {report.get('crashes', 0)} fired, "
+            f"{report.get('recoveries', 0)} recovered, still down: "
+            + (", ".join(hosts_down) if hosts_down else "(none)"))
+    if report.get("starved_buffers", 0):
+        lines.append(
+            f"starvation: {report.get('starved_buffers', 0)} buffers "
+            f"withheld, {report.get('restored_buffers', 0)} restored")
+    lines.append(
+        f"recovered: {report.get('timeouts', 0)} timeouts, "
+        f"{report.get('retransmissions', 0)} retransmissions, "
+        f"{report.get('retries_exhausted', 0)} gave up, "
+        f"{report.get('recycles_abandoned', 0)} recycle reports abandoned")
+    goodput = report.get("goodput_mops")
+    if goodput is not None:
+        lines.append(f"goodput under faults: {goodput:.3f} Mops/s")
+    return lines
+
+
+def print_faults(title, report, out=print):
+    """Print the goodput-under-faults report as a titled block."""
+    out("")
+    out(f"== {title} ==")
+    for line in faults_report_lines(report):
+        out(line)
+    out("")
+
+
 def low_load_latency(results):
     """Mean latency of the single-client point."""
     for r in results:

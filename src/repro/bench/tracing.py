@@ -23,6 +23,7 @@ import argparse
 from repro.bench.harness import run_point
 from repro.bench.reporting import (
     UTILIZATION_HEADERS,
+    print_faults,
     print_primitives,
     print_table,
     utilization_rows,
@@ -155,6 +156,11 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                              "critical-path profile")
     parser.add_argument("--clients", type=int, default=default_clients)
     parser.add_argument("--keys", type=int, default=default_keys)
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="run under a seeded fault plan, e.g. "
+                             "seed=3,drop=0.01 (repro.faults.parse_faults "
+                             "syntax); prints the goodput-under-faults "
+                             "report")
     args = parser.parse_args(argv)
 
     collector = UtilizationCollector() if (args.json or args.util) else None
@@ -162,13 +168,16 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
     result, report, tracer = run_traced_point(
         kind, flavor, workload_maker(args.keys), args.clients,
         trace_path=args.trace, utilization=collector, primitives=primitives,
-        n_keys=args.keys, **point_kwargs)
+        n_keys=args.keys, faults=args.faults, **point_kwargs)
     print_table(title, ["clients", "ops", "Mops/s", "mean_us", "p99_us"],
                 [[result.clients, result.ops,
                   round(result.throughput_ops_per_sec / 1e6, 3),
                   round(result.mean_latency_us, 2),
                   round(result.p99_latency_us, 2)]])
     print_breakdown(f"{title}: phase breakdown (mean µs per op)", report)
+    faults_report = result.extra.get("faults")
+    if faults_report is not None:
+        print_faults(f"{title}: faults", faults_report)
     if strict_sum:
         weighted = check_breakdown(result, report)
         print(f"phase sum {weighted:.3f} µs == mean latency "
@@ -199,12 +208,15 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
         from repro.bench.regress import make_point, make_record, write_record
         config = {"kind": kind, "flavor": flavor, "clients": args.clients,
                   "keys": args.keys, "seed": seed}
+        if args.faults:
+            config["faults"] = args.faults
         config.update({key: value for key, value in point_kwargs.items()
                        if isinstance(value, (int, float, str, bool))})
         point = make_point(kind, flavor, result, config, phases=report,
                            utilization=util_report,
                            bottleneck=analyze(util_report),
-                           primitives=primitives_report, critpath=profile)
+                           primitives=primitives_report, critpath=profile,
+                           faults=faults_report)
         write_record(make_record(benchmark or title, [point]), args.json)
         print(f"result record written to {args.json}")
     if args.trace:

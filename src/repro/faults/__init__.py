@@ -1,0 +1,28 @@
+"""Deterministic fault injection and recovery for the PRISM reproduction.
+
+Two halves:
+
+- *Injection* (:class:`FaultPlan` + :class:`FaultInjector`): seeded
+  message drop/duplication/jitter on the fabric, crash-stop/recovery of
+  hosts, free-list starvation pressure. Installed before system
+  construction via ``sim.set_faults(plan)``; off by default and
+  bit-identical-when-off.
+- *Recovery*: the :class:`RetryPolicy` knobs that the request channels
+  and PRISM clients adopt while a plan is installed — ack timeouts,
+  capped exponential backoff retransmission, idempotency-aware retry.
+
+See ``docs/faults.md`` for the plan format and per-app recovery
+semantics.
+"""
+
+from repro.faults.injector import FaultInjector, MessageFate
+from repro.faults.plan import CrashEvent, FaultPlan, RetryPolicy, parse_faults
+
+__all__ = [
+    "CrashEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageFate",
+    "RetryPolicy",
+    "parse_faults",
+]

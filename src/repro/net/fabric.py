@@ -93,16 +93,40 @@ class Fabric:
         message.span = span
         src = self.hosts[src_name]
         yield from src.tx.transmit(size_bytes, span=span)
-        self.sim.spawn(self._deliver(message), name=f"deliver#{message.id}")
+        faults = self.sim.faults
+        if faults is None:
+            self.sim.spawn(self._deliver(message), name=f"deliver#{message.id}")
+            return message
+        # Fault point: the message has left the TX port (the sender paid
+        # serialization either way); it may now vanish, fork, or lag.
+        fate = faults.on_message(message)
+        if fate.drop:
+            return message
+        self.sim.spawn(self._deliver(message, fate.delay_us),
+                       name=f"deliver#{message.id}")
+        if fate.duplicate:
+            self.sim.spawn(self._deliver(message, fate.delay_us),
+                           name=f"deliver#{message.id}.dup")
         return message
 
-    def _deliver(self, message):
+    def _deliver(self, message, extra_delay_us=0.0):
         if self.monitor is not None:
             self.monitor.adjust(+1)
+        if extra_delay_us > 0.0:
+            yield self.sim.timeout(extra_delay_us)
         with message.span.child("net.propagate", phase="wire",
                                 src=message.src, dst=message.dst):
             yield self.sim.timeout(
                 self.path_latency_us(message.src, message.dst))
+        faults = self.sim.faults
+        if faults is not None and (faults.is_down(message.dst)
+                                   or faults.is_down(message.src)):
+            # Crash-stop: a dead host neither receives nor has its
+            # in-flight sends honoured (its NIC died with it).
+            faults.note_crash_drop()
+            if self.monitor is not None:
+                self.monitor.adjust(-1)
+            return
         dst = self.hosts[message.dst]
         yield from dst.rx.transmit(message.size_bytes, span=message.span)
         self.messages_delivered += 1

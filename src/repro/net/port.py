@@ -15,6 +15,7 @@ from itertools import count
 
 from repro.core.errors import PrismError
 from repro.obs.trace import NULL_SPAN
+from repro.sim.events import TimeoutExpired
 
 
 class Request:
@@ -65,6 +66,9 @@ class RequestChannel:
         self._pending = {}
         self._ids = count(1)
         self.monitor = None
+        self._retry_rng = None
+        self.retransmissions = 0
+        self.timeouts = 0
         if sim.utilization is not None:
             # In-flight request depth per channel: evidence for the
             # bottleneck analyzer (deep client queues with an idle
@@ -117,13 +121,60 @@ class RequestChannel:
                 if (self._pending.pop(request_id, None) is not None
                         and self.monitor is not None):
                     self.monitor.adjust(-1)
-                raise TimeoutError(
-                    f"request {request_id} to {dst}/{service} timed out")
+                raise TimeoutExpired(
+                    timeout_us, what=f"request {request_id} to {dst}/{service}")
             result = value
         if self.completion_overhead_us:
             with span.child("client.completion", phase="cpu"):
                 yield self.sim.timeout(self.completion_overhead_us)
         return result
+
+    def request_with_retry(self, dst, service, body, request_size, policy,
+                           span=NULL_SPAN):
+        """Process helper: ``request`` with ack timeout + retransmission.
+
+        Each attempt waits ``policy.timeout_us`` for the reply; on
+        expiry the request is retransmitted (a fresh id — a late reply
+        to the old id is dropped by :meth:`_on_reply` like a NIC drops
+        a stale completion) after a capped exponential backoff. A NAK
+        (``ok=False`` reply) is NOT retried here: it is a delivered
+        negative answer, and propagates immediately. After
+        ``policy.max_retries`` retransmissions the last
+        :class:`TimeoutExpired` propagates to the caller.
+
+        Only safe for idempotent request bodies: at-least-once
+        delivery means the server may execute a retransmitted request
+        twice. Callers gate that (see ``PrismClient.execute``).
+
+        Backoff jitter draws from a per-channel substream of the fault
+        plan's seed, so faulty runs replay exactly.
+        """
+        faults = self.sim.faults
+        if faults is not None and self._retry_rng is None:
+            self._retry_rng = faults.retry_stream()
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.request(
+                    dst, service, body, request_size,
+                    timeout_us=policy.timeout_us, span=span)
+                return result
+            except TimeoutExpired:
+                self.timeouts += 1
+                if faults is not None:
+                    faults.note_timeout()
+                if attempt >= policy.max_retries:
+                    if faults is not None:
+                        faults.note_retries_exhausted()
+                    raise
+                backoff = policy.backoff_us(attempt, self._retry_rng)
+                attempt += 1
+                self.retransmissions += 1
+                if faults is not None:
+                    faults.note_retransmit()
+                with span.child("client.backoff", phase="queue",
+                                attempt=attempt):
+                    yield self.sim.timeout(backoff)
 
 
 def send_reply(fabric, server_host, request, body, size_bytes, ok=True,

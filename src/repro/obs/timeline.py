@@ -229,6 +229,7 @@ class ResourceMonitor(_WindowedMonitor):
         self.releases = 0
         self.enqueues = 0
         self.dequeues = 0
+        self.cancels = 0
         self.queue_delays = []
 
     def on_request(self, queued):
@@ -257,6 +258,14 @@ class ResourceMonitor(_WindowedMonitor):
         self._advance(self.sim.now)
         self.releases += 1
         self._in_use -= 1
+
+    def on_cancel(self):
+        """A queued acquire was abandoned (interrupt, timeout) before
+        any slot was granted — a dequeue that is not a grant."""
+        self._advance(self.sim.now)
+        self._depth -= 1
+        self.dequeues += 1
+        self.cancels += 1
 
     def summary(self, start, end):
         row = super().summary(start, end)

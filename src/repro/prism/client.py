@@ -23,7 +23,8 @@ class PrismClient:
     """A connection from one client host to one PRISM server."""
 
     def __init__(self, sim, fabric, client_name, server, channel=None,
-                 post_overhead_us=0.25, completion_overhead_us=0.25):
+                 post_overhead_us=0.25, completion_overhead_us=0.25,
+                 retry_policy=None):
         self.sim = sim
         self.fabric = fabric
         self.client_name = client_name
@@ -33,6 +34,12 @@ class PrismClient:
             sim, fabric, client_name,
             post_overhead_us=post_overhead_us,
             completion_overhead_us=completion_overhead_us)
+        # With a fault plan installed, clients adopt its retry policy
+        # automatically — no plumbing through the system builders, and
+        # with no plan the request path is byte-for-byte the old one.
+        if retry_policy is None and sim.faults is not None:
+            retry_policy = sim.faults.plan.retry
+        self.retry_policy = retry_policy
         self.round_trips = 0
 
     @property
@@ -48,18 +55,50 @@ class PrismClient:
 
     # -- raw submission ----------------------------------------------------
 
-    def execute(self, *ops, span=NULL_SPAN):
-        """Submit ops as one request (one round trip); ChainResult back."""
+    def execute(self, *ops, span=NULL_SPAN, retryable=None):
+        """Submit ops as one request (one round trip); ChainResult back.
+
+        With a :class:`~repro.faults.plan.RetryPolicy` attached (see
+        ``__init__``), a lost request or reply is retransmitted for
+        ``retryable`` chains and surfaces as
+        :class:`~repro.sim.events.TimeoutExpired` otherwise. By default
+        a chain is retryable iff every op is READ/WRITE/CAS —
+        at-least-once execution of those is harmless, while a blind
+        ALLOCATE or FETCH-ADD retransmission would leak a buffer or
+        double-count. Callers whose chains are retry-safe by protocol
+        design (the CAS_GT install chains of PRISM-RS/TX, where a
+        duplicate execution misses the CAS and the client retires the
+        fresh allocation) pass ``retryable=True`` explicitly.
+
+        A NAK is never retried: it is a delivered negative answer and
+        raises immediately via ``raise_on_nak`` in the callers.
+        """
         if len(ops) == 1 and isinstance(ops[0], Chain):
             chain = ops[0]
         else:
             chain = Chain(ops)
+        policy = self.retry_policy
         with span.child("roundtrip", phase="cpu",
                         ops=len(chain.ops)) as trip:
-            result = yield from self.channel.request(
-                self.server.host_name, self.server.service,
-                (self.connection.id, chain), chain.request_bytes(),
-                span=trip)
+            if policy is None:
+                result = yield from self.channel.request(
+                    self.server.host_name, self.server.service,
+                    (self.connection.id, chain), chain.request_bytes(),
+                    span=trip)
+            else:
+                if retryable is None:
+                    retryable = all(isinstance(op, (ReadOp, WriteOp, CasOp))
+                                    for op in chain.ops)
+                if retryable:
+                    result = yield from self.channel.request_with_retry(
+                        self.server.host_name, self.server.service,
+                        (self.connection.id, chain), chain.request_bytes(),
+                        policy, span=trip)
+                else:
+                    result = yield from self.channel.request(
+                        self.server.host_name, self.server.service,
+                        (self.connection.id, chain), chain.request_bytes(),
+                        timeout_us=policy.timeout_us, span=trip)
         self.round_trips += 1
         return result
 

@@ -48,6 +48,8 @@ class PrismServer:
         self.failed = False
         self.requests_dropped = 0
         fabric.host(host_name).register_service(service, self._on_request)
+        if sim.faults is not None:
+            sim.faults.register_server(host_name, self)
 
     # -- control plane (server CPU, setup / daemon time) ------------------
 
@@ -80,6 +82,8 @@ class PrismServer:
         self.freelists[freelist_id] = qp
         if self.sim.primitives is not None:
             self.sim.primitives.register_freelist(freelist_id, qp)
+        if self.sim.faults is not None:
+            self.sim.faults.register_freelist(self, freelist_id, qp)
         return freelist_id, rkey
 
     def freelist(self, freelist_id):

@@ -98,7 +98,8 @@ class RpcServer:
 class RpcClient:
     """Client endpoint issuing calls to any host's RPC service."""
 
-    def __init__(self, sim, fabric, client_name, config=None, channel=None):
+    def __init__(self, sim, fabric, client_name, config=None, channel=None,
+                 retry_policy=None):
         self.config = config or RpcConfig()
         self.sim = sim
         self.fabric = fabric
@@ -107,15 +108,41 @@ class RpcClient:
             sim, fabric, client_name,
             post_overhead_us=self.config.client_post_us,
             completion_overhead_us=self.config.client_completion_us)
+        # Same auto-adoption as PrismClient: a fault plan's retry knobs
+        # apply to every client built after set_faults, and with no plan
+        # the call path is untouched.
+        if retry_policy is None and sim.faults is not None:
+            retry_policy = sim.faults.plan.retry
+        self.retry_policy = retry_policy
         self.calls_made = 0
 
     def call(self, server_name, method, args, request_payload_bytes,
-             service="rpc", span=NULL_SPAN):
-        """Process helper: invoke ``method`` on ``server_name``."""
+             service="rpc", span=NULL_SPAN, retryable=True):
+        """Process helper: invoke ``method`` on ``server_name``.
+
+        With a retry policy attached (fault plan installed), lost
+        calls are retransmitted. At-least-once delivery means the
+        handler may run twice; handlers that are not naturally
+        idempotent must dedupe (the recycler daemon does, by report
+        id) or the caller must pass ``retryable=False`` and handle
+        :class:`~repro.sim.events.TimeoutExpired` itself.
+        """
+        policy = self.retry_policy
         with span.child("rpc.call", phase="cpu", method=method) as call_span:
-            result = yield from self.channel.request(
-                server_name, service, (method, args),
-                ETHERNET_HEADER_BYTES + request_payload_bytes,
-                span=call_span)
+            if policy is None:
+                result = yield from self.channel.request(
+                    server_name, service, (method, args),
+                    ETHERNET_HEADER_BYTES + request_payload_bytes,
+                    span=call_span)
+            elif retryable:
+                result = yield from self.channel.request_with_retry(
+                    server_name, service, (method, args),
+                    ETHERNET_HEADER_BYTES + request_payload_bytes,
+                    policy, span=call_span)
+            else:
+                result = yield from self.channel.request(
+                    server_name, service, (method, args),
+                    ETHERNET_HEADER_BYTES + request_payload_bytes,
+                    timeout_us=policy.timeout_us, span=call_span)
         self.calls_made += 1
         return result

@@ -10,7 +10,7 @@ generators that ``yield`` :class:`~repro.sim.events.Event` objects and
 are resumed when those events trigger.
 """
 
-from repro.sim.events import Event, Interrupt, SimulationError
+from repro.sim.events import Event, Interrupt, SimulationError, TimeoutExpired
 from repro.sim.kernel import Process, Simulator
 from repro.sim.resources import BandwidthPipe, Resource, Store
 from repro.sim.rng import SeededRng
@@ -28,5 +28,6 @@ __all__ = [
     "Simulator",
     "Store",
     "ThroughputMeter",
+    "TimeoutExpired",
     "summarize",
 ]

@@ -23,6 +23,21 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class TimeoutExpired(TimeoutError):
+    """A bounded wait (``Simulator.with_timeout``, a request timeout)
+    ran out of simulated time before its event triggered.
+
+    Subclasses the builtin :class:`TimeoutError` so existing
+    ``except TimeoutError`` handlers keep working; carries the budget
+    so retry layers can report what they waited for.
+    """
+
+    def __init__(self, timeout_us, what="wait"):
+        super().__init__(f"{what} did not complete within {timeout_us} us")
+        self.timeout_us = timeout_us
+        self.what = what
+
+
 class Event:
     """A one-shot occurrence on the simulation timeline.
 
@@ -93,6 +108,32 @@ class Event:
         else:
             self.callbacks.append(callback)
 
+    def discard_callback(self, callback):
+        """Remove ``callback`` if attached; no-op otherwise."""
+        if callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def waiter_detached(self, callback):
+        """A process that was waiting on this event went away
+        (interrupt, timeout race). Removes its resume callback and,
+        once nobody is listening anymore, cancels the event so that
+        resource-backed subclasses can hand back whatever the dead
+        waiter held or queued for.
+        """
+        self.discard_callback(callback)
+        if not self.callbacks:
+            self.cancel()
+
+    def cancel(self):
+        """Abandon interest in this event.
+
+        The base event has nothing to release, so this is a no-op;
+        subclasses that represent a claim on a resource (a queued
+        ``Resource.acquire``, a blocked ``Store.get``, a composite
+        wait) override it to withdraw that claim. Cancelling never
+        un-triggers an event and is always safe to call twice.
+        """
+
     def _process(self):
         self._processed = True
         callbacks, self.callbacks = self.callbacks, []
@@ -105,22 +146,60 @@ class Event:
         return f"<Event {state} at t={self.sim.now:.3f}>"
 
 
-class AnyOf(Event):
+class _Composite(Event):
+    """Shared sub-event bookkeeping for :class:`AnyOf`/:class:`AllOf`.
+
+    Keeps the ``(event, callback)`` subscription pairs so that when the
+    waiting process detaches (interrupt), the composite can detach from
+    its sub-events in turn. Without this, an interrupted quorum wait
+    left stale callbacks on the sub-events, and a sub-event triggering
+    later could resume work nobody was waiting for — or strand a
+    granted resource slot forever.
+    """
+
+    __slots__ = ("_events", "_subscriptions")
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        self._events = list(events)
+        self._subscriptions = []
+
+    def _subscribe(self):
+        for index, event in enumerate(self._events):
+            callback = self._make_callback(index)
+            self._subscriptions.append((event, callback))
+            event.add_callback(callback)
+
+    def cancel(self):
+        """Withdraw from every sub-event still pending.
+
+        Cascades: a sub-event left with no other listeners is itself
+        cancelled, so e.g. an interrupted quorum wait hands back any
+        resource slots its branches were queued for. A composite that
+        already triggered consumed a real sub-event value, so it keeps
+        its remaining subscriptions (their callbacks are inert).
+        """
+        if self._triggered:
+            return
+        subscriptions, self._subscriptions = self._subscriptions, []
+        for event, callback in subscriptions:
+            event.waiter_detached(callback)
+
+
+class AnyOf(_Composite):
     """Triggers when the first of several events triggers.
 
     The value is the ``(index, value)`` pair of the first event. Failure
     of the first event to trigger propagates as failure of the AnyOf.
     """
 
-    __slots__ = ("_events",)
+    __slots__ = ()
 
     def __init__(self, sim, events):
-        super().__init__(sim)
-        self._events = list(events)
+        super().__init__(sim, events)
         if not self._events:
             raise SimulationError("AnyOf requires at least one event")
-        for index, event in enumerate(self._events):
-            event.add_callback(self._make_callback(index))
+        self._subscribe()
 
     def _make_callback(self, index):
         def on_trigger(event):
@@ -133,25 +212,23 @@ class AnyOf(Event):
         return on_trigger
 
 
-class AllOf(Event):
+class AllOf(_Composite):
     """Triggers when every one of several events has triggered.
 
     The value is the list of individual values, in input order. The
     first failure fails the AllOf immediately.
     """
 
-    __slots__ = ("_events", "_remaining", "_values")
+    __slots__ = ("_remaining", "_values")
 
     def __init__(self, sim, events):
-        super().__init__(sim)
-        self._events = list(events)
+        super().__init__(sim, events)
         self._remaining = len(self._events)
         self._values = [None] * len(self._events)
         if self._remaining == 0:
             self.succeed([])
             return
-        for index, event in enumerate(self._events):
-            event.add_callback(self._make_callback(index))
+        self._subscribe()
 
     def _make_callback(self, index):
         def on_trigger(event):

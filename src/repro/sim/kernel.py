@@ -11,7 +11,14 @@ import heapq
 from itertools import count
 
 from repro.obs.trace import NULL_TRACER
-from repro.sim.events import AllOf, AnyOf, Event, Interrupt, SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    TimeoutExpired,
+)
 
 
 class Process(Event):
@@ -67,11 +74,22 @@ class Process(Event):
     def _detach_from_waited_event(self):
         waited = self._waiting_on
         self._waiting_on = None
-        if waited is not None and self._resume in waited.callbacks:
-            waited.callbacks.remove(self._resume)
+        if waited is not None:
+            # Let the event (and, for composites, its sub-events)
+            # know the waiter is gone so resource-backed events can
+            # withdraw queued claims or hand back granted slots.
+            waited.waiter_detached(self._resume)
 
     def _resume(self, event):
         if self._triggered:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            # Stale wake-up from an event this process detached from
+            # (it was already processed when the interrupt landed, so
+            # its callback sat in the queue instead of on the event).
+            # Resuming here would drive the generator at the wrong
+            # yield point — once for the stale event and again for the
+            # one it is actually waiting on.
             return
         self._waiting_on = None
         if event.ok:
@@ -132,6 +150,7 @@ class Simulator:
         self.tracer = NULL_TRACER
         self.utilization = None
         self.primitives = None
+        self.faults = None
         self.events_executed = 0
 
     def set_tracer(self, tracer):
@@ -160,6 +179,22 @@ class Simulator:
         self.primitives = collector.bind(self)
         return collector
 
+    def set_faults(self, plan):
+        """Install (and bind) a fault injector for ``plan``; returns it.
+
+        Accepts a :class:`~repro.faults.FaultPlan` or an already-built
+        :class:`~repro.faults.FaultInjector`. Install *before* system
+        construction so the fabric, servers, and free lists register
+        themselves. With no injector installed (the default) every
+        hook is a single ``is None`` check — same bit-identical-timing
+        contract as the observability collectors.
+        """
+        from repro.faults.injector import FaultInjector
+        injector = (plan if isinstance(plan, FaultInjector)
+                    else FaultInjector(plan))
+        self.faults = injector.bind(self)
+        return self.faults
+
     @property
     def now(self):
         """Current simulated time in microseconds."""
@@ -186,6 +221,35 @@ class Simulator:
     def spawn(self, generator, name=None):
         """Start running a generator as a process."""
         return Process(self, generator, name=name)
+
+    def sleep_until(self, when, value=None):
+        """An event that succeeds at absolute simulated time ``when``.
+
+        ``when`` in the past (or now) fires on the next kernel step at
+        the current time, so daemons can use it as an idempotent
+        "no earlier than" barrier.
+        """
+        return self.timeout(max(0.0, when - self._now), value)
+
+    def with_timeout(self, event, timeout_us, what="wait"):
+        """Process helper: wait on ``event`` for at most ``timeout_us``.
+
+        Returns the event's value, or raises
+        :class:`~repro.sim.events.TimeoutExpired` once the budget is
+        spent. On timeout the abandoned event is *cancelled*, so a
+        resource-backed event (a queued ``acquire``, a blocked ``get``)
+        withdraws its claim instead of stranding a slot or swallowing
+        an item — which is also what makes the helper interrupt-safe:
+        an Interrupt landing inside the wait detaches from both the
+        event and the timer through the same cancellation path.
+        """
+        if not isinstance(event, Event):
+            raise SimulationError("with_timeout requires an Event")
+        index, value = yield self.any_of([event, self.timeout(timeout_us)])
+        if index == 1:
+            event.cancel()
+            raise TimeoutExpired(timeout_us, what=what)
+        return value
 
     def any_of(self, events):
         """Event that fires with ``(index, value)`` of the first to trigger."""
@@ -243,13 +307,16 @@ class Simulator:
 
         Steps the queue one entry at a time so perpetual background
         daemons cannot keep the run alive forever. ``limit`` bounds
-        simulated time as a deadlock guard.
+        simulated time as a deadlock guard; when it trips, ``_now``
+        advances to ``limit`` — the same contract as :meth:`run` with
+        ``until`` — rather than sticking at the last executed event.
         """
         while self._queue and not process.processed:
-            when, _seq, callback = heapq.heappop(self._queue)
+            when, _seq, callback = self._queue[0]
             if limit is not None and when > limit:
-                self._push(when, callback)
+                self._now = limit
                 break
+            heapq.heappop(self._queue)
             self._now = when
             self.events_executed += 1
             callback()

@@ -11,6 +11,55 @@ from repro.obs.trace import NULL_SPAN
 from repro.sim.events import Event, SimulationError
 
 
+class AcquireEvent(Event):
+    """The event returned by :meth:`Resource.acquire`.
+
+    Cancellation (waiter interrupted, timeout race lost) withdraws the
+    claim: a still-queued request leaves the waiter queue; a request
+    whose slot was already granted — but never consumed by the dead
+    waiter — releases the slot back, handing it to the next live
+    waiter. Without this, an interrupted ``acquire()`` left its event
+    in the queue and ``release()`` granted the slot to the dead waiter
+    forever, leaking capacity one interrupt at a time.
+    """
+
+    __slots__ = ("resource", "cancelled")
+
+    def __init__(self, resource):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.cancelled = False
+
+    def cancel(self):
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.resource._waiter_cancelled(self)
+
+
+class GetEvent(Event):
+    """The event returned by :meth:`Store.get`.
+
+    Cancellation removes a blocked getter from the queue; if an item
+    was already handed to the (now dead) getter, the item is put back
+    at the front of the buffer so it goes to the next live getter in
+    FIFO order instead of vanishing.
+    """
+
+    __slots__ = ("store", "cancelled")
+
+    def __init__(self, store):
+        super().__init__(store.sim)
+        self.store = store
+        self.cancelled = False
+
+    def cancel(self):
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.store._getter_cancelled(self)
+
+
 class Resource:
     """A ``capacity``-server FIFO resource.
 
@@ -59,8 +108,13 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self):
-        """Request a slot; the returned event fires when granted."""
-        event = Event(self.sim)
+        """Request a slot; the returned event fires when granted.
+
+        The event supports :meth:`~AcquireEvent.cancel`: a waiter that
+        stops waiting (interrupt, ``with_timeout``) withdraws its claim
+        instead of leaking the slot it queued for.
+        """
+        event = AcquireEvent(self)
         if self._in_use < self.capacity:
             self._account()
             self._in_use += 1
@@ -77,23 +131,49 @@ class Resource:
         return event
 
     def release(self):
-        """Free a slot, handing it to the oldest waiter if any."""
+        """Free a slot, handing it to the oldest *live* waiter if any.
+
+        Cancelled waiters are skipped (cancellation removes them
+        eagerly, so this is belt-and-braces for a waiter cancelled in
+        the same kernel step).
+        """
         if self._in_use <= 0:
             raise SimulationError(f"{self.name}: release without acquire")
-        if self._waiters:
+        while self._waiters:
             event = self._waiters.popleft()
+            waited_since = (self._wait_since.popleft()
+                            if self.monitor is not None else None)
+            if event.cancelled or event.triggered:
+                if self.monitor is not None:
+                    self.monitor.on_cancel()
+                continue
             self._total_acquired += 1
             if self.monitor is not None:
                 self.monitor.on_release()
-                self.monitor.on_grant(
-                    self.sim.now - self._wait_since.popleft(),
-                    from_queue=True)
+                self.monitor.on_grant(self.sim.now - waited_since,
+                                      from_queue=True)
             event.succeed(self)
-        else:
-            self._account()
-            self._in_use -= 1
-            if self.monitor is not None:
-                self.monitor.on_release()
+            return
+        self._account()
+        self._in_use -= 1
+        if self.monitor is not None:
+            self.monitor.on_release()
+
+    def _waiter_cancelled(self, event):
+        """An acquire's waiter went away (interrupt or timeout race)."""
+        if event.triggered:
+            # The slot was already granted to this event but the value
+            # was never consumed — hand the slot straight back.
+            self.release()
+            return
+        try:
+            index = self._waiters.index(event)
+        except ValueError:
+            return
+        del self._waiters[index]
+        if self.monitor is not None:
+            del self._wait_since[index]
+            self.monitor.on_cancel()
 
     def utilization(self, elapsed):
         """Mean busy fraction over ``elapsed`` simulated microseconds."""
@@ -111,7 +191,12 @@ class Resource:
         """Process helper: hold one slot for ``duration``.
 
         Equivalent to acquire / timeout / release, expressed as a
-        sub-generator for ``yield from``.
+        sub-generator for ``yield from``. Interrupt-safe at every
+        suspension point: an Interrupt delivered while *queued* (or in
+        the same kernel step as the grant) cancels the acquire event,
+        withdrawing the claim or handing the un-consumed slot back;
+        one delivered while *holding* runs the ``finally`` release.
+        Capacity is conserved either way.
         """
         yield self.acquire()
         try:
@@ -133,20 +218,52 @@ class Store:
         return len(self._items)
 
     def put(self, item):
-        """Deposit ``item``; wakes the oldest blocked getter."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        """Deposit ``item``; wakes the oldest *live* blocked getter.
+
+        Cancelled getters are skipped (cancellation removes them
+        eagerly; the guard covers a getter cancelled within the same
+        kernel step) — waking one would make the item vanish.
+        """
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.cancelled or getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
 
     def get(self):
-        """Event that fires with the next item (FIFO)."""
-        event = Event(self.sim)
+        """Event that fires with the next item (FIFO).
+
+        The event supports :meth:`~GetEvent.cancel`: an abandoned
+        getter leaves the queue, and an item already handed to it is
+        returned to the front of the buffer instead of being lost.
+        """
+        event = GetEvent(self)
         if self._items:
             event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event
+
+    def _getter_cancelled(self, event):
+        """A blocked getter went away (interrupt or timeout race)."""
+        if event.triggered:
+            # The item was already handed over but never consumed;
+            # repossess it for the next getter, front of the line.
+            item = event.value
+            while self._getters:
+                getter = self._getters.popleft()
+                if getter.cancelled or getter.triggered:
+                    continue
+                getter.succeed(item)
+                return
+            self._items.appendleft(item)
+            return
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
 
     def try_get(self):
         """Immediately pop an item, or return None if empty."""

@@ -34,6 +34,21 @@ def test_point_tx(capsys):
     assert "tx/farm-hw" in capsys.readouterr().out
 
 
+def test_point_with_faults(capsys, tmp_path):
+    record = tmp_path / "chaos.json"
+    assert main(["point", "--kind", "rs", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--faults", "seed=3,drop=0.01",
+                 "--json", str(record)]) == 0
+    out = capsys.readouterr().out
+    assert "goodput under faults" in out
+    assert "retransmissions" in out
+    import json
+    point = json.loads(record.read_text())["points"][0]
+    assert point["config"]["faults"] == "seed=3,drop=0.01"
+    assert point["faults"]["plan"]["drop"] == 0.01
+
+
 def test_motivation(capsys):
     assert main(["motivation"]) == 0
     assert "one-sided READ" in capsys.readouterr().out

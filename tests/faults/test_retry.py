@@ -1,0 +1,114 @@
+"""RequestChannel retransmission: ack timeouts, backoff, give-up."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.net.port import RequestChannel, send_reply
+from repro.sim import TimeoutExpired
+
+
+class TestRequestWithRetry:
+    def test_retransmits_until_a_reply_arrives(self, sim, fabric, drive):
+        channel = RequestChannel(sim, fabric, "client")
+        seen = []
+
+        def service(message):
+            request = message.payload
+            seen.append(request.id)
+            if len(seen) < 3:
+                return  # lose the first two requests (no reply)
+            sim.spawn(send_reply(fabric, "server", request, "pong", 64))
+
+        fabric.host("server").register_service("svc", service)
+        policy = RetryPolicy(timeout_us=50.0, max_retries=5,
+                             backoff_base_us=1.0)
+
+        def main():
+            value = yield from channel.request_with_retry(
+                "server", "svc", "ping", 64, policy)
+            return value
+
+        assert drive(sim, main()) == "pong"
+        # Each retransmission is a fresh request id.
+        assert len(seen) == 3 and len(set(seen)) == 3
+        assert channel.retransmissions == 2
+        assert channel.timeouts == 2
+        assert channel.outstanding == 0
+
+    def test_gives_up_after_max_retries(self, sim, fabric, drive):
+        channel = RequestChannel(sim, fabric, "client")
+        seen = []
+        fabric.host("server").register_service(
+            "void", lambda message: seen.append(message.payload.id))
+        policy = RetryPolicy(timeout_us=20.0, max_retries=2,
+                             backoff_base_us=1.0)
+
+        def main():
+            yield from channel.request_with_retry(
+                "server", "void", "ping", 64, policy)
+
+        with pytest.raises(TimeoutExpired):
+            drive(sim, main())
+        assert len(seen) == 3  # original + 2 retransmissions
+        assert channel.timeouts == 3
+        assert channel.retransmissions == 2
+        assert channel.outstanding == 0
+
+    def test_late_reply_to_abandoned_id_is_dropped(self, sim, fabric, drive):
+        """A reply that arrives after its attempt timed out must not
+        complete the retransmitted attempt (fresh id) or crash."""
+        channel = RequestChannel(sim, fabric, "client")
+        attempts = []
+
+        def service(message):
+            request = message.payload
+            attempts.append(request.id)
+
+            def respond(delay, body):
+                yield sim.timeout(delay)
+                yield from send_reply(fabric, "server", request, body, 64)
+
+            # First attempt answers long after the ack timeout; the
+            # retransmission answers promptly.
+            if len(attempts) == 1:
+                sim.spawn(respond(200.0, "stale"))
+            else:
+                sim.spawn(respond(1.0, "fresh"))
+
+        fabric.host("server").register_service("slow", service)
+        policy = RetryPolicy(timeout_us=40.0, max_retries=3,
+                             backoff_base_us=1.0)
+
+        def main():
+            value = yield from channel.request_with_retry(
+                "server", "slow", "ping", 64, policy)
+            # Let the stale reply land while nothing is pending.
+            yield sim.timeout(300.0)
+            return value
+
+        assert drive(sim, main()) == "fresh"
+        assert channel.outstanding == 0
+
+    def test_nak_is_not_retried(self, sim, fabric, drive):
+        """A delivered negative reply propagates immediately: it is an
+        answer, not a loss."""
+        channel = RequestChannel(sim, fabric, "client")
+        calls = []
+
+        def service(message):
+            request = message.payload
+            calls.append(request.id)
+            sim.spawn(send_reply(fabric, "server", request,
+                                 ValueError("nak"), 64, ok=False))
+
+        fabric.host("server").register_service("nak", service)
+        policy = RetryPolicy(timeout_us=50.0, max_retries=5)
+
+        def main():
+            yield from channel.request_with_retry(
+                "server", "nak", "ping", 64, policy)
+
+        with pytest.raises(ValueError):
+            drive(sim, main())
+        assert len(calls) == 1
+        assert channel.retransmissions == 0

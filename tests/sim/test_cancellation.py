@@ -1,0 +1,314 @@
+"""Interrupt/timeout cancellation: no leaked slots, no lost items.
+
+These pin the kernel bugs that blocked the fault-injection layer:
+an interrupted ``acquire()`` used to leak a capacity slot, an
+abandoned ``Store.get`` swallowed the item handed to it, a stale
+queued wake-up could resume a process at the wrong yield point, and
+``run_until_complete`` left ``now`` at the last executed event when
+the limit tripped.
+"""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, TimeoutExpired
+from repro.sim.events import Interrupt
+from repro.sim.resources import Resource, Store
+
+
+class TestResourceCancellation:
+    def test_interrupted_queued_waiters_conserve_capacity(self, sim, drive):
+        resource = Resource(sim, capacity=2)
+
+        def holder():
+            yield from resource.occupy(10)
+
+        outcomes = []
+
+        def waiter():
+            try:
+                yield resource.acquire()
+            except Interrupt:
+                outcomes.append("interrupted")
+                return
+            outcomes.append("acquired")
+            resource.release()
+
+        sim.spawn(holder())
+        sim.spawn(holder())
+        victims = [sim.spawn(waiter()) for _ in range(3)]
+
+        def killer():
+            yield sim.timeout(5)
+            for victim in victims:
+                victim.interrupt("chaos")
+
+        sim.spawn(killer())
+        sim.run()
+        assert outcomes == ["interrupted"] * 3
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+        # Every slot is still usable afterwards.
+        def reuse():
+            yield resource.acquire()
+            yield resource.acquire()
+            held = resource.in_use
+            resource.release()
+            resource.release()
+            return held
+
+        assert drive(sim, reuse()) == 2
+
+    def test_interrupt_races_grant_in_same_step(self, sim):
+        """A slot granted to a waiter killed in the same kernel step is
+        handed back, not stranded on the dead process forever."""
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            yield from resource.occupy(10)
+
+        def waiter():
+            try:
+                yield resource.acquire()
+            except Interrupt:
+                return "interrupted"
+            resource.release()
+            return "acquired"
+
+        sim.spawn(holder())
+        victim = sim.spawn(waiter())
+
+        def killer():
+            # Fires at t=10 in the same step as the holder's release:
+            # the release grants the slot to the victim, then the
+            # interrupt lands before the victim consumes it.
+            yield sim.timeout(10)
+            victim.interrupt("chaos")
+
+        sim.spawn(killer())
+        sim.run()
+        assert victim.value == "interrupted"
+        assert resource.in_use == 0
+
+    def test_occupy_interrupted_while_holding_releases(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            try:
+                yield from resource.occupy(100)
+            except Interrupt:
+                pass
+
+        victim = sim.spawn(worker())
+
+        def killer():
+            yield sim.timeout(5)
+            victim.interrupt()
+
+        sim.spawn(killer())
+        sim.run()
+        assert resource.in_use == 0
+
+
+class TestStoreCancellation:
+    def test_cancelled_blocked_getter_leaves_queue(self, sim):
+        store = Store(sim)
+        event = store.get()
+        event.cancel()
+        store.put("x")
+        sim.run()
+        assert store.try_get() == "x"
+
+    def test_cancel_after_immediate_grant_repossesses_item(self, sim):
+        store = Store(sim)
+        store.put("x")
+        event = store.get()  # succeeds immediately
+        event.cancel()
+        assert len(store) == 1
+        assert store.try_get() == "x"
+
+    def test_interrupt_races_put_in_same_step(self, sim):
+        """An item handed to a getter killed in the same kernel step
+        goes to the next live getter instead of vanishing."""
+        store = Store(sim)
+        got = []
+
+        def getter(tag):
+            try:
+                item = yield store.get()
+            except Interrupt:
+                return
+            got.append((tag, item))
+
+        first = sim.spawn(getter("a"))
+        sim.spawn(getter("b"))
+
+        def killer():
+            yield sim.timeout(5)
+            first.interrupt("chaos")
+            store.put("x")
+
+        sim.spawn(killer())
+        sim.run()
+        assert got == [("b", "x")]
+
+    def test_items_conserved_under_interrupt_storm(self, sim):
+        store = Store(sim)
+        taken = []
+
+        def getter():
+            try:
+                item = yield store.get()
+            except Interrupt:
+                return
+            taken.append(item)
+
+        victims = [sim.spawn(getter()) for _ in range(4)]
+
+        def chaos():
+            yield sim.timeout(1)
+            victims[0].interrupt()
+            victims[2].interrupt()
+            for item in ("p", "q"):
+                store.put(item)
+
+        sim.spawn(chaos())
+        sim.run()
+        # Two live getters, two items: nothing lost, nothing left over.
+        assert sorted(taken) == ["p", "q"]
+        assert len(store) == 0
+
+
+class TestWithTimeout:
+    def test_returns_value_when_event_wins(self, sim, drive):
+        def main():
+            value = yield from sim.with_timeout(
+                sim.timeout(5, value="v"), 10)
+            return value, sim.now
+
+        assert drive(sim, main()) == ("v", 5.0)
+
+    def test_raises_timeout_expired(self, sim, drive):
+        def main():
+            try:
+                yield from sim.with_timeout(sim.event(), 7, what="nothing")
+            except TimeoutExpired as exc:
+                return exc.timeout_us, exc.what, sim.now
+
+        assert drive(sim, main()) == (7, "nothing", 7.0)
+
+    def test_timeout_expired_is_a_timeout_error(self):
+        assert issubclass(TimeoutExpired, TimeoutError)
+
+    def test_timeout_withdraws_resource_claim(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            yield from resource.occupy(20)
+
+        queue_after = []
+
+        def impatient():
+            try:
+                yield from sim.with_timeout(resource.acquire(), 5)
+            except TimeoutExpired:
+                queue_after.append(resource.queue_length)
+
+        sim.spawn(holder())
+        sim.spawn(impatient())
+        sim.run()
+        assert queue_after == [0]
+        assert resource.in_use == 0
+
+    def test_timeout_withdraws_store_claim(self, sim):
+        store = Store(sim)
+
+        def impatient():
+            try:
+                yield from sim.with_timeout(store.get(), 5)
+            except TimeoutExpired:
+                pass
+
+        sim.spawn(impatient())
+
+        def late_producer():
+            yield sim.timeout(10)
+            store.put("x")
+
+        sim.spawn(late_producer())
+        sim.run()
+        # The abandoned getter must not consume the late item.
+        assert store.try_get() == "x"
+
+    def test_rejects_non_events(self, sim, drive):
+        def main():
+            yield from sim.with_timeout("not an event", 5)
+
+        with pytest.raises(SimulationError):
+            drive(sim, main())
+
+
+class TestSleepUntil:
+    def test_future_time(self, sim, drive):
+        def main():
+            yield sim.sleep_until(42.0)
+            return sim.now
+
+        assert drive(sim, main()) == 42.0
+
+    def test_past_time_fires_now(self, sim, drive):
+        def main():
+            yield sim.timeout(10)
+            yield sim.sleep_until(3.0)
+            return sim.now
+
+        assert drive(sim, main()) == 10.0
+
+
+class TestStaleResumeGuard:
+    def test_queued_stale_wakeup_does_not_resume_twice(self, sim):
+        """An interrupt landing after a processed event queued its
+        resume callback must not let the stale callback drive the
+        generator at the *next* yield point."""
+        done = sim.event()
+        done.succeed("stale")
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(1)
+                value = yield done  # processed: resume goes via queue
+                log.append(("direct", value))
+            except Interrupt:
+                log.append("interrupted")
+            value = yield sim.timeout(3, value="clean")
+            log.append(("after", value))
+
+        def adversary():
+            yield sim.timeout(1)
+            proc.interrupt("bang")
+
+        # Adversary first so its interrupt is queued between the stale
+        # callback's enqueue and execution.
+        sim.spawn(adversary())
+        proc = sim.spawn(victim())
+        sim.run()
+        assert log == ["interrupted", ("after", "clean")]
+
+
+class TestRunUntilCompleteLimit:
+    def test_limit_trip_advances_clock_to_limit(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield sim.timeout(100)
+
+        def never_done():
+            yield sim.event()
+
+        proc = sim.spawn(never_done())
+        sim.spawn(forever())
+        with pytest.raises(SimulationError):
+            sim.run_until_complete(proc, limit=250)
+        assert sim.now == 250
