@@ -67,3 +67,12 @@ def test_ablation_batching(benchmark):
     # Sequential scales linearly with ops (within 20%).
     ratio = results[(8, "sequential")] / results[(1, "sequential")]
     assert 6.0 < ratio < 9.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_ablation_batching(NullBenchmark()),
+                             "ablation: request batching", prefix="ablation-batching"))

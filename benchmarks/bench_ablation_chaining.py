@@ -78,3 +78,12 @@ def test_ablation_chaining(benchmark):
     # Chaining collapses three dependent round trips into one.
     assert chained < unchained / 2
     assert unchained - chained > 2 * 5.0  # ≥ two RTTs saved
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_ablation_chaining(NullBenchmark()),
+                             "ablation: operation chaining", prefix="ablation-chaining"))

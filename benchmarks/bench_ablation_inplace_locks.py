@@ -120,3 +120,12 @@ def test_ablation_out_of_place_vs_locks(benchmark):
     gap_contended = (results[("lock-inplace", 1.2)][0]
                      / results[("cas-install", 1.2)][0])
     assert gap_contended > gap_uniform
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_ablation_out_of_place_vs_locks(NullBenchmark()),
+                             "ablation: out-of-place vs locks", prefix="ablation-inplace-locks"))

@@ -82,3 +82,12 @@ def test_ablation_redirect_target(benchmark):
     # The software stack barely cares where the scratch lives.
     sw_penalty = abs(results[("sw", False)] - results[("sw", True)])
     assert sw_penalty < 0.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_ablation_redirect_target(NullBenchmark()),
+                             "ablation: redirect target placement", prefix="ablation-redirect-sram"))

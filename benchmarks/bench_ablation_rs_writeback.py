@@ -81,3 +81,12 @@ def test_ablation_rs_read_writeback(benchmark):
     # the read latency) when replicas agree.
     assert optimized < baseline
     assert baseline / optimized > 1.6
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_ablation_rs_read_writeback(NullBenchmark()),
+                             "ablation: RS read writeback", prefix="ablation-rs-writeback"))

@@ -69,3 +69,12 @@ def test_ext_btree_lookup_modes(benchmark):
     assert datacenter["rdma"] > (height + 1) * 20.0
     # The saved round trip is worth a full datacenter RTT.
     assert (datacenter["rdma-cache"] - datacenter["prism-cache"]) > 15.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_ext_btree_lookup_modes(NullBenchmark()),
+                             "extension: B-tree lookup modes", prefix="ext-btree"))

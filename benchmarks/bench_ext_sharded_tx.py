@@ -74,3 +74,12 @@ def test_ext_sharded_tx_scaling(benchmark):
     # ...while per-transaction latency does not degrade (same 3
     # one-round-trip phases regardless of the shard count).
     assert results[4].mean_latency_us < 1.3 * results[1].mean_latency_us
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_ext_sharded_tx_scaling(NullBenchmark()),
+                             "extension: sharded TX scaling", prefix="ext-sharded-tx"))

@@ -62,3 +62,12 @@ def test_fig10_tx_contention(benchmark):
     # Conflicts (aborts) actually occurred at high skew.
     assert results[(ZIPFS[-1], "prism-sw")].aborts > 0
     assert results[(ZIPFS[-1], "farm-hw")].aborts > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_fig10_tx_contention(NullBenchmark()),
+                             "fig10: transaction contention", prefix="fig10"))

@@ -61,3 +61,12 @@ def test_fig1_primitive_latencies(benchmark):
     # Indirection costs the hardware NIC one extra PCIe round trip.
     extra = table[("indirect-read", "prism-hw")] - table[("read", "prism-hw")]
     assert 0.4 <= extra <= 1.6, extra
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_fig1_primitive_latencies(NullBenchmark()),
+                             "fig1: primitive latency microbench", prefix="fig1"))

@@ -50,3 +50,12 @@ def test_fig2_indirect_read_vs_network(benchmark):
     # BlueField only pays off once the network is slow enough.
     assert (results[("datacenter", "prism-bluefield")]
             < results[("datacenter", "2x-rdma")])
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_fig2_indirect_read_vs_network(NullBenchmark()),
+                             "fig2: indirect read vs network tier", prefix="fig2"))

@@ -54,3 +54,12 @@ def test_fig7_rs_contention(benchmark):
     assert abd[-1] > 1.8 * prism_flat[-1]
     # Lock retries actually happened (the degradation is real).
     assert results[(ZIPFS[-1], "abdlock-hw")].retries > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_fig7_rs_contention(NullBenchmark()),
+                             "fig7: replicated-store contention", prefix="fig7"))

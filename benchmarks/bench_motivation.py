@@ -38,3 +38,12 @@ def test_motivation_numbers(benchmark):
     # ...but chasing a pointer with two READs loses to a single RPC.
     assert two_reads > rpc
     assert 0.2 <= two_reads - rpc <= 2.5
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.bench.tracing import NullBenchmark, standalone_main
+
+    sys.exit(standalone_main(lambda: test_motivation_numbers(NullBenchmark()),
+                             "motivation: RPCs vs memory accesses", prefix="motivation"))

@@ -27,6 +27,17 @@ runs any point or sweep under a seeded fault plan — message loss /
 duplication / jitter, crash-stop windows, free-list starvation — with
 timeout + retry recovery on, and prints the goodput-under-faults
 report (see :mod:`repro.faults` and docs/faults.md).
+
+``--profile[=cprofile|sample]`` turns the lens on the simulator
+itself: every measured point is metered on the *wall* clock
+(events/sec, per-bucket host-time shares; see
+:mod:`repro.obs.hostprof`), the whole command is captured as either a
+cProfile session (``<command>.pstats`` + collapsed digest) or sampled
+collapsed stacks (``flame.<command>.txt``, flamegraph.pl-ready), and
+``--json`` records gain a ``host`` section (schema v3).
+``compare --host`` then diffs those host sections under wide bands
+that only gate gross (>2x) simulator slowdowns. Host profiling never
+touches the simulated clock — results stay bit-identical.
 """
 
 import argparse
@@ -47,12 +58,14 @@ from repro.bench.reporting import (
     UTILIZATION_HEADERS,
     curve_rows,
     print_faults,
+    print_host,
     print_primitives,
     print_table,
     utilization_rows,
 )
 from repro.net.topology import CLUSTER, DATACENTER, DIRECT, RACK
 from repro.obs import (
+    HostProfiler,
     PrimitiveCollector,
     Tracer,
     UtilizationCollector,
@@ -140,6 +153,15 @@ def _point_faults(title, result):
     return report
 
 
+def _point_host(title, hostprof):
+    """Print one point's host self-profile; returns it for ``--json``."""
+    if hostprof is None:
+        return None
+    report = hostprof.report()
+    print_host(f"{title} host self-profile", report)
+    return report
+
+
 def _point_primitives(title, primitives, tracer, result=None):
     """Report one point's primitive telemetry + critical-path profile.
 
@@ -168,20 +190,24 @@ def cmd_figure_sweep(args):
     telemetry = bool(args.json or args.util)
     points = []
     for flavor in flavors:
-        started = time.time()
+        started = time.perf_counter()
         results = []
         for n_clients in args.clients:
             collector = UtilizationCollector() if telemetry else None
             primitives = PrimitiveCollector() if args.primitives else None
             tracer = Tracer() if args.primitives else None
+            hostprof = HostProfiler() if args.profile else None
             result = run_point(kind, flavor,
                                workload_maker(args.keys, args.zipf),
                                n_clients, n_keys=args.keys,
                                tracer=tracer, utilization=collector,
-                               primitives=primitives, faults=args.faults)
+                               primitives=primitives, faults=args.faults,
+                               hostprof=hostprof)
             results.append(result)
             faults_report = _point_faults(
                 f"{args.command}: {flavor} c={n_clients}", result)
+            host_report = _point_host(
+                f"{args.command}: {flavor} c={n_clients}", hostprof)
             prim_report = profile = None
             if args.primitives:
                 prim_report, profile = _point_primitives(
@@ -208,9 +234,13 @@ def cmd_figure_sweep(args):
                                              bottleneck=verdict,
                                              primitives=prim_report,
                                              critpath=profile,
-                                             faults=faults_report))
+                                             faults=faults_report,
+                                             host=host_report))
+        wall_s = time.perf_counter() - started
+        events = sum(r.extra.get("events_executed", 0) for r in results)
+        rate = f", {events / wall_s:,.0f} events/s" if wall_s > 0 else ""
         print_table(f"{args.command}: {flavor} "
-                    f"({time.time() - started:.0f}s wall)",
+                    f"({wall_s:.1f}s wall{rate})",
                     CURVE_HEADERS, curve_rows(results))
     if args.json:
         from repro.bench.regress import make_record, write_record
@@ -236,11 +266,13 @@ def cmd_contention(args):
                     client_id=i))
             primitives = PrimitiveCollector() if args.primitives else None
             tracer = Tracer() if args.primitives else None
+            hostprof = HostProfiler() if args.profile else None
             result = run_point(kind, flavor, workload, args.clients[0],
                                n_keys=args.keys, measure_us=2000.0,
                                tracer=tracer, primitives=primitives,
-                               faults=args.faults)
+                               faults=args.faults, hostprof=hostprof)
             _point_faults(f"{args.command}: {flavor} zipf={zipf}", result)
+            _point_host(f"{args.command}: {flavor} zipf={zipf}", hostprof)
             if args.primitives:
                 _point_primitives(
                     f"{args.command}: {flavor} zipf={zipf}",
@@ -264,6 +296,7 @@ def cmd_point(args):
     collector = (UtilizationCollector()
                  if (args.json or args.util) else None)
     primitives = PrimitiveCollector() if args.primitives else None
+    hostprof = HostProfiler() if args.profile else None
     phases = None
     tracer = None
     if args.trace or args.primitives:
@@ -271,7 +304,8 @@ def cmd_point(args):
         result, phases, tracer = run_traced_point(
             args.kind, args.flavor, workload, args.clients[0],
             trace_path=args.trace, utilization=collector,
-            primitives=primitives, n_keys=args.keys, faults=args.faults)
+            primitives=primitives, n_keys=args.keys, faults=args.faults,
+            hostprof=hostprof)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
         print_breakdown(f"{args.kind}/{args.flavor}: phase breakdown "
@@ -281,10 +315,11 @@ def cmd_point(args):
     else:
         result = run_point(args.kind, args.flavor, workload, args.clients[0],
                            n_keys=args.keys, utilization=collector,
-                           faults=args.faults)
+                           faults=args.faults, hostprof=hostprof)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
     faults_report = _point_faults(f"{args.kind}/{args.flavor}", result)
+    host_report = _point_host(f"{args.kind}/{args.flavor}", hostprof)
     prim_report = profile = None
     if args.primitives:
         prim_report, profile = _point_primitives(
@@ -307,7 +342,8 @@ def cmd_point(args):
         point = make_point(args.kind, args.flavor, result, config,
                            phases=phases, utilization=util_report,
                            bottleneck=verdict, primitives=prim_report,
-                           critpath=profile, faults=faults_report)
+                           critpath=profile, faults=faults_report,
+                           host=host_report)
         write_record(make_record(f"point:{args.kind}/{args.flavor}", [point]),
                      args.json)
         print(f"result record written to {args.json}")
@@ -329,7 +365,7 @@ def cmd_compare(args):
         tolerances[metric] = float(frac)
     baseline = load_record(args.paths[0])
     run = load_record(args.paths[1])
-    report = compare(baseline, run, tolerances=tolerances)
+    report = compare(baseline, run, tolerances=tolerances, host=args.host)
     print(f"baseline: {args.paths[0]} "
           f"(commit {report['baseline_commit'] or 'unknown'})")
     print(f"run:      {args.paths[1]} "
@@ -390,6 +426,21 @@ def build_parser():
                         default=None,
                         help="(compare) override a tolerance band, e.g. "
                              "--tolerance p99_us=0.10 (repeatable)")
+    parser.add_argument("--profile", nargs="?", const="sample",
+                        choices=["cprofile", "sample"], default=None,
+                        metavar="MODE",
+                        help="profile the simulator itself on the host "
+                             "clock: meter events/sec and per-bucket wall "
+                             "time for every measured point, and capture "
+                             "the whole command as a cProfile session "
+                             "(cprofile: <command>.pstats + collapsed "
+                             "digest) or sampled collapsed stacks (sample, "
+                             "the default: flame.<command>.txt)")
+    parser.add_argument("--host", action="store_true",
+                        help="(compare) diff the records' host "
+                             "self-profiling sections (events/sec, wall "
+                             "seconds) under wide bands instead of the "
+                             "simulated metrics")
     return parser
 
 
@@ -409,7 +460,24 @@ def main(argv=None):
         "compare": cmd_compare,
         "list": cmd_list,
     }
-    result = dispatch[args.command](args)
+    if args.profile is None:
+        return int(dispatch[args.command](args) or 0)
+    # --profile: besides the per-point meters the commands install, an
+    # ambient profiler catches simulators built internally (fig1/fig2/
+    # motivation microbenches), and the whole command is captured as a
+    # cProfile session or sampled collapsed stacks.
+    from repro.obs.hostprof import activate, deactivate, profile_session
+    ambient = activate(HostProfiler())
+    session = profile_session(args.profile, prefix=args.command)
+    try:
+        with session:
+            result = dispatch[args.command](args)
+    finally:
+        deactivate(ambient)
+    if ambient.events:
+        print_host(f"{args.command}: host self-profile", ambient.report())
+    for path in session.paths:
+        print(f"profile artifact written to {path}")
     return int(result or 0)
 
 

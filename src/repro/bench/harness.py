@@ -188,7 +188,8 @@ def run_point(kind, flavor, workload_factory, n_clients,
               n_keys=DEFAULT_N_KEYS, value_size=DEFAULT_VALUE_SIZE,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
               n_client_hosts=N_CLIENT_HOSTS, tracer=None,
-              utilization=None, primitives=None, faults=None):
+              utilization=None, primitives=None, faults=None,
+              hostprof=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
@@ -206,8 +207,15 @@ def run_point(kind, flavor, workload_factory, n_clients,
     schedule, and free-list starvation, clients adopt the plan's retry
     policy, and the injector's counters land in
     ``result.extra["faults"]`` — the goodput-under-faults report.
+
+    ``hostprof`` takes a :class:`repro.obs.HostProfiler`: the run is
+    then metered on the *wall* clock (events/sec, per-bucket host-time
+    shares) and the profiler's report — purely host-side, never
+    affecting simulated timing — is the caller's to read afterwards.
     """
     sim = Simulator()
+    if hostprof is not None:
+        sim.set_hostprof(hostprof)
     if faults is not None:
         if isinstance(faults, str):
             from repro.faults import parse_faults
@@ -235,6 +243,10 @@ def run_point(kind, flavor, workload_factory, n_clients,
         driver.add_client(system.executor(index, host),
                           workload_factory(index))
     result = driver.run()
+    result.extra["events_executed"] = sim.events_executed
+    if hostprof is not None:
+        from repro.obs.hostprof import deactivate
+        deactivate(hostprof)
     if utilization is not None:
         utilization.finish(sim.now)
     if sim.faults is not None:

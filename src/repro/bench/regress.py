@@ -19,7 +19,7 @@ cross-platform float noise, and anything beyond them is a regression.
 
 Record shape (one file, one or more measurement points)::
 
-    {"schema": "repro-bench-result", "schema_version": 2,
+    {"schema": "repro-bench-result", "schema_version": 3,
      "benchmark": "fig3",
      "provenance": {"git_commit": ..., "python": ...},
      "points": [{"id": "kv/prism-sw/c4",
@@ -27,11 +27,19 @@ Record shape (one file, one or more measurement points)::
                  "phases": {...}, "utilization": [...],
                  "bottleneck": {...},
                  "primitives": {...}, "critpath": {...},
-                 "faults": {...}}]}
+                 "faults": {...}, "host": {...}}]}
 
 All optional point fields are additive; v1 records (without
-``primitives``/``critpath``) still load and compare — only metrics
-present in both baseline and tolerance bands are diffed.
+``primitives``/``critpath``) and v2 records (without ``host``) still
+load and compare — only metrics present in both baseline and
+tolerance bands are diffed.
+
+The ``host`` section is *wall-clock* self-profiling of the simulator
+itself (events/sec, host-time bucket shares; see
+:mod:`repro.obs.hostprof`) — it describes the machine the benchmark
+ran on, not the simulated system, so :func:`compare` only looks at it
+in ``host=True`` mode, under deliberately wide bands that gate gross
+(>2x) slowdowns of the simulator and nothing subtler.
 """
 
 import json
@@ -42,10 +50,12 @@ import subprocess
 SCHEMA = "repro-bench-result"
 #: v2 (additive over v1): points may carry "primitives" (the
 #: PrimitiveCollector snapshot) and "critpath" (the per-op
-#: critical-path profile); every v1 field is unchanged, so this tool
-#: still reads v1 baselines.
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: critical-path profile). v3 (additive over v2): points may carry
+#: "host" (wall-clock self-profiling of the simulator: events/sec,
+#: wall seconds, bucket shares). Every earlier field is unchanged, so
+#: this tool still reads v1 and v2 baselines.
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: per-metric tolerance bands: direction is which way is *better*;
 #: ``rel`` is the allowed relative degradation before failing
@@ -55,6 +65,15 @@ DEFAULT_TOLERANCES = {
     "p50_us": {"direction": "lower", "rel": 0.02},
     "p99_us": {"direction": "lower", "rel": 0.05},
     "ops": {"direction": "higher", "rel": 0.02},
+}
+
+#: bands for ``compare(host=True)``: host wall-clock numbers vary with
+#: load, CPU model, and interpreter version, so these are deliberately
+#: wide — half the events/sec or double the wall time (a 2x simulator
+#: slowdown) fails; anything subtler passes.
+HOST_TOLERANCES = {
+    "host.events_per_sec": {"direction": "higher", "rel": 0.5},
+    "host.wall_s": {"direction": "lower", "rel": 1.0},
 }
 
 
@@ -88,7 +107,8 @@ def result_metrics(result):
 
 
 def make_point(kind, flavor, result, config, phases=None, utilization=None,
-               bottleneck=None, primitives=None, critpath=None, faults=None):
+               bottleneck=None, primitives=None, critpath=None, faults=None,
+               host=None):
     """One measurement point: config + metrics (+ optional telemetry).
 
     ``config`` must contain everything needed to reproduce the point
@@ -115,6 +135,8 @@ def make_point(kind, flavor, result, config, phases=None, utilization=None,
         point["critpath"] = critpath
     if faults is not None:
         point["faults"] = faults
+    if host is not None:
+        point["host"] = host
     return point
 
 
@@ -185,14 +207,21 @@ def _check_metric(metric, base, run, band):
     return finding
 
 
-def compare(baseline, run, tolerances=None):
+def compare(baseline, run, tolerances=None, host=False):
     """Diff two result records; returns a report dict.
 
     ``report["ok"]`` is False when any baseline point is missing from
     the run, any point's config drifted, or any metric degraded beyond
     its tolerance band. Improvements never fail.
+
+    ``host=True`` compares the *host* self-profiling sections instead
+    of the simulated metrics, under :data:`HOST_TOLERANCES` — wide
+    bands that only gate gross (>2x) simulator slowdowns. A baseline
+    point without a ``host`` section (any v1/v2 record, or a run made
+    without ``--profile``) is skipped silently: old baselines are not
+    errors.
     """
-    bands = dict(DEFAULT_TOLERANCES)
+    bands = dict(HOST_TOLERANCES if host else DEFAULT_TOLERANCES)
     if tolerances:
         for metric, rel in tolerances.items():
             if metric not in bands:
@@ -219,6 +248,21 @@ def compare(baseline, run, tolerances=None):
                 "point": pid, "metric": f"config:{','.join(drifted)}",
                 "status": "config-drift", "baseline": None, "run": None,
                 "delta_rel": None, "limit_rel": None, "direction": None})
+            continue
+        if host:
+            base_host = base_point.get("host")
+            if base_host is None:
+                continue
+            run_host = run_point.get("host") or {}
+            for metric, band in bands.items():
+                key = metric.split(".", 1)[1]
+                if key not in base_host:
+                    continue
+                finding = _check_metric(metric, base_host[key],
+                                        run_host.get(key, float("nan")),
+                                        band)
+                finding["point"] = pid
+                findings.append(finding)
             continue
         for metric, band in bands.items():
             if metric not in base_point["metrics"]:

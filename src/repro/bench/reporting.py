@@ -234,6 +234,39 @@ def print_faults(title, report, out=print):
     out("")
 
 
+def host_report_lines(report):
+    """Human-readable simulator self-profile summary.
+
+    ``report`` is :meth:`repro.obs.HostProfiler.report` output — wall
+    clock only, so these numbers describe the machine running the
+    simulation, never the simulated system.
+    """
+    lines = []
+    stride = report.get("stride", 1)
+    sampled = "" if stride == 1 else f" (sampling 1/{stride} events)"
+    lines.append(
+        f"host: {report['events']} events in {report['wall_s']:.3f}s wall "
+        f"= {report['events_per_sec']:,.0f} events/s, "
+        f"{report['resumes_per_sec']:,.0f} resumes/s{sampled}")
+    buckets = report.get("buckets", {})
+    parts = [f"{name} {entry['share']:.1%}"
+             for name, entry in buckets.items() if entry["seconds"] > 0]
+    if parts:
+        lines.append(
+            "  attribution: " + ", ".join(parts)
+            + f" (attributed {report['attributed_share']:.1%} of wall)")
+    return lines
+
+
+def print_host(title, report, out=print):
+    """Print the host self-profile as a titled block."""
+    out("")
+    out(f"== {title} ==")
+    for line in host_report_lines(report):
+        out(line)
+    out("")
+
+
 def low_load_latency(results):
     """Mean latency of the single-client point."""
     for r in results:

@@ -24,11 +24,13 @@ from repro.bench.harness import run_point
 from repro.bench.reporting import (
     UTILIZATION_HEADERS,
     print_faults,
+    print_host,
     print_primitives,
     print_table,
     utilization_rows,
 )
 from repro.obs import (
+    HostProfiler,
     PrimitiveCollector,
     Tracer,
     UtilizationCollector,
@@ -161,14 +163,33 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                              "seed=3,drop=0.01 (repro.faults.parse_faults "
                              "syntax); prints the goodput-under-faults "
                              "report")
+    parser.add_argument("--profile", nargs="?", const="sample",
+                        choices=["cprofile", "sample"], default=None,
+                        metavar="MODE",
+                        help="profile the simulator itself on the host "
+                             "clock: meter events/sec and per-bucket wall "
+                             "time, and capture the run as a cProfile "
+                             "session (cprofile) or sampled collapsed "
+                             "stacks (sample, the default)")
     args = parser.parse_args(argv)
 
     collector = UtilizationCollector() if (args.json or args.util) else None
     primitives = PrimitiveCollector() if args.primitives else None
-    result, report, tracer = run_traced_point(
-        kind, flavor, workload_maker(args.keys), args.clients,
-        trace_path=args.trace, utilization=collector, primitives=primitives,
-        n_keys=args.keys, faults=args.faults, **point_kwargs)
+    hostprof = HostProfiler() if args.profile else None
+    session = None
+    if args.profile:
+        from repro.obs.hostprof import profile_session
+        session = profile_session(
+            args.profile, prefix=benchmark or f"{kind}-{flavor}").start()
+    try:
+        result, report, tracer = run_traced_point(
+            kind, flavor, workload_maker(args.keys), args.clients,
+            trace_path=args.trace, utilization=collector,
+            primitives=primitives, n_keys=args.keys, faults=args.faults,
+            hostprof=hostprof, **point_kwargs)
+    finally:
+        if session is not None:
+            session.stop()
     print_table(title, ["clients", "ops", "Mops/s", "mean_us", "p99_us"],
                 [[result.clients, result.ops,
                   round(result.throughput_ops_per_sec / 1e6, 3),
@@ -204,6 +225,10 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
         weighted = check_critpath(result, profile)
         print(f"critical-path sum {weighted:.3f} µs == mean latency "
               f"{result.mean_latency_us:.3f} µs (exact)")
+    host_report = None
+    if hostprof is not None:
+        host_report = hostprof.report()
+        print_host(f"{title}: host self-profile", host_report)
     if args.json:
         from repro.bench.regress import make_point, make_record, write_record
         config = {"kind": kind, "flavor": flavor, "clients": args.clients,
@@ -216,9 +241,64 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                            utilization=util_report,
                            bottleneck=analyze(util_report),
                            primitives=primitives_report, critpath=profile,
-                           faults=faults_report)
+                           faults=faults_report, host=host_report)
         write_record(make_record(benchmark or title, [point]), args.json)
         print(f"result record written to {args.json}")
     if args.trace:
         print(f"chrome trace written to {args.trace}")
+    if session is not None:
+        for path in session.paths:
+            print(f"profile artifact written to {path}")
+    return 0
+
+
+class NullBenchmark:
+    """pytest-benchmark stand-in for ``__main__`` runs.
+
+    The benchmark scripts' test functions take the pytest-benchmark
+    fixture; running one outside pytest only needs ``pedantic`` to
+    call the target once and hand back its result — no timing, no
+    stats. Lets ``standalone_main`` drive a test body unchanged.
+    """
+
+    def pedantic(self, target, args=(), kwargs=None, **_options):
+        return target(*args, **(kwargs or {}))
+
+    def __call__(self, target, *args, **kwargs):
+        return target(*args, **kwargs)
+
+
+def standalone_main(run, title, prefix=None, argv=None):
+    """Minimal ``__main__`` for benchmark scripts without sweep plumbing.
+
+    ``run()`` executes the benchmark and prints its own tables. The
+    only flag is ``--profile[=cprofile|sample]``: an ambient
+    :class:`~repro.obs.HostProfiler` meters every simulator the script
+    builds internally, the whole run is captured as a cProfile session
+    or sampled collapsed stacks, and the host self-profile is printed
+    after the benchmark's own output.
+    """
+    parser = argparse.ArgumentParser(description=title)
+    parser.add_argument("--profile", nargs="?", const="sample",
+                        choices=["cprofile", "sample"], default=None,
+                        metavar="MODE",
+                        help="profile the simulator itself on the host "
+                             "clock (events/sec, bucket shares, cProfile "
+                             "or sampled collapsed stacks)")
+    args = parser.parse_args(argv)
+    if args.profile is None:
+        run()
+        return 0
+    from repro.obs.hostprof import activate, deactivate, profile_session
+    meter = activate(HostProfiler())
+    session = profile_session(args.profile, prefix=prefix or "bench")
+    try:
+        with session:
+            run()
+    finally:
+        deactivate(meter)
+    if meter.events:
+        print_host(f"{title}: host self-profile", meter.report())
+    for path in session.paths:
+        print(f"profile artifact written to {path}")
     return 0

@@ -6,6 +6,7 @@ that client-side and server-side views of a structure can never drift
 apart.
 """
 
+from repro.obs import hostprof as _hostprof
 from repro.hw.memory import POINTER_SIZE
 
 U16 = 2
@@ -13,27 +14,70 @@ U32 = 4
 U64 = 8
 BOUNDED_PTR_SIZE = POINTER_SIZE + U64  # ⟨ptr, bound⟩ struct of §3.1
 
+# Host-profiling: the public codec entry points charge their wall time
+# to the "codec" bucket of the ambient profiler (repro.obs.hostprof).
+# Internals call the _raw helpers so a profiled pack() is sampled once,
+# not once per field. With no profiler active (the default) each hook
+# is a single module-attribute None check.
+
+
+def _pack_uint_raw(value, width):
+    return value.to_bytes(width, "little")
+
+
+def _unpack_uint_raw(data, offset, width):
+    return int.from_bytes(data[offset:offset + width], "little")
+
 
 def pack_uint(value, width):
     """Little-endian unsigned encode; raises if it does not fit."""
-    return value.to_bytes(width, "little")
+    hp = _hostprof.ACTIVE
+    if hp is None:
+        return value.to_bytes(width, "little")
+    hp.enter("codec")
+    try:
+        return value.to_bytes(width, "little")
+    finally:
+        hp.exit()
 
 
 def unpack_uint(data, offset=0, width=U64):
     """Little-endian unsigned decode from ``data[offset:offset+width]``."""
-    return int.from_bytes(data[offset:offset + width], "little")
+    hp = _hostprof.ACTIVE
+    if hp is None:
+        return int.from_bytes(data[offset:offset + width], "little")
+    hp.enter("codec")
+    try:
+        return int.from_bytes(data[offset:offset + width], "little")
+    finally:
+        hp.exit()
 
 
 def pack_bounded_ptr(addr, bound):
     """Encode the ⟨ptr, bound⟩ struct used by bounded indirect ops."""
-    return pack_uint(addr, POINTER_SIZE) + pack_uint(bound, U64)
+    hp = _hostprof.ACTIVE
+    if hp is not None:
+        hp.enter("codec")
+    try:
+        return (_pack_uint_raw(addr, POINTER_SIZE)
+                + _pack_uint_raw(bound, U64))
+    finally:
+        if hp is not None:
+            hp.exit()
 
 
 def unpack_bounded_ptr(data, offset=0):
     """Decode a ⟨ptr, bound⟩ struct; returns (addr, bound)."""
-    addr = unpack_uint(data, offset, POINTER_SIZE)
-    bound = unpack_uint(data, offset + POINTER_SIZE, U64)
-    return addr, bound
+    hp = _hostprof.ACTIVE
+    if hp is not None:
+        hp.enter("codec")
+    try:
+        addr = _unpack_uint_raw(data, offset, POINTER_SIZE)
+        bound = _unpack_uint_raw(data, offset + POINTER_SIZE, U64)
+        return addr, bound
+    finally:
+        if hp is not None:
+            hp.exit()
 
 
 class FieldStruct:
@@ -69,22 +113,36 @@ class FieldStruct:
 
     def pack(self, **values):
         """Encode the struct; variable tail defaults to b''."""
-        parts = []
-        for name, width in self.fields:
-            value = values.get(name, 0 if width is not None else b"")
-            if width is None:
-                parts.append(bytes(value))
-            else:
-                parts.append(pack_uint(value, width))
-        return b"".join(parts)
+        hp = _hostprof.ACTIVE
+        if hp is not None:
+            hp.enter("codec")
+        try:
+            parts = []
+            for name, width in self.fields:
+                value = values.get(name, 0 if width is not None else b"")
+                if width is None:
+                    parts.append(bytes(value))
+                else:
+                    parts.append(_pack_uint_raw(value, width))
+            return b"".join(parts)
+        finally:
+            if hp is not None:
+                hp.exit()
 
     def unpack(self, data):
         """Decode into a dict (variable tail under its field name)."""
-        values = {}
-        for name, width in self.fields:
-            offset = self._offsets[name]
-            if width is None:
-                values[name] = bytes(data[offset:])
-            else:
-                values[name] = unpack_uint(data, offset, width)
-        return values
+        hp = _hostprof.ACTIVE
+        if hp is not None:
+            hp.enter("codec")
+        try:
+            values = {}
+            for name, width in self.fields:
+                offset = self._offsets[name]
+                if width is None:
+                    values[name] = bytes(data[offset:])
+                else:
+                    values[name] = _unpack_uint_raw(data, offset, width)
+            return values
+        finally:
+            if hp is not None:
+                hp.exit()

@@ -6,6 +6,8 @@ these arrays. Addresses are plain integers; address 0 is reserved as
 the NULL pointer so stored pointers can be validity-checked.
 """
 
+from repro.obs import hostprof as _hostprof
+
 POINTER_SIZE = 8
 NULL_PTR = 0
 
@@ -71,14 +73,33 @@ class HostMemory:
     # -- integer convenience ------------------------------------------------
 
     def read_uint(self, addr, width=POINTER_SIZE):
-        """Read an unsigned little-endian integer of ``width`` bytes."""
-        return int.from_bytes(self.read(addr, width), "little")
+        """Read an unsigned little-endian integer of ``width`` bytes.
+
+        Integer codecs charge the ambient host profiler's "codec"
+        bucket (a single None check when profiling is off).
+        """
+        hp = _hostprof.ACTIVE
+        if hp is None:
+            return int.from_bytes(self.read(addr, width), "little")
+        hp.enter("codec")
+        try:
+            return int.from_bytes(self.read(addr, width), "little")
+        finally:
+            hp.exit()
 
     def write_uint(self, addr, value, width=POINTER_SIZE):
         """Write an unsigned little-endian integer of ``width`` bytes."""
-        if value < 0 or value >= 1 << (8 * width):
-            raise MemoryError_(f"value {value} does not fit in {width} bytes")
-        self.write(addr, value.to_bytes(width, "little"))
+        hp = _hostprof.ACTIVE
+        if hp is not None:
+            hp.enter("codec")
+        try:
+            if value < 0 or value >= 1 << (8 * width):
+                raise MemoryError_(
+                    f"value {value} does not fit in {width} bytes")
+            self.write(addr, value.to_bytes(width, "little"))
+        finally:
+            if hp is not None:
+                hp.exit()
 
     def read_ptr(self, addr):
         """Read a stored pointer (8-byte unsigned)."""

@@ -99,7 +99,12 @@ class Fabric:
             return message
         # Fault point: the message has left the TX port (the sender paid
         # serialization either way); it may now vanish, fork, or lag.
+        hp = self.sim.hostprof
+        if hp is not None:
+            hp.enter("hooks.faults")
         fate = faults.on_message(message)
+        if hp is not None:
+            hp.exit()
         if fate.drop:
             return message
         self.sim.spawn(self._deliver(message, fate.delay_us),

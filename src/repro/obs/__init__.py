@@ -26,6 +26,10 @@ Three pieces, all driven by the simulated clock:
 * :mod:`repro.obs.critpath` — per-request critical-path attribution
   over span trees: which phase/span actually bounded end-to-end
   latency, vs slack the request never waited on.
+* :mod:`repro.obs.hostprof` — the one layer on the *wall* clock:
+  host-side self-profiling of the simulator itself (events/sec,
+  per-bucket host-time attribution, cProfile/collapsed-stack export);
+  install a :class:`HostProfiler` via ``sim.set_hostprof``.
 """
 
 from repro.obs.bottleneck import (
@@ -40,6 +44,13 @@ from repro.obs.breakdown import (
     phase_attribution,
 )
 from repro.obs.chrome_trace import to_chrome_events, write_chrome_trace
+from repro.obs.hostprof import (
+    BUCKETS as HOST_BUCKETS,
+    HostProfiler,
+    ProfileSession,
+    StackSampler,
+    profile_session,
+)
 from repro.obs.critpath import (
     critical_attribution,
     critical_contributors,
@@ -59,6 +70,7 @@ from repro.obs.timeline import (
 from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "HOST_BUCKETS",
     "PHASES",
     "SATURATION_THRESHOLD",
     "analyze",
@@ -71,6 +83,7 @@ __all__ = [
     "critpath_rows",
     "format_analysis",
     "phase_attribution",
+    "profile_session",
     "slack_us",
     "to_chrome_events",
     "write_chrome_trace",
@@ -79,13 +92,16 @@ __all__ = [
     "DepthMonitor",
     "Gauge",
     "Histogram",
+    "HostProfiler",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
     "PrimitiveCollector",
+    "ProfileSession",
     "ResourceMonitor",
     "Span",
+    "StackSampler",
     "TopK",
     "Tracer",
     "UtilizationCollector",

@@ -10,6 +10,7 @@ process yields must be an :class:`~repro.sim.events.Event` (or another
 import heapq
 from itertools import count
 
+from repro.obs import hostprof as _hostprof
 from repro.obs.trace import NULL_TRACER
 from repro.sim.events import (
     AllOf,
@@ -98,24 +99,33 @@ class Process(Event):
             self._step(lambda: self._generator.throw(event.value))
 
     def _step(self, advance):
+        # Host-profiling hook: resume accounting (off => one None check).
+        hp = self.sim.hostprof
+        if hp is not None:
+            hp.resume_begin()
         try:
-            target = advance()
-        except StopIteration as stop:
-            self.succeed(getattr(stop, "value", None))
-            self.sim.tracer.process_finished(self)
-            return
-        except Exception as exc:
-            self._fail_or_crash(exc)
-            return
-        if isinstance(target, Event):
-            self._waiting_on = target
-            target.add_callback(self._resume)
-        else:
-            message = (
-                f"process {self.name!r} yielded {target!r}; processes may "
-                "only yield Event instances (use 'yield from' to call "
-                "sub-generators)")
-            self._step(lambda: self._generator.throw(SimulationError(message)))
+            try:
+                target = advance()
+            except StopIteration as stop:
+                self.succeed(getattr(stop, "value", None))
+                self.sim.tracer.process_finished(self)
+                return
+            except Exception as exc:
+                self._fail_or_crash(exc)
+                return
+            if isinstance(target, Event):
+                self._waiting_on = target
+                target.add_callback(self._resume)
+            else:
+                message = (
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    "may only yield Event instances (use 'yield from' to "
+                    "call sub-generators)")
+                self._step(
+                    lambda: self._generator.throw(SimulationError(message)))
+        finally:
+            if hp is not None:
+                hp.exit()
 
     def _fail_or_crash(self, exc):
         self.fail(exc)
@@ -151,6 +161,9 @@ class Simulator:
         self.utilization = None
         self.primitives = None
         self.faults = None
+        # Adopt the ambient host profiler, if one is active (None in
+        # normal runs; standalone --profile scripts activate one).
+        self.hostprof = _hostprof.ACTIVE
         self.events_executed = 0
 
     def set_tracer(self, tracer):
@@ -194,6 +207,22 @@ class Simulator:
                     else FaultInjector(plan))
         self.faults = injector.bind(self)
         return self.faults
+
+    def set_hostprof(self, profiler):
+        """Install a host-side self-profiler; returns it for chaining.
+
+        Unlike the simulated-time collectors, a
+        :class:`~repro.obs.hostprof.HostProfiler` measures the *wall
+        clock* cost of running this simulator (events/sec, per-bucket
+        host-time attribution). It only reads ``time.perf_counter()``
+        — never the simulated clock or the queue — so simulated
+        results are bit-identical with or without it. Also makes the
+        profiler ambient (:func:`repro.obs.hostprof.activate`) so the
+        codec hooks, which have no simulator handle, charge to it.
+        """
+        self.hostprof = profiler
+        _hostprof.activate(profiler)
+        return profiler
 
     @property
     def now(self):
@@ -287,6 +316,8 @@ class Simulator:
         A process that dies with an unhandled exception (and no waiter
         observing its completion) re-raises here at the end of the run.
         """
+        if self.hostprof is not None:
+            return self._run_profiled(until)
         while self._queue:
             when, _seq, callback = self._queue[0]
             if until is not None and when > until:
@@ -302,6 +333,37 @@ class Simulator:
         self._raise_orphan_failures()
         return self._now
 
+    def _run_profiled(self, until):
+        """:meth:`run` with the host-profiler's wall-clock meters on.
+
+        A separate loop so the unprofiled hot path stays exactly as it
+        was; the simulated schedule is identical — the profiler only
+        reads ``perf_counter`` around the same callbacks.
+        """
+        hp = self.hostprof
+        hp.run_begin()
+        try:
+            while self._queue:
+                when, _seq, callback = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                self.events_executed += 1
+                hp.event_begin()
+                try:
+                    callback()
+                finally:
+                    hp.event_end()
+            else:
+                if until is not None:
+                    self._now = until
+        finally:
+            hp.run_end()
+        self._raise_orphan_failures()
+        return self._now
+
     def run_until_complete(self, process, limit=None):
         """Run until ``process`` finishes; return its value.
 
@@ -311,15 +373,18 @@ class Simulator:
         advances to ``limit`` — the same contract as :meth:`run` with
         ``until`` — rather than sticking at the last executed event.
         """
-        while self._queue and not process.processed:
-            when, _seq, callback = self._queue[0]
-            if limit is not None and when > limit:
-                self._now = limit
-                break
-            heapq.heappop(self._queue)
-            self._now = when
-            self.events_executed += 1
-            callback()
+        if self.hostprof is not None:
+            self._drain_profiled(process, limit)
+        else:
+            while self._queue and not process.processed:
+                when, _seq, callback = self._queue[0]
+                if limit is not None and when > limit:
+                    self._now = limit
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                self.events_executed += 1
+                callback()
         self._raise_orphan_failures()
         if not process.triggered:
             raise SimulationError(
@@ -328,6 +393,27 @@ class Simulator:
         if not process.ok:
             raise process.value
         return process.value
+
+    def _drain_profiled(self, process, limit):
+        """The :meth:`run_until_complete` loop under the host profiler."""
+        hp = self.hostprof
+        hp.run_begin()
+        try:
+            while self._queue and not process.processed:
+                when, _seq, callback = self._queue[0]
+                if limit is not None and when > limit:
+                    self._now = limit
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                self.events_executed += 1
+                hp.event_begin()
+                try:
+                    callback()
+                finally:
+                    hp.event_end()
+        finally:
+            hp.run_end()
 
     def _raise_orphan_failures(self):
         for process, exc in self._failed_processes:

@@ -114,21 +114,36 @@ class Resource:
         stops waiting (interrupt, ``with_timeout``) withdraws its claim
         instead of leaking the slot it queued for.
         """
-        event = AcquireEvent(self)
-        if self._in_use < self.capacity:
-            self._account()
-            self._in_use += 1
-            self._total_acquired += 1
-            if self.monitor is not None:
-                self.monitor.on_request(queued=False)
-                self.monitor.on_grant(0.0, from_queue=False)
-            event.succeed(self)
-        else:
-            self._waiters.append(event)
-            if self.monitor is not None:
-                self.monitor.on_request(queued=True)
-                self._wait_since.append(self.sim.now)
-        return event
+        hp = self.sim.hostprof
+        if hp is not None:
+            hp.enter("resource")
+        try:
+            event = AcquireEvent(self)
+            if self._in_use < self.capacity:
+                self._account()
+                self._in_use += 1
+                self._total_acquired += 1
+                if self.monitor is not None:
+                    if hp is not None:
+                        hp.enter("hooks.obs")
+                    self.monitor.on_request(queued=False)
+                    self.monitor.on_grant(0.0, from_queue=False)
+                    if hp is not None:
+                        hp.exit()
+                event.succeed(self)
+            else:
+                self._waiters.append(event)
+                if self.monitor is not None:
+                    if hp is not None:
+                        hp.enter("hooks.obs")
+                    self.monitor.on_request(queued=True)
+                    self._wait_since.append(self.sim.now)
+                    if hp is not None:
+                        hp.exit()
+            return event
+        finally:
+            if hp is not None:
+                hp.exit()
 
     def release(self):
         """Free a slot, handing it to the oldest *live* waiter if any.
@@ -137,27 +152,46 @@ class Resource:
         eagerly, so this is belt-and-braces for a waiter cancelled in
         the same kernel step).
         """
-        if self._in_use <= 0:
-            raise SimulationError(f"{self.name}: release without acquire")
-        while self._waiters:
-            event = self._waiters.popleft()
-            waited_since = (self._wait_since.popleft()
-                            if self.monitor is not None else None)
-            if event.cancelled or event.triggered:
+        hp = self.sim.hostprof
+        if hp is not None:
+            hp.enter("resource")
+        try:
+            if self._in_use <= 0:
+                raise SimulationError(f"{self.name}: release without acquire")
+            while self._waiters:
+                event = self._waiters.popleft()
+                waited_since = (self._wait_since.popleft()
+                                if self.monitor is not None else None)
+                if event.cancelled or event.triggered:
+                    if self.monitor is not None:
+                        if hp is not None:
+                            hp.enter("hooks.obs")
+                        self.monitor.on_cancel()
+                        if hp is not None:
+                            hp.exit()
+                    continue
+                self._total_acquired += 1
                 if self.monitor is not None:
-                    self.monitor.on_cancel()
-                continue
-            self._total_acquired += 1
+                    if hp is not None:
+                        hp.enter("hooks.obs")
+                    self.monitor.on_release()
+                    self.monitor.on_grant(self.sim.now - waited_since,
+                                          from_queue=True)
+                    if hp is not None:
+                        hp.exit()
+                event.succeed(self)
+                return
+            self._account()
+            self._in_use -= 1
             if self.monitor is not None:
+                if hp is not None:
+                    hp.enter("hooks.obs")
                 self.monitor.on_release()
-                self.monitor.on_grant(self.sim.now - waited_since,
-                                      from_queue=True)
-            event.succeed(self)
-            return
-        self._account()
-        self._in_use -= 1
-        if self.monitor is not None:
-            self.monitor.on_release()
+                if hp is not None:
+                    hp.exit()
+        finally:
+            if hp is not None:
+                hp.exit()
 
     def _waiter_cancelled(self, event):
         """An acquire's waiter went away (interrupt or timeout race)."""
@@ -224,13 +258,20 @@ class Store:
         eagerly; the guard covers a getter cancelled within the same
         kernel step) — waking one would make the item vanish.
         """
-        while self._getters:
-            getter = self._getters.popleft()
-            if getter.cancelled or getter.triggered:
-                continue
-            getter.succeed(item)
-            return
-        self._items.append(item)
+        hp = self.sim.hostprof
+        if hp is not None:
+            hp.enter("resource")
+        try:
+            while self._getters:
+                getter = self._getters.popleft()
+                if getter.cancelled or getter.triggered:
+                    continue
+                getter.succeed(item)
+                return
+            self._items.append(item)
+        finally:
+            if hp is not None:
+                hp.exit()
 
     def get(self):
         """Event that fires with the next item (FIFO).
@@ -239,12 +280,19 @@ class Store:
         getter leaves the queue, and an item already handed to it is
         returned to the front of the buffer instead of being lost.
         """
-        event = GetEvent(self)
-        if self._items:
-            event.succeed(self._items.popleft())
-        else:
-            self._getters.append(event)
-        return event
+        hp = self.sim.hostprof
+        if hp is not None:
+            hp.enter("resource")
+        try:
+            event = GetEvent(self)
+            if self._items:
+                event.succeed(self._items.popleft())
+            else:
+                self._getters.append(event)
+            return event
+        finally:
+            if hp is not None:
+                hp.exit()
 
     def _getter_cancelled(self, event):
         """A blocked getter went away (interrupt or timeout race)."""

@@ -1,5 +1,8 @@
 """CLI smoke tests (small scales)."""
 
+import json
+import os
+
 import pytest
 
 from repro.bench.cli import build_parser, main
@@ -63,3 +66,98 @@ def test_fig3_tiny_sweep(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["nope"])
+
+
+def test_parser_profile_modes():
+    parser = build_parser()
+    assert parser.parse_args(["point"]).profile is None
+    assert parser.parse_args(["point", "--profile"]).profile == "sample"
+    assert parser.parse_args(
+        ["point", "--profile=cprofile"]).profile == "cprofile"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["point", "--profile", "perf"])
+
+
+def test_point_profile_writes_v3_host_record(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    record = tmp_path / "run.json"
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--json", str(record), "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "host self-profile" in out
+    assert "events/s" in out
+    assert "profile artifact written" in out
+    data = json.loads(record.read_text())
+    assert data["schema_version"] == 3
+    host = data["points"][0]["host"]
+    assert host["events_per_sec"] > 0
+    assert host["wall_s"] > 0
+    shares = sum(entry["share"] for entry in host["buckets"].values())
+    assert 0 < shares <= 1.0 + 1e-9
+    assert os.path.exists(tmp_path / "flame.point.txt")
+
+
+def test_point_profile_cprofile_artifacts(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--profile=cprofile"]) == 0
+    capsys.readouterr()
+    assert os.path.exists(tmp_path / "point.pstats")
+    assert os.path.exists(tmp_path / "flame.point.txt")
+
+
+def test_record_identical_apart_from_host_section(tmp_path):
+    # The host section is the ONLY difference --profile makes to the
+    # record: wall-clock numbers never leak into simulated metrics.
+    # Fresh interpreter per run — in-process back-to-back runs differ
+    # in global channel-name counters, which is not what users diff.
+    import subprocess
+    import sys
+
+    import repro
+    env = dict(os.environ,
+               PYTHONPATH=os.path.dirname(os.path.dirname(repro.__file__)))
+    base = [sys.executable, "-m", "repro.bench.cli", "point",
+            "--kind", "kv", "--flavor", "prism-sw",
+            "--clients", "2", "--keys", "200"]
+    plain, profiled = tmp_path / "plain.json", tmp_path / "prof.json"
+    for extra in ([f"--json={plain}"], [f"--json={profiled}", "--profile"]):
+        proc = subprocess.run(base + extra, env=env, cwd=tmp_path,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+    expected = json.loads(plain.read_text())
+    observed = json.loads(profiled.read_text())
+    del observed["points"][0]["host"]
+    assert observed == expected
+
+
+def test_sweep_wall_line_reports_events_per_sec(capsys):
+    assert main(["fig3", "--clients", "1", "--keys", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "s wall" in out
+    assert "events/s" in out
+
+
+def test_compare_host_flag(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    record = tmp_path / "host.json"
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--json", str(record), "--profile"]) == 0
+    assert main(["compare", str(record), str(record), "--host"]) == 0
+    out = capsys.readouterr().out
+    assert "host.events_per_sec" in out
+    assert "compare: PASS" in out
+
+
+def test_fig1_profile_meters_internal_simulators(tmp_path, monkeypatch,
+                                                 capsys):
+    # fig1 builds its simulators inside the microbench helpers; the
+    # ambient profiler must still meter them.
+    monkeypatch.chdir(tmp_path)
+    assert main(["fig1", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "host self-profile" in out
+    assert os.path.exists(tmp_path / "flame.fig1.txt")

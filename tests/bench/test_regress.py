@@ -9,6 +9,7 @@ from repro.bench.cli import main
 from repro.bench.harness import run_point
 from repro.bench.regress import (
     DEFAULT_TOLERANCES,
+    HOST_TOLERANCES,
     SCHEMA,
     SCHEMA_VERSION,
     compare,
@@ -263,6 +264,122 @@ class TestSchemaV2:
 
     def test_ops_band_present(self):
         assert DEFAULT_TOLERANCES["ops"]["direction"] == "higher"
+
+
+def _host_section(events_per_sec=100_000.0, wall_s=0.5):
+    return {
+        "wall_s": wall_s,
+        "runs": 1,
+        "events": int(events_per_sec * wall_s),
+        "resumes": int(events_per_sec * wall_s / 2),
+        "events_per_sec": events_per_sec,
+        "resumes_per_sec": events_per_sec / 2,
+        "stride": 1,
+        "buckets": {"dispatch": {"seconds": wall_s / 4, "share": 0.25}},
+        "attributed_share": 0.25,
+    }
+
+
+class TestSchemaV3:
+    """v3 is additive: points may carry a wall-clock ``host`` section."""
+
+    @pytest.fixture
+    def config(self):
+        return {"kind": "kv", "flavor": "prism-sw", "clients": 2,
+                "keys": 200, "seed": 11}
+
+    @pytest.fixture
+    def v3_record(self, small_result, config):
+        point = make_point("kv", "prism-sw", small_result, config,
+                           host=_host_section())
+        return make_record("test", [point])
+
+    def test_current_version_is_v3(self):
+        assert SCHEMA_VERSION == 3
+
+    def test_host_field_is_optional(self, small_result, config):
+        bare = make_point("kv", "prism-sw", small_result, config)
+        assert "host" not in bare
+        rich = make_point("kv", "prism-sw", small_result, config,
+                          host=_host_section())
+        assert rich["host"]["events_per_sec"] == 100_000.0
+
+    def test_v3_round_trip(self, v3_record, tmp_path):
+        path = tmp_path / "v3.json"
+        write_record(v3_record, path)
+        loaded = load_record(path)
+        assert loaded["schema_version"] == 3
+        assert loaded["points"][0]["host"]["wall_s"] == 0.5
+
+    def test_v3_compares_against_v1_and_v2_baselines(
+            self, small_result, config, v3_record):
+        for version in (1, 2):
+            baseline = make_record(
+                "test", [make_point("kv", "prism-sw", small_result, config)])
+            baseline["schema_version"] = version
+            report = compare(baseline, v3_record)
+            assert report["ok"], version
+
+    def test_host_self_compare_passes(self, v3_record):
+        report = compare(v3_record, v3_record, host=True)
+        assert report["ok"]
+        assert {f["metric"] for f in report["findings"]} == \
+            set(HOST_TOLERANCES)
+
+    def test_host_mode_ignores_simulated_metrics(self, v3_record):
+        worse = _degrade(v3_record, "throughput_ops_per_sec", 0.5)
+        assert compare(v3_record, worse, host=True)["ok"]
+        assert not compare(v3_record, worse)["ok"]
+
+    def test_gross_host_slowdown_fails(self, small_result, config,
+                                       v3_record):
+        slow = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            host=_host_section(events_per_sec=40_000.0, wall_s=1.25))])
+        report = compare(v3_record, slow, host=True)
+        assert not report["ok"]
+        assert {f["metric"] for f in report["regressions"]} == \
+            {"host.events_per_sec", "host.wall_s"}
+
+    def test_modest_host_noise_passes(self, small_result, config,
+                                      v3_record):
+        # 40% slower is inside the deliberately wide (2x) bands.
+        noisy = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            host=_host_section(events_per_sec=60_000.0, wall_s=0.7))])
+        assert compare(v3_record, noisy, host=True)["ok"]
+
+    def test_baseline_without_host_is_not_an_error(
+            self, small_result, config, v3_record):
+        old = make_record(
+            "test", [make_point("kv", "prism-sw", small_result, config)])
+        old["schema_version"] = 2
+        report = compare(old, v3_record, host=True)
+        assert report["ok"]
+        assert report["findings"] == []
+
+    def test_run_without_host_is_a_regression(self, small_result, config,
+                                              v3_record):
+        unprofiled = make_record(
+            "test", [make_point("kv", "prism-sw", small_result, config)])
+        report = compare(v3_record, unprofiled, host=True)
+        assert not report["ok"]
+
+    def test_host_tolerance_override(self, small_result, config, v3_record):
+        noisy = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            host=_host_section(events_per_sec=60_000.0, wall_s=0.7))])
+        assert not compare(v3_record, noisy, host=True,
+                           tolerances={"host.events_per_sec": 0.1})["ok"]
+
+    def test_host_metrics_unknown_outside_host_mode(self, v3_record):
+        with pytest.raises(ValueError, match="no tolerance band"):
+            compare(v3_record, v3_record,
+                    tolerances={"host.events_per_sec": 0.1})
+
+    def test_host_bands_are_wide(self):
+        assert HOST_TOLERANCES["host.events_per_sec"]["rel"] >= 0.5
+        assert HOST_TOLERANCES["host.wall_s"]["rel"] >= 1.0
 
 
 class TestPrimitivesCli:
