@@ -38,6 +38,18 @@ collapsed stacks (``flame.<command>.txt``, flamegraph.pl-ready), and
 ``compare --host`` then diffs those host sections under wide bands
 that only gate gross (>2x) simulator slowdowns. Host profiling never
 touches the simulated clock — results stay bit-identical.
+
+``--flight[=N]`` arms the causal flight recorder (a bounded ring of N
+events, default 65536; see :mod:`repro.obs.flight`) on every measured
+point: each point prints a digest, and when the run looks anomalous —
+aborted operations, ack timeouts, exhausted retries, crash-window
+drops — the raw event log is dumped to ``flight.<command>.json``
+(``--flight-dump PATH`` picks the path and forces a dump even on
+clean runs; sweeps dump the first anomalous point). ``explain
+<flight.json> [--top K]`` replays a dump into per-request timelines
+and prints the K worst requests' causal narratives
+(:mod:`repro.obs.forensics`). Like every collector, ``--flight``
+leaves simulated timing and ``--json`` records bit-identical.
 """
 
 import argparse
@@ -58,6 +70,7 @@ from repro.bench.reporting import (
     UTILIZATION_HEADERS,
     curve_rows,
     print_faults,
+    print_flight,
     print_host,
     print_primitives,
     print_table,
@@ -65,6 +78,8 @@ from repro.bench.reporting import (
 )
 from repro.net.topology import CLUSTER, DATACENTER, DIRECT, RACK
 from repro.obs import (
+    FLIGHT_DEFAULT_CAPACITY,
+    FlightRecorder,
     HostProfiler,
     PrimitiveCollector,
     Tracer,
@@ -72,6 +87,7 @@ from repro.obs import (
     analyze,
     critpath_profile,
     format_analysis,
+    write_chrome_trace,
 )
 from repro.workload import (
     YCSB_A,
@@ -185,9 +201,70 @@ def _point_primitives(title, primitives, tracer, result=None):
     return report, profile
 
 
+#: flight events that make a run worth a post-mortem on their own
+_FLIGHT_ANOMALY_KINDS = {"req.timeout", "req.exhausted", "fault.crash_drop"}
+
+
+def _flight_anomalous(flight, result):
+    """Dump-on-anomaly trigger: failed ops, timeouts, retry give-ups."""
+    if result is not None and result.aborts:
+        return True
+    for event in flight.events:
+        if event["kind"] in _FLIGHT_ANOMALY_KINDS:
+            return True
+        if event["kind"] == "op.close" and event.get("status") != "ok":
+            return True
+    return False
+
+
+def _write_flight(flight, path, anomaly):
+    flight.dump(path)
+    why = "anomaly detected; " if anomaly else ""
+    print(f"flight dump written to {path} ({why}inspect with: "
+          f"python -m repro.bench.cli explain {path})")
+    return path
+
+
+def _point_flight(args, label, flight, result):
+    """Digest + dump handling for a single-point command."""
+    print_flight(f"{label} flight recorder", flight.to_dict())
+    anomaly = _flight_anomalous(flight, result)
+    path = args.flight_dump or (f"flight.{args.command}.json"
+                                if anomaly else None)
+    if path:
+        _write_flight(flight, path, anomaly)
+
+
+def _sweep_flight(args, label, flight, result, state):
+    """Digest + dump handling for one point of a sweep.
+
+    Only the first anomalous point writes a dump (``state`` carries
+    that across points); :func:`_sweep_flight_done` covers the
+    ``--flight-dump``-but-no-anomaly case after the sweep.
+    """
+    print_flight(f"{label} flight recorder", flight.to_dict())
+    state["last"] = flight
+    if state.get("written") is None and _flight_anomalous(flight, result):
+        path = args.flight_dump or f"flight.{args.command}.json"
+        state["written"] = _write_flight(flight, path, True)
+
+
+def _sweep_flight_done(args, state):
+    """--flight-dump promises a dump even when every point was clean."""
+    if (args.flight_dump and state.get("written") is None
+            and state.get("last") is not None):
+        _write_flight(state["last"], args.flight_dump, False)
+
+
 def cmd_figure_sweep(args):
     kind, flavors, seed, workload_maker = _FIGURE_SYSTEMS[args.command]
     telemetry = bool(args.json or args.util)
+    # --trace on a sweep traces one designated point: the first flavor
+    # at the largest client count (the most interesting trace, and one
+    # file — a trace per point would clobber the same path).
+    trace_target = ((flavors[0], max(args.clients)) if args.trace
+                    else None)
+    flight_state = {}
     points = []
     for flavor in flavors:
         started = time.perf_counter()
@@ -195,19 +272,31 @@ def cmd_figure_sweep(args):
         for n_clients in args.clients:
             collector = UtilizationCollector() if telemetry else None
             primitives = PrimitiveCollector() if args.primitives else None
-            tracer = Tracer() if args.primitives else None
+            tracing = trace_target == (flavor, n_clients)
+            tracer = Tracer() if (args.primitives or tracing) else None
             hostprof = HostProfiler() if args.profile else None
+            flight = (FlightRecorder(args.flight) if args.flight
+                      else None)
             result = run_point(kind, flavor,
                                workload_maker(args.keys, args.zipf),
                                n_clients, n_keys=args.keys,
                                tracer=tracer, utilization=collector,
                                primitives=primitives, faults=args.faults,
-                               hostprof=hostprof)
+                               hostprof=hostprof, flight=flight)
             results.append(result)
+            if tracing:
+                write_chrome_trace(tracer.roots, args.trace,
+                                   process_spans=tracer.process_spans)
+                print(f"chrome trace written to {args.trace} "
+                      f"({flavor} c={n_clients})")
             faults_report = _point_faults(
                 f"{args.command}: {flavor} c={n_clients}", result)
             host_report = _point_host(
                 f"{args.command}: {flavor} c={n_clients}", hostprof)
+            if flight is not None:
+                _sweep_flight(args, f"{args.command}: {flavor} "
+                              f"c={n_clients}", flight, result,
+                              flight_state)
             prim_report = profile = None
             if args.primitives:
                 prim_report, profile = _point_primitives(
@@ -242,6 +331,7 @@ def cmd_figure_sweep(args):
         print_table(f"{args.command}: {flavor} "
                     f"({wall_s:.1f}s wall{rate})",
                     CURVE_HEADERS, curve_rows(results))
+    _sweep_flight_done(args, flight_state)
     if args.json:
         from repro.bench.regress import make_record, write_record
         write_record(make_record(args.command, points), args.json)
@@ -252,6 +342,9 @@ def cmd_contention(args):
     kind = "rs" if args.command == "fig7" else "tx"
     flavors = (["prism-sw", "abdlock-hw"] if kind == "rs"
                else ["prism-sw", "farm-hw"])
+    # --trace designates the first flavor at the most skewed zipf.
+    trace_target = (flavors[0], args.zipfs[-1]) if args.trace else None
+    flight_state = {}
     rows = []
     for zipf in args.zipfs:
         row = [zipf]
@@ -265,14 +358,26 @@ def cmd_contention(args):
                     args.keys, keys_per_txn=1, zipf=z, seed=29,
                     client_id=i))
             primitives = PrimitiveCollector() if args.primitives else None
-            tracer = Tracer() if args.primitives else None
+            tracing = trace_target == (flavor, zipf)
+            tracer = Tracer() if (args.primitives or tracing) else None
             hostprof = HostProfiler() if args.profile else None
+            flight = (FlightRecorder(args.flight) if args.flight
+                      else None)
             result = run_point(kind, flavor, workload, args.clients[0],
                                n_keys=args.keys, measure_us=2000.0,
                                tracer=tracer, primitives=primitives,
-                               faults=args.faults, hostprof=hostprof)
+                               faults=args.faults, hostprof=hostprof,
+                               flight=flight)
+            if tracing:
+                write_chrome_trace(tracer.roots, args.trace,
+                                   process_spans=tracer.process_spans)
+                print(f"chrome trace written to {args.trace} "
+                      f"({flavor} zipf={zipf})")
             _point_faults(f"{args.command}: {flavor} zipf={zipf}", result)
             _point_host(f"{args.command}: {flavor} zipf={zipf}", hostprof)
+            if flight is not None:
+                _sweep_flight(args, f"{args.command}: {flavor} "
+                              f"zipf={zipf}", flight, result, flight_state)
             if args.primitives:
                 _point_primitives(
                     f"{args.command}: {flavor} zipf={zipf}",
@@ -280,6 +385,7 @@ def cmd_contention(args):
             row.append(result.mean_latency_us if kind == "rs"
                        else result.throughput_ops_per_sec / 1e6)
         rows.append(row)
+    _sweep_flight_done(args, flight_state)
     metric = "mean latency (µs)" if kind == "rs" else "throughput (M/s)"
     print_table(f"{args.command}: {metric} vs zipf",
                 ["zipf"] + flavors, rows)
@@ -297,6 +403,7 @@ def cmd_point(args):
                  if (args.json or args.util) else None)
     primitives = PrimitiveCollector() if args.primitives else None
     hostprof = HostProfiler() if args.profile else None
+    flight = FlightRecorder(args.flight) if args.flight else None
     phases = None
     tracer = None
     if args.trace or args.primitives:
@@ -305,7 +412,7 @@ def cmd_point(args):
             args.kind, args.flavor, workload, args.clients[0],
             trace_path=args.trace, utilization=collector,
             primitives=primitives, n_keys=args.keys, faults=args.faults,
-            hostprof=hostprof)
+            hostprof=hostprof, flight=flight)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
         print_breakdown(f"{args.kind}/{args.flavor}: phase breakdown "
@@ -315,11 +422,14 @@ def cmd_point(args):
     else:
         result = run_point(args.kind, args.flavor, workload, args.clients[0],
                            n_keys=args.keys, utilization=collector,
-                           faults=args.faults, hostprof=hostprof)
+                           faults=args.faults, hostprof=hostprof,
+                           flight=flight)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
     faults_report = _point_faults(f"{args.kind}/{args.flavor}", result)
     host_report = _point_host(f"{args.kind}/{args.flavor}", hostprof)
+    if flight is not None:
+        _point_flight(args, f"{args.kind}/{args.flavor}", flight, result)
     prim_report = profile = None
     if args.primitives:
         prim_report, profile = _point_primitives(
@@ -374,6 +484,18 @@ def cmd_compare(args):
     return 0 if report["ok"] else 1
 
 
+def cmd_explain(args):
+    from repro.obs import explain_lines, load_flight_dump
+    if len(args.paths) != 1:
+        print("usage: repro.bench.cli explain <flight.json> [--top K]",
+              file=sys.stderr)
+        return 2
+    dump = load_flight_dump(args.paths[0])
+    for line in explain_lines(dump, top=args.top):
+        print(line)
+    return 0
+
+
 def cmd_list(args):
     print("figures: motivation fig1 fig2 fig3 fig4 fig6 fig7 fig9 fig10")
     print("systems: kv={prism-sw,prism-hw,prism-bluefield,pilaf-hw,pilaf-sw}")
@@ -388,9 +510,10 @@ def build_parser():
     parser.add_argument("command",
                         choices=["motivation", "fig1", "fig2", "fig3",
                                  "fig4", "fig6", "fig7", "fig9", "fig10",
-                                 "point", "compare", "list"])
+                                 "point", "compare", "explain", "list"])
     parser.add_argument("paths", nargs="*", metavar="PATH",
-                        help="(compare) baseline.json and run.json")
+                        help="(compare) baseline.json and run.json; "
+                             "(explain) a flight dump")
     parser.add_argument("--clients", type=_parse_int_list,
                         default=DEFAULT_CLIENTS,
                         help="comma-separated client counts")
@@ -403,8 +526,10 @@ def build_parser():
     parser.add_argument("--flavor", default="prism-sw")
     parser.add_argument("--read-fraction", type=float, default=0.5)
     parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="(point) trace the run and write Chrome "
-                             "trace-event JSON to PATH")
+                        help="(point, fig3/4/6/7/9/10) write Chrome "
+                             "trace-event JSON to PATH; sweeps trace one "
+                             "designated point (first flavor at the "
+                             "largest client count / most skewed zipf)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="(point, fig3/4/6/9) write a machine-readable "
                              "result record (repro.bench.regress schema)")
@@ -436,6 +561,21 @@ def build_parser():
                              "(cprofile: <command>.pstats + collapsed "
                              "digest) or sampled collapsed stacks (sample, "
                              "the default: flame.<command>.txt)")
+    parser.add_argument("--flight", nargs="?", const=FLIGHT_DEFAULT_CAPACITY,
+                        type=int, default=None, metavar="N",
+                        help="(point, fig3/4/6/7/9/10) arm the causal "
+                             "flight recorder with an N-event ring "
+                             f"(default {FLIGHT_DEFAULT_CAPACITY}); prints "
+                             "a per-point digest and dumps the event log "
+                             "on anomalies (aborts, timeouts, exhausted "
+                             "retries) for the explain subcommand")
+    parser.add_argument("--flight-dump", metavar="PATH", default=None,
+                        help="(with --flight) write the flight dump to "
+                             "PATH even when the run is clean; sweeps "
+                             "still prefer the first anomalous point")
+    parser.add_argument("--top", type=int, default=5, metavar="K",
+                        help="(explain) how many worst-request narratives "
+                             "to print (default 5)")
     parser.add_argument("--host", action="store_true",
                         help="(compare) diff the records' host "
                              "self-profiling sections (events/sec, wall "
@@ -444,8 +584,24 @@ def build_parser():
     return parser
 
 
+#: commands that run a measurement point --trace/--flight can attach to
+_POINT_COMMANDS = {"fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "point"}
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    # Fail fast instead of silently ignoring per-point flags on
+    # commands that never run a sweepable measurement point.
+    for flag, value in (("--trace", args.trace), ("--flight", args.flight)):
+        if value is not None and args.command not in _POINT_COMMANDS:
+            print(f"{flag} is not supported by {args.command!r}: only "
+                  "point and the fig sweeps run a measurement point "
+                  "(supported: " + ", ".join(sorted(_POINT_COMMANDS)) + ")",
+                  file=sys.stderr)
+            return 2
+    if args.flight is not None and args.flight < 1:
+        print("--flight capacity must be >= 1", file=sys.stderr)
+        return 2
     dispatch = {
         "motivation": cmd_motivation,
         "fig1": cmd_fig1,
@@ -458,6 +614,7 @@ def main(argv=None):
         "fig10": cmd_contention,
         "point": cmd_point,
         "compare": cmd_compare,
+        "explain": cmd_explain,
         "list": cmd_list,
     }
     if args.profile is None:

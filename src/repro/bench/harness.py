@@ -189,7 +189,7 @@ def run_point(kind, flavor, workload_factory, n_clients,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
               n_client_hosts=N_CLIENT_HOSTS, tracer=None,
               utilization=None, primitives=None, faults=None,
-              hostprof=None):
+              hostprof=None, flight=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
@@ -212,10 +212,19 @@ def run_point(kind, flavor, workload_factory, n_clients,
     then metered on the *wall* clock (events/sec, per-bucket host-time
     shares) and the profiler's report — purely host-side, never
     affecting simulated timing — is the caller's to read afterwards.
+
+    ``flight`` takes a :class:`repro.obs.FlightRecorder`: the run then
+    leaves a bounded causal event log (operation open/close, request
+    sends/replies/timeouts/backoffs, CAS misses, NAKs, chain aborts,
+    fault injections) that :mod:`repro.obs.forensics` turns into
+    per-request timelines and diagnoses. Like the other collectors it
+    never touches simulated timing.
     """
     sim = Simulator()
     if hostprof is not None:
         sim.set_hostprof(hostprof)
+    if flight is not None:
+        sim.set_flight(flight)
     if faults is not None:
         if isinstance(faults, str):
             from repro.faults import parse_faults

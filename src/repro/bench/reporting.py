@@ -267,6 +267,53 @@ def print_host(title, report, out=print):
     out("")
 
 
+def flight_summary_lines(dump, top=3):
+    """Human-readable flight-recorder digest: counts + worst stories.
+
+    ``dump`` is :meth:`repro.obs.FlightRecorder.to_dict` output (or a
+    loaded flight dump). Shows the ring-buffer health line, the
+    anomaly count, and the ``top`` worst requests' one-line headers —
+    the full narratives live in the ``explain`` subcommand.
+    """
+    from repro.obs.forensics import (
+        crash_windows,
+        is_anomalous,
+        timelines,
+        worst_requests,
+    )
+    by_op, global_events = timelines(dump.get("events", []))
+    anomalous = sum(1 for tl in by_op.values() if is_anomalous(tl))
+    lines = [
+        f"flight: {dump.get('recorded', 0)} events recorded "
+        f"({dump.get('evicted', 0)} evicted, capacity "
+        f"{dump.get('capacity', 0)}), {dump.get('ops_opened', 0)} ops, "
+        f"{anomalous} anomalous"
+    ]
+    windows = crash_windows(global_events)
+    for host, down, up in windows:
+        up_text = f"{up:.0f} µs" if up != float("inf") else "end of run"
+        lines.append(f"  crash window: {host} down {down:.0f} µs -> "
+                     f"{up_text}")
+    for timeline in worst_requests(by_op, top=top)[:top]:
+        latency = timeline["latency_us"]
+        if latency is None:
+            latency = timeline["end"] - timeline["start"]
+        lines.append(
+            f"  worst: op #{timeline['op']} {timeline['kind'] or '?'} "
+            f"(client {timeline['client']}) {latency:.2f} µs "
+            f"status={timeline['status']}")
+    return lines
+
+
+def print_flight(title, dump, top=3, out=print):
+    """Print the flight-recorder digest as a titled block."""
+    out("")
+    out(f"== {title} ==")
+    for line in flight_summary_lines(dump, top=top):
+        out(line)
+    out("")
+
+
 def low_load_latency(results):
     """Mean latency of the single-client point."""
     for r in results:

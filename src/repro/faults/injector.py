@@ -153,6 +153,11 @@ class FaultInjector:
         def execute():
             self._down.add(crash.host)
             self.counters["crashes"] += 1
+            # Crash schedules run outside any process, so the flight
+            # event is global (op=None) — forensics turns crash/recover
+            # pairs into down windows and overlaps them with requests.
+            if self.sim.flight is not None:
+                self.sim.flight.record("fault.crash", host=crash.host)
             for server in self._servers.get(crash.host, ()):
                 if hasattr(server, "fail"):
                     server.fail()
@@ -162,6 +167,8 @@ class FaultInjector:
         def execute():
             self._down.discard(crash.host)
             self.counters["recoveries"] += 1
+            if self.sim.flight is not None:
+                self.sim.flight.record("fault.recover", host=crash.host)
             for server in self._servers.get(crash.host, ()):
                 if hasattr(server, "recover"):
                     server.recover()
@@ -175,11 +182,17 @@ class FaultInjector:
             return
         withheld = [qp.pop() for _ in range(take)]
         self.counters["starved_buffers"] += take
+        if self.sim.flight is not None:
+            self.sim.flight.record("fault.starve", freelist=freelist_id,
+                                   name=qp.name, taken=take)
         if plan.starve_hold_us <= 0.0:
             return  # withheld for the rest of the run
         yield self.sim.timeout(plan.starve_hold_us)
         yield from server.post_buffers(freelist_id, withheld)
         self.counters["restored_buffers"] += take
+        if self.sim.flight is not None:
+            self.sim.flight.record("fault.restore", freelist=freelist_id,
+                                   name=qp.name, restored=take)
 
     # -- reporting ----------------------------------------------------------
 

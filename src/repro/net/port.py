@@ -18,10 +18,19 @@ from repro.obs.trace import NULL_SPAN
 from repro.sim.events import TimeoutExpired
 
 
+#: Logical request ids: allocated once per *logical* request, stable
+#: across fresh-id retransmission attempts, so retries are linkable to
+#: the request they serve (flight forensics, retransmission-aware
+#: chain counts). Module-global like ``Message`` ids: deterministic
+#: within one interpreter run.
+_logical_ids = count(1)
+
+
 class Request:
     """Envelope body for a request expecting a reply."""
 
-    __slots__ = ("id", "reply_host", "reply_service", "body", "span")
+    __slots__ = ("id", "reply_host", "reply_service", "body", "span",
+                 "logical_id")
 
     def __init__(self, id_, reply_host, reply_service, body):
         self.id = id_
@@ -31,17 +40,23 @@ class Request:
         #: the issuing operation's span; servers parent their
         #: processing spans under it so one trace crosses host borders
         self.span = NULL_SPAN
+        #: stable id of the logical request this attempt serves; a
+        #: retransmission gets a fresh ``id`` but the same ``logical_id``
+        self.logical_id = None
 
 
 class Reply:
     """Envelope body for a reply; ``ok=False`` carries an exception."""
 
-    __slots__ = ("id", "body", "ok")
+    __slots__ = ("id", "body", "ok", "logical_id")
 
     def __init__(self, id_, body, ok=True):
         self.id = id_
         self.body = body
         self.ok = ok
+        #: copied from the request by :func:`send_reply` so reply-path
+        #: events (fault fates, stale completions) stay linkable
+        self.logical_id = None
 
 
 class RequestChannel:
@@ -86,6 +101,10 @@ class RequestChannel:
     def _on_reply(self, message):
         reply = message.payload
         event = self._pending.pop(reply.id, None)
+        fl = self.sim.flight
+        if fl is not None:
+            fl.record("req.reply" if event is not None else "req.stale",
+                      logical=reply.logical_id, req=reply.id, ok=reply.ok)
         if event is None:
             return  # duplicate or cancelled; drop silently like a NIC would
         if self.monitor is not None:
@@ -97,11 +116,24 @@ class RequestChannel:
                        else PrismError(str(reply.body)))
 
     def request(self, dst, service, body, request_size, timeout_us=None,
-                span=NULL_SPAN):
-        """Process helper: send ``body`` and wait for the reply payload."""
+                span=NULL_SPAN, logical_id=None):
+        """Process helper: send ``body`` and wait for the reply payload.
+
+        ``logical_id`` names the logical request this attempt serves;
+        :meth:`request_with_retry` passes the same one to every
+        retransmission. Plain calls allocate a fresh one, so a logical
+        id is always 1:1 with what the caller considers one request.
+        """
         request_id = next(self._ids)
+        if logical_id is None:
+            logical_id = next(_logical_ids)
         request = Request(request_id, self.host_name, self.reply_service, body)
         request.span = span
+        request.logical_id = logical_id
+        fl = self.sim.flight
+        if fl is not None:
+            fl.record("req.send", logical=logical_id, req=request_id,
+                      dst=dst, service=service)
         reply_event = self.sim.event()
         self._pending[request_id] = reply_event
         if self.monitor is not None:
@@ -121,6 +153,9 @@ class RequestChannel:
                 if (self._pending.pop(request_id, None) is not None
                         and self.monitor is not None):
                     self.monitor.adjust(-1)
+                if fl is not None:
+                    fl.record("req.timeout", logical=logical_id,
+                              req=request_id, dst=dst, timeout_us=timeout_us)
                 raise TimeoutExpired(
                     timeout_us, what=f"request {request_id} to {dst}/{service}")
             result = value
@@ -148,16 +183,23 @@ class RequestChannel:
 
         Backoff jitter draws from a per-channel substream of the fault
         plan's seed, so faulty runs replay exactly.
+
+        All attempts share one ``logical_id``, so telemetry (flight
+        events, retransmission-aware chain counts) can tell "one
+        logical request, retried" from "several requests".
         """
         faults = self.sim.faults
+        fl = self.sim.flight
         if faults is not None and self._retry_rng is None:
             self._retry_rng = faults.retry_stream()
+        logical_id = next(_logical_ids)
         attempt = 0
         while True:
             try:
                 result = yield from self.request(
                     dst, service, body, request_size,
-                    timeout_us=policy.timeout_us, span=span)
+                    timeout_us=policy.timeout_us, span=span,
+                    logical_id=logical_id)
                 return result
             except TimeoutExpired:
                 self.timeouts += 1
@@ -166,12 +208,18 @@ class RequestChannel:
                 if attempt >= policy.max_retries:
                     if faults is not None:
                         faults.note_retries_exhausted()
+                    if fl is not None:
+                        fl.record("req.exhausted", logical=logical_id,
+                                  attempts=attempt + 1)
                     raise
                 backoff = policy.backoff_us(attempt, self._retry_rng)
                 attempt += 1
                 self.retransmissions += 1
                 if faults is not None:
                     faults.note_retransmit()
+                if fl is not None:
+                    fl.record("req.backoff", logical=logical_id,
+                              attempt=attempt, backoff_us=backoff)
                 with span.child("client.backoff", phase="queue",
                                 attempt=attempt):
                     yield self.sim.timeout(backoff)
@@ -186,6 +234,7 @@ def send_reply(fabric, server_host, request, body, size_bytes, ok=True,
     which keeps each phase's self-time tiling the operation exactly).
     """
     reply = Reply(request.id, body, ok=ok)
+    reply.logical_id = request.logical_id
     yield from fabric.send(server_host, request.reply_host,
                            request.reply_service, reply, size_bytes,
                            span=span)

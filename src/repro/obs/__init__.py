@@ -30,6 +30,11 @@ Three pieces, all driven by the simulated clock:
   host-side self-profiling of the simulator itself (events/sec,
   per-bucket host-time attribution, cProfile/collapsed-stack export);
   install a :class:`HostProfiler` via ``sim.set_hostprof``.
+* :mod:`repro.obs.flight` — a bounded causal event log tying every
+  layer's events (ops, retries, CAS misses, fault injections) to the
+  client operation they belong to; install a :class:`FlightRecorder`
+  via ``sim.set_flight``. :mod:`repro.obs.forensics` replays a flight
+  log into per-request timelines and automatic diagnoses.
 """
 
 from repro.obs.bottleneck import (
@@ -59,6 +64,16 @@ from repro.obs.critpath import (
     critpath_rows,
     slack_us,
 )
+from repro.obs.flight import DEFAULT_CAPACITY as FLIGHT_DEFAULT_CAPACITY
+from repro.obs.flight import FlightRecorder, load_dump as load_flight_dump
+from repro.obs.forensics import (
+    crash_windows,
+    diagnose,
+    explain_lines,
+    narrate,
+    timelines,
+    worst_requests,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.primitives import PrimitiveCollector, TopK
 from repro.obs.timeline import (
@@ -70,26 +85,35 @@ from repro.obs.timeline import (
 from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "FLIGHT_DEFAULT_CAPACITY",
     "HOST_BUCKETS",
     "PHASES",
     "SATURATION_THRESHOLD",
     "analyze",
     "breakdown",
     "breakdown_rows",
+    "crash_windows",
+    "diagnose",
+    "explain_lines",
     "critical_attribution",
     "critical_contributors",
     "critical_segments",
     "critpath_profile",
     "critpath_rows",
     "format_analysis",
+    "load_flight_dump",
+    "narrate",
     "phase_attribution",
     "profile_session",
     "slack_us",
+    "timelines",
     "to_chrome_events",
+    "worst_requests",
     "write_chrome_trace",
     "ChargeMonitor",
     "Counter",
     "DepthMonitor",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HostProfiler",

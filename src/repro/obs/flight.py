@@ -1,0 +1,158 @@
+"""Causal flight recorder: one bounded event log across every layer.
+
+The other collectors each watch one family of transitions (spans,
+resource busy time, primitive outcomes, fault counters). The flight
+recorder is the layer that ties them into *stories*: a bounded
+ring buffer of structured events — operation open/close, request
+send/reply/timeout/backoff, CAS misses and NAKs, chain aborts, and
+every fault injection — each stamped with the id of the client
+operation it belongs to, so :mod:`repro.obs.forensics` can rebuild the
+causal timeline of any single slow or failed request after the run.
+
+Install contract (same as every collector)::
+
+    recorder = FlightRecorder(capacity=65536)
+    sim.set_flight(recorder)      # BEFORE system construction
+    ... build system, run ...
+    recorder.dump("flight.json")  # or recorder.to_dict()
+
+Off by default: with no recorder installed every hook on the data path
+is a single ``is None`` check and the run's simulated timing is
+bit-identical to an unrecorded one. The recorder itself never reads or
+schedules simulator events — it only appends to a host-side deque — so
+a recorded run is also bit-identical in simulated time.
+
+Causal attribution works without threading ids through any call
+signature: the kernel tells the recorder which :class:`Process` is
+executing (an enter/exit stack in ``Process._step``), the driver binds
+the current client operation's id to its process at ``op_open``, and a
+process spawned while another runs *inherits* the spawner's operation
+context. Since the fabric spawns delivery from the sender's process,
+the server spawns its handler from the delivery process, and replies
+are sent from the handler, the whole request/reply tree — including
+fault fates on either direction — lands on the originating operation
+automatically. Events recorded outside any operation (crash schedules,
+background daemons) carry ``op=None`` and are reported as global.
+
+Retransmissions are linkable because :mod:`repro.net.port` stamps every
+:class:`~repro.net.port.Request` with a stable ``logical_id`` that
+survives fresh-id retransmission attempts; flight events on the
+request path carry both the per-attempt ``req`` id and the ``logical``
+id.
+"""
+
+import json
+from collections import deque
+from itertools import count
+
+DEFAULT_CAPACITY = 65536
+
+
+class FlightRecorder:
+    """Bounded structured event log with per-operation causal context.
+
+    Events are plain dicts ``{"seq", "t", "op", "kind", ...fields}``;
+    ``seq`` is a monotone append index (so eviction is observable),
+    ``t`` the simulated time, ``op`` the owning client operation id or
+    None for global events. The ring holds the most recent
+    ``capacity`` events; ``evicted`` counts what fell off the front.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("FlightRecorder needs capacity >= 1")
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+        self.recorded = 0
+        self.ops_opened = 0
+        self.ops_closed = 0
+        self._sim = None
+        self._op_ids = count(1)
+        #: kernel-maintained stack of executing processes (nested only
+        #: for the yield-bad-target error path); the top's context is
+        #: the operation every recorded event belongs to
+        self._stack = []
+
+    def bind(self, sim):
+        """Attach to the simulator (``sim.set_flight`` calls this)."""
+        self._sim = sim
+        return self
+
+    # -- kernel hooks (Process._step / Process.__init__) -------------------
+
+    def enter_process(self, process):
+        self._stack.append(process)
+
+    def exit_process(self):
+        self._stack.pop()
+
+    def current_ctx(self):
+        """The operation id of the currently executing process (or None)."""
+        return self._stack[-1]._flight_ctx if self._stack else None
+
+    # -- operation lifecycle (workload driver) ------------------------------
+
+    def op_open(self, name, client=None):
+        """A client operation begins; binds its id to the current process."""
+        op_id = next(self._op_ids)
+        self.ops_opened += 1
+        if self._stack:
+            self._stack[-1]._flight_ctx = op_id
+        self.record("op.open", op=op_id, name=name, client=client)
+        return op_id
+
+    def op_close(self, op_id, status="ok", **fields):
+        """The operation finished; clears the process binding."""
+        self.ops_closed += 1
+        self.record("op.close", op=op_id, status=status, **fields)
+        if self._stack and self._stack[-1]._flight_ctx == op_id:
+            self._stack[-1]._flight_ctx = None
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, kind, op=None, **fields):
+        """Append one event; ``op`` defaults to the current context."""
+        if op is None:
+            op = self.current_ctx()
+        event = {"seq": self.recorded,
+                 "t": self._sim.now if self._sim is not None else 0.0,
+                 "op": op, "kind": kind}
+        event.update(fields)
+        self.recorded += 1
+        self._events.append(event)
+
+    # -- reading back --------------------------------------------------------
+
+    @property
+    def evicted(self):
+        """Events lost to the ring bound (oldest first)."""
+        return self.recorded - len(self._events)
+
+    @property
+    def events(self):
+        """The surviving events, oldest first."""
+        return list(self._events)
+
+    def to_dict(self):
+        """JSON-ready snapshot (the flight-dump format)."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "evicted": self.evicted,
+            "ops_opened": self.ops_opened,
+            "ops_closed": self.ops_closed,
+            "events": self.events,
+        }
+
+    def dump(self, path):
+        """Write the flight dump as JSON; returns ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1, default=repr)
+            handle.write("\n")
+        return path
+
+
+def load_dump(path):
+    """Read a flight dump written by :meth:`FlightRecorder.dump`."""
+    with open(path) as handle:
+        return json.load(handle)

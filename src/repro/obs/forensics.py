@@ -1,0 +1,421 @@
+"""Per-request forensics: turn a flight log into causal narratives.
+
+Input is a :class:`~repro.obs.flight.FlightRecorder` (or a dump loaded
+with :func:`repro.obs.flight.load_dump`); output is, per client
+operation, a **timeline** — every flight event that happened on its
+causal path, tiled into labeled segments that sum to the measured
+latency (the same reconciliation contract as
+:mod:`repro.obs.critpath`) — and a **diagnosis**: the concrete causes
+(injected fault events, ack timeouts and retry storms, CAS contention
+on hot addresses, crash windows) behind any operation that aborted,
+timed out, or landed in the latency tail.
+
+The usual entry points::
+
+    lines = explain_lines(recorder.to_dict(), top=5)   # CLI 'explain'
+    tls, global_events = timelines(dump["events"])
+    diag = diagnose(tls[op_id], crash_windows(global_events))
+
+Segment labels:
+
+======== ==========================================================
+client   client-side CPU between events (post, completion, compute)
+inflight waiting on the wire/server for a posted request
+server   server-side interval ending in a CAS miss / NAK / abort
+timeout  an ack-timeout window that expired with no reply
+backoff  retransmission backoff sleep
+======== ==========================================================
+"""
+
+import math
+
+from repro.obs.quantiles import percentile
+
+#: events whose arrival closes an "inflight" gap (the op was waiting)
+_INFLIGHT_ENDERS = frozenset((
+    "req.reply", "req.stale", "fault.drop", "fault.dup", "fault.delay",
+    "fault.crash_drop",
+))
+_SERVER_ENDERS = frozenset(("cas.miss", "op.nak", "chain.abort"))
+
+
+def timelines(events):
+    """Group flight events into per-operation timelines.
+
+    Returns ``(by_op, global_events)``: a dict mapping operation id to
+    a timeline dict, and the list of events recorded outside any
+    operation (crash schedules, daemons). Timelines whose ``op.open``
+    was evicted from the ring are marked ``truncated``; operations the
+    run ended before closing are marked ``unfinished``.
+    """
+    grouped = {}
+    global_events = []
+    for event in events:
+        op = event.get("op")
+        if op is None:
+            global_events.append(event)
+        else:
+            grouped.setdefault(op, []).append(event)
+    by_op = {}
+    for op, evs in grouped.items():
+        evs.sort(key=lambda e: (e["t"], e["seq"]))
+        open_ev = next((e for e in evs if e["kind"] == "op.open"), None)
+        close_ev = next((e for e in reversed(evs)
+                         if e["kind"] == "op.close"), None)
+        start = open_ev["t"] if open_ev is not None else evs[0]["t"]
+        end = close_ev["t"] if close_ev is not None else evs[-1]["t"]
+        by_op[op] = {
+            "op": op,
+            "kind": open_ev.get("name") if open_ev is not None else None,
+            "client": open_ev.get("client") if open_ev else None,
+            "start": start,
+            "end": end,
+            "status": (close_ev.get("status") if close_ev is not None
+                       else "unfinished"),
+            "latency_us": (close_ev.get("latency_us") if close_ev is not None
+                           else None),
+            "aborts": close_ev.get("aborts", 0) if close_ev else 0,
+            "retries": close_ev.get("retries", 0) if close_ev else 0,
+            "measured": bool(close_ev.get("measured")) if close_ev else False,
+            "truncated": open_ev is None,
+            "unfinished": close_ev is None,
+            "events": evs,
+        }
+    return by_op, global_events
+
+
+def crash_windows(global_events):
+    """Pair crash/recover events into ``(host, down_at, up_at)`` windows.
+
+    A crash with no matching recovery yields ``up_at = inf``.
+    """
+    windows = []
+    open_crashes = {}
+    for event in global_events:
+        if event["kind"] == "fault.crash":
+            open_crashes[event.get("host")] = event["t"]
+        elif event["kind"] == "fault.recover":
+            host = event.get("host")
+            down_at = open_crashes.pop(host, None)
+            if down_at is not None:
+                windows.append((host, down_at, event["t"]))
+    for host, down_at in open_crashes.items():
+        windows.append((host, down_at, math.inf))
+    return sorted(windows, key=lambda w: (w[1], str(w[0])))
+
+
+def _gap_label(prev_kind, end_kind):
+    """Label for the interval that ``end_kind`` terminates."""
+    if prev_kind == "req.backoff":
+        return "backoff"
+    if end_kind == "req.timeout":
+        return "timeout"
+    if end_kind in _INFLIGHT_ENDERS:
+        return "inflight"
+    if end_kind in _SERVER_ENDERS:
+        return "server"
+    return "client"
+
+
+def segments(timeline):
+    """Tile ``[start, end]`` into labeled intervals between events.
+
+    By construction the segments cover the operation exactly, so their
+    durations sum to the measured latency (to float rounding) — the
+    same "sums equal measured" contract the critical-path profile
+    keeps. Zero-length gaps are skipped.
+    """
+    start, end = timeline["start"], timeline["end"]
+    segs = []
+    cursor = start
+    prev_kind = None
+    for event in timeline["events"]:
+        t = min(max(event["t"], start), end)
+        if t > cursor:
+            segs.append({"from": cursor, "to": t, "us": t - cursor,
+                         "label": _gap_label(prev_kind, event["kind"]),
+                         "until": event["kind"]})
+            cursor = t
+        prev_kind = event["kind"]
+    if end > cursor:
+        segs.append({"from": cursor, "to": end, "us": end - cursor,
+                     "label": "client", "until": "op.close"})
+    return segs
+
+
+def segment_totals(timeline):
+    """``{label: µs}`` rollup of :func:`segments`."""
+    totals = {}
+    for seg in segments(timeline):
+        totals[seg["label"]] = totals.get(seg["label"], 0.0) + seg["us"]
+    return totals
+
+
+def reconcile(timeline, tolerance=1e-6):
+    """Check segment sums against the measured latency; returns the sum.
+
+    Raises :class:`AssertionError` on divergence — mirrors
+    :func:`repro.bench.tracing.check_critpath`. Truncated timelines
+    (their ``op.open`` — and with it the true start — was evicted) and
+    operations without a recorded latency reconcile against
+    ``end - start``, the only span the surviving events witness.
+    """
+    total = sum(seg["us"] for seg in segments(timeline))
+    latency = timeline["latency_us"]
+    if latency is None or timeline["truncated"]:
+        latency = timeline["end"] - timeline["start"]
+    if abs(total - latency) > tolerance * max(latency, 1.0):
+        raise AssertionError(
+            f"op #{timeline['op']}: segment sum {total:.6f} µs diverges "
+            f"from measured latency {latency:.6f} µs")
+    return total
+
+
+def is_anomalous(timeline):
+    """Aborted, timed out, exhausted, or never finished."""
+    if timeline["status"] != "ok" or timeline["unfinished"]:
+        return True
+    kinds = {event["kind"] for event in timeline["events"]}
+    return bool(kinds & {"req.timeout", "req.exhausted"})
+
+
+def _overlapping_windows(timeline, windows):
+    start, end = timeline["start"], timeline["end"]
+    return [(host, down, up) for host, down, up in windows
+            if down <= end and up >= start]
+
+
+def diagnose(timeline, windows=(), storm_threshold=3):
+    """Name the concrete causes behind one operation's fate.
+
+    Returns a dict with the timeline's identity fields, its segment
+    rollup, and ``causes``: a list of human-readable strings, each
+    naming an injected fault event, a timeout/retry storm, CAS
+    contention on a hot address, or a crash window the operation
+    crossed. Healthy fast operations get an empty list.
+    """
+    events = timeline["events"]
+    causes = []
+
+    drops = [e for e in events if e["kind"] == "fault.drop"]
+    if drops:
+        msgs = ", ".join(f"#{e.get('msg')}" for e in drops[:4])
+        causes.append(f"{len(drops)} injected message drop(s) "
+                      f"(message {msgs})")
+    crash_drops = [e for e in events if e["kind"] == "fault.crash_drop"]
+    if crash_drops:
+        hosts = sorted({str(e.get("host")) for e in crash_drops})
+        causes.append(f"{len(crash_drops)} message(s) killed at crashed "
+                      f"host {', '.join(hosts)}")
+    dups = [e for e in events if e["kind"] == "fault.dup"]
+    if dups:
+        causes.append(f"{len(dups)} injected duplicate(s)")
+    delays = [e for e in events if e["kind"] == "fault.delay"]
+    if delays:
+        total = sum(e.get("delay_us", 0.0) for e in delays)
+        causes.append(f"{len(delays)} jitter delay(s) "
+                      f"(+{total:.2f} µs injected)")
+
+    timeouts = [e for e in events if e["kind"] == "req.timeout"]
+    if timeouts:
+        waited = sum(e.get("timeout_us", 0.0) for e in timeouts)
+        causes.append(f"{len(timeouts)} ack timeout(s) "
+                      f"({waited:.0f} µs spent waiting on lost attempts)")
+    backoffs = [e for e in events if e["kind"] == "req.backoff"]
+    if backoffs:
+        total = sum(e.get("backoff_us", 0.0) for e in backoffs)
+        causes.append(f"retransmitted {len(backoffs)} time(s), "
+                      f"{total:.2f} µs in backoff")
+    exhausted = [e for e in events if e["kind"] == "req.exhausted"]
+    if exhausted:
+        attempts = max(e.get("attempts", 0) for e in exhausted)
+        causes.append(f"retries exhausted after {attempts} attempts "
+                      "(request gave up)")
+
+    misses = {}
+    for event in events:
+        if event["kind"] == "cas.miss":
+            target = event.get("target")
+            misses[target] = misses.get(target, 0) + 1
+    for target, n in sorted(misses.items(), key=lambda kv: -kv[1]):
+        where = f"{target:#x}" if isinstance(target, int) else str(target)
+        if n >= storm_threshold:
+            causes.append(f"retry storm: {n} CAS misses on hot "
+                          f"address {where}")
+        else:
+            causes.append(f"{n} CAS miss(es) on {where} (contention)")
+
+    naks = {}
+    for event in events:
+        if event["kind"] == "op.nak":
+            key = (event.get("opname"), event.get("error"))
+            naks[key] = naks.get(key, 0) + 1
+    for (opname, error), n in sorted(naks.items(), key=lambda kv: -kv[1]):
+        causes.append(f"{opname} NAK ({error}) x{n}")
+
+    chain_aborts = [e for e in events if e["kind"] == "chain.abort"]
+    if chain_aborts:
+        reasons = sorted({str(e.get("reason")) for e in chain_aborts})
+        causes.append(f"{len(chain_aborts)} chain abort(s) "
+                      f"({', '.join(reasons)})")
+
+    for host, down, up in _overlapping_windows(timeline, windows):
+        up_text = f"{up:.0f}" if up != math.inf else "end of run"
+        causes.append(f"overlapped crash window of {host} "
+                      f"[{down:.0f}..{up_text} µs]")
+
+    if timeline["unfinished"]:
+        causes.append("operation never completed (run ended or client "
+                      "stuck mid-request)")
+    if timeline["truncated"]:
+        causes.append("timeline truncated: op.open evicted from the "
+                      "flight ring (raise --flight=N)")
+
+    return {
+        "op": timeline["op"],
+        "kind": timeline["kind"],
+        "client": timeline["client"],
+        "status": timeline["status"],
+        "latency_us": timeline["latency_us"],
+        "anomalous": is_anomalous(timeline),
+        "segments": segment_totals(timeline),
+        "causes": causes,
+    }
+
+
+def straggler_threshold(by_op, pct=99.0):
+    """The latency percentile over measured, finished operations."""
+    latencies = [tl["latency_us"] for tl in by_op.values()
+                 if tl["latency_us"] is not None and tl["measured"]]
+    if not latencies:
+        return None
+    return percentile(latencies, pct)
+
+
+def worst_requests(by_op, top=5, pct=99.0):
+    """Pick the operations worth narrating.
+
+    Every anomalous operation (aborted / timed out / unfinished) is
+    included; the list is then padded with latency stragglers (at or
+    above the ``pct`` percentile, slowest first) up to at least
+    ``top`` entries. Sorted: anomalies first, then by latency
+    descending.
+    """
+    def latency_of(tl):
+        if tl["latency_us"] is not None:
+            return tl["latency_us"]
+        return tl["end"] - tl["start"]
+
+    anomalies = [tl for tl in by_op.values() if is_anomalous(tl)]
+    anomalies.sort(key=latency_of, reverse=True)
+    picked = list(anomalies)
+    seen = {tl["op"] for tl in picked}
+    threshold = straggler_threshold(by_op, pct)
+    if threshold is not None:
+        stragglers = [tl for tl in by_op.values()
+                      if tl["op"] not in seen and tl["measured"]
+                      and tl["latency_us"] is not None
+                      and tl["latency_us"] >= threshold]
+        stragglers.sort(key=latency_of, reverse=True)
+        for tl in stragglers:
+            if len(picked) >= max(top, len(anomalies)):
+                break
+            picked.append(tl)
+            seen.add(tl["op"])
+    return picked
+
+
+def _fmt_event(event, t0):
+    """One timeline line: offset, kind, and the interesting fields."""
+    skip = {"seq", "t", "op", "kind"}
+
+    def fmt(key, value):
+        if key == "target" and isinstance(value, int):
+            return f"{key}={value:#x}"
+        if isinstance(value, float):
+            return f"{key}={value:.2f}"
+        return f"{key}={value}"
+
+    fields = " ".join(fmt(key, value) for key, value in event.items()
+                      if key not in skip)
+    return f"+{event['t'] - t0:9.2f}  {event['kind']:<16} {fields}".rstrip()
+
+
+def narrate(timeline, windows=(), max_events=24):
+    """Human-readable lines telling one operation's story."""
+    diag = diagnose(timeline, windows)
+    latency = timeline["latency_us"]
+    if latency is None:
+        latency = timeline["end"] - timeline["start"]
+    header = (f"op #{timeline['op']} {timeline['kind'] or '?'} "
+              f"(client {timeline['client']}): {latency:.2f} µs, "
+              f"status={timeline['status']}")
+    extras = []
+    if timeline["retries"]:
+        extras.append(f"{timeline['retries']} retries")
+    if timeline["aborts"]:
+        extras.append(f"{timeline['aborts']} aborts")
+    if extras:
+        header += " (" + ", ".join(extras) + ")"
+    lines = [header]
+    if diag["causes"]:
+        lines.append("  causes:")
+        lines.extend(f"    - {cause}" for cause in diag["causes"])
+    else:
+        lines.append("  causes: none recorded (healthy request)")
+    totals = diag["segments"]
+    if totals:
+        parts = ", ".join(f"{label} {us:.2f}" for label, us
+                          in sorted(totals.items(), key=lambda kv: -kv[1]))
+        total = sum(totals.values())
+        lines.append(f"  segments: {parts} "
+                     f"(sum {total:.2f} µs = measured {latency:.2f} µs)")
+    lines.append("  timeline:")
+    events = timeline["events"]
+    shown = events[:max_events]
+    t0 = timeline["start"]
+    lines.extend(f"    {_fmt_event(event, t0)}" for event in shown)
+    if len(events) > max_events:
+        lines.append(f"    ... {len(events) - max_events} more events")
+    return lines
+
+
+def explain_lines(dump, top=5, pct=99.0):
+    """The ``explain`` report: summary + the K worst requests' stories.
+
+    ``dump`` is a flight-dump dict (:meth:`FlightRecorder.to_dict` /
+    :func:`repro.obs.flight.load_dump` output) or a live
+    :class:`~repro.obs.flight.FlightRecorder`. Every anomalous request
+    is narrated (the acceptance bar: each names at least one concrete
+    cause), plus latency stragglers up to at least ``top`` stories.
+    """
+    if hasattr(dump, "to_dict"):
+        dump = dump.to_dict()
+    by_op, global_events = timelines(dump.get("events", []))
+    windows = crash_windows(global_events)
+    lines = []
+    evicted = dump.get("evicted", 0)
+    lines.append(
+        f"flight: {dump.get('recorded', len(dump.get('events', [])))} "
+        f"events recorded ({evicted} evicted), "
+        f"{dump.get('ops_opened', 0)} ops opened / "
+        f"{dump.get('ops_closed', 0)} closed")
+    anomalies = [tl for tl in by_op.values() if is_anomalous(tl)]
+    threshold = straggler_threshold(by_op, pct)
+    if threshold is not None:
+        lines.append(f"p{pct:g} latency of flighted ops: {threshold:.2f} µs")
+    if windows:
+        for host, down, up in windows:
+            up_text = f"{up:.0f} µs" if up != math.inf else "end of run"
+            lines.append(f"crash window: {host} down {down:.0f} µs -> "
+                         f"{up_text}")
+    lines.append(f"anomalous requests (aborted/timed-out/unfinished): "
+                 f"{len(anomalies)}")
+    picked = worst_requests(by_op, top=top, pct=pct)
+    if not picked:
+        lines.append("nothing to explain: no anomalies, no stragglers.")
+        return lines
+    for timeline in picked:
+        lines.append("")
+        lines.extend(narrate(timeline, windows))
+    return lines

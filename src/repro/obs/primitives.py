@@ -115,6 +115,8 @@ class PrimitiveCollector:
         self.chains = 0
         self.chains_committed = 0
         self.chains_aborted = 0
+        self.chains_retransmitted = 0
+        self._seen_logicals = set()
         self.chain_lengths = {}      # ops per chain -> count
         self.chain_hops = {}         # total derefs per chain -> count
         self.chain_abort_reasons = {}
@@ -166,9 +168,21 @@ class PrimitiveCollector:
         """An op hard-NAK'd; remember why, by error class."""
         _bump(self.nak_reasons.setdefault(opname, {}), type(error).__name__)
 
-    def note_chain(self, ops, results):
-        """One finished request: its ops and their OpResults in order."""
+    def note_chain(self, ops, results, logical=None):
+        """One finished request: its ops and their OpResults in order.
+
+        ``logical`` is the stable logical-request id from the client's
+        envelope (None for callers outside the request path). A repeat
+        execution of an already-seen logical id is a retransmission —
+        counted separately so chain statistics can report logical
+        requests without double-counting retried ones.
+        """
         self.chains += 1
+        if logical is not None:
+            if logical in self._seen_logicals:
+                self.chains_retransmitted += 1
+            else:
+                self._seen_logicals.add(logical)
         _bump(self.chain_lengths, len(ops))
         _bump(self.chain_hops, sum(_op_hops(op) for op in ops))
         statuses = [result.status.value for result in results]
@@ -275,6 +289,8 @@ class PrimitiveCollector:
                 "requests": self.chains,
                 "committed": self.chains_committed,
                 "aborted": self.chains_aborted,
+                "retransmitted_executions": self.chains_retransmitted,
+                "logical_requests": self.chains - self.chains_retransmitted,
                 "lengths": _hist_items(self.chain_lengths),
                 "hops": _hist_items(self.chain_hops),
                 "abort_reasons": dict(sorted(

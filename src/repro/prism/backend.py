@@ -140,6 +140,8 @@ class Backend:
                 f"{self.label}.engine", kind="engine")
         if sim.primitives is not None and engine.primitives is None:
             engine.primitives = sim.primitives
+        if sim.flight is not None and engine.flight is None:
+            engine.flight = sim.flight
 
     # -- per-backend hooks -------------------------------------------------
 
@@ -184,7 +186,7 @@ class Backend:
 
     # -- driver ------------------------------------------------------------
 
-    def process(self, connection, ops, span=NULL_SPAN):
+    def process(self, connection, ops, span=NULL_SPAN, logical=None):
         """Process helper: execute a request, yielding its time costs.
 
         Returns a :class:`ChainResult`. Semantics follow §3.4: a hard
@@ -194,6 +196,11 @@ class Backend:
         ``span`` parents the request's device-side spans: admission,
         per-op dispatch waits (execution unit + posting gate), and each
         op's execution interval (refined by :meth:`op_time_parts`).
+
+        ``logical`` is the logical request id from the client's
+        envelope (None for direct callers): it lets the primitive
+        collector count retransmitted executions separately from
+        logical requests, and lands on chain-abort flight events.
         """
         if isinstance(ops, Chain):
             ops = ops.ops
@@ -231,7 +238,11 @@ class Backend:
             prev_ok = result.successful
         self.requests_processed += 1
         if self.sim.primitives is not None:
-            self.sim.primitives.note_chain(ops, results)
+            self.sim.primitives.note_chain(ops, results, logical=logical)
+        fl = self.sim.flight
+        if fl is not None and results and not results[-1].successful:
+            fl.record("chain.abort", logical=logical, ops=len(results),
+                      reason=_abort_reason(results))
         return ChainResult(results)
 
 
@@ -251,6 +262,19 @@ class _PooledBackend(Backend):
     def utilization(self, elapsed):
         """Mean busy fraction of the execution pool."""
         return self._pool.utilization(elapsed)
+
+
+def _abort_reason(results):
+    """Why an executed chain did not commit (first decisive op wins)."""
+    for result in results:
+        if result.status is OpStatus.NAK:
+            return (type(result.error).__name__
+                    if result.error is not None else "nak")
+        if result.status is OpStatus.CAS_MISS:
+            return "cas_miss"
+        if result.status is OpStatus.SKIPPED:
+            return "skipped"
+    return "uncommitted"
 
 
 def trace_host_bytes(accesses):

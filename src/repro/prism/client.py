@@ -78,6 +78,11 @@ class PrismClient:
         else:
             chain = Chain(ops)
         policy = self.retry_policy
+        if self.sim.flight is not None:
+            self.sim.flight.record(
+                "chain.submit", ops=len(chain.ops),
+                kinds="+".join(op.opname for op in chain.ops),
+                server=self.server.host_name)
         with span.child("roundtrip", phase="cpu",
                         ops=len(chain.ops)) as trip:
             if policy is None:

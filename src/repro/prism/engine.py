@@ -144,6 +144,10 @@ class PrismEngine:
         #: CAS outcomes, dereference depth, allocator watermarks, and
         #: NAK reasons (wired by the owning backend from sim.primitives)
         self.primitives = None
+        #: optional repro.obs.flight.FlightRecorder receiving CAS-miss
+        #: and NAK events on the executing operation's causal timeline
+        #: (wired by the owning backend from sim.flight)
+        self.flight = None
 
     # -- protection helpers ------------------------------------------------
 
@@ -245,6 +249,9 @@ class PrismEngine:
         except (AccessViolation, AllocationFailure, InvalidOperation) as exc:
             if self.primitives is not None:
                 self.primitives.note_nak(op.opname, exc)
+            if self.flight is not None:
+                self.flight.record("op.nak", opname=op.opname,
+                                   error=type(exc).__name__)
             return OpResult(OpStatus.NAK, error=exc), accesses
         self.ops_executed += 1
         if self.monitor is not None:
@@ -355,6 +362,11 @@ class PrismEngine:
             self.primitives.note_deref(
                 "CAS", int(op.target_indirect) + int(op.data_indirect))
             self.primitives.note_cas(connection.id, target, op.mode, swapped)
+        if self.flight is not None and not swapped:
+            # Only misses are flight-worthy: they are what retry storms
+            # on hot addresses are made of (forensics groups by target).
+            self.flight.record("cas.miss", target=target,
+                               mode=op.mode.value)
         if swapped:
             new = (old & ~op.swap_mask) | (operand & op.swap_mask)
             self.space.write(target, new.to_bytes(width, "little"))

@@ -158,8 +158,8 @@ class PrismServer:
         with root.child("server.process", phase="queue",
                         host=self.host_name,
                         backend=self.backend.label) as span:
-            result = yield from self.backend.process(connection, ops,
-                                                     span=span)
+            result = yield from self.backend.process(
+                connection, ops, span=span, logical=request.logical_id)
         size = self._response_bytes(ops, result)
         yield from send_reply(self.fabric, self.host_name, request,
                               result, size, span=root)

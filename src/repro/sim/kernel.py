@@ -31,7 +31,8 @@ class Process(Event):
     ``Simulator.run`` so bugs never pass silently.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name", "_ever_waited")
+    __slots__ = ("_generator", "_waiting_on", "name", "_ever_waited",
+                 "_flight_ctx")
 
     def __init__(self, sim, generator, name=None):
         super().__init__(sim)
@@ -39,6 +40,11 @@ class Process(Event):
         self._waiting_on = None
         self._ever_waited = False
         self.name = name or getattr(generator, "__name__", "process")
+        # Flight-recorder causal context: a spawned process inherits the
+        # spawner's operation id, so delivery/server/reply processes all
+        # attribute their events to the originating client operation.
+        fl = sim.flight
+        self._flight_ctx = None if fl is None else fl.current_ctx()
         sim.tracer.process_started(self)
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
@@ -103,6 +109,10 @@ class Process(Event):
         hp = self.sim.hostprof
         if hp is not None:
             hp.resume_begin()
+        # Flight-recorder hook: who is executing (off => one None check).
+        fl = self.sim.flight
+        if fl is not None:
+            fl.enter_process(self)
         try:
             try:
                 target = advance()
@@ -124,6 +134,8 @@ class Process(Event):
                 self._step(
                     lambda: self._generator.throw(SimulationError(message)))
         finally:
+            if fl is not None:
+                fl.exit_process()
             if hp is not None:
                 hp.exit()
 
@@ -161,6 +173,7 @@ class Simulator:
         self.utilization = None
         self.primitives = None
         self.faults = None
+        self.flight = None
         # Adopt the ambient host profiler, if one is active (None in
         # normal runs; standalone --profile scripts activate one).
         self.hostprof = _hostprof.ACTIVE
@@ -207,6 +220,22 @@ class Simulator:
                     else FaultInjector(plan))
         self.faults = injector.bind(self)
         return self.faults
+
+    def set_flight(self, recorder):
+        """Install (and bind) a flight recorder; returns it for chaining.
+
+        Install *before* system construction — same contract as the
+        other collectors. The kernel then tells the recorder which
+        process executes each step, and a process spawned while another
+        runs inherits its operation context, so fabric deliveries,
+        server handlers, and replies attribute their flight events to
+        the originating client operation without any id plumbing. The
+        recorder only appends to a host-side ring buffer — it never
+        reads or schedules simulator events — so a recorded run stays
+        bit-identical in simulated time (see :mod:`repro.obs.flight`).
+        """
+        self.flight = recorder.bind(self)
+        return recorder
 
     def set_hostprof(self, profiler):
         """Install a host-side self-profiler; returns it for chaining.

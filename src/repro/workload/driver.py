@@ -95,10 +95,15 @@ class ClosedLoopDriver:
             yield self.sim.timeout((index * self.GOLDEN % 1.0)
                                    * self.stagger_us)
         traced = self.tracer.enabled
+        flight = self.sim.flight
         while self.sim.now < self.end_time:
             op = workload.next_op()
             root = None
+            op_id = None
             start = self.sim.now
+            if flight is not None:
+                name = getattr(op, "kind", None) or type(op).__name__
+                op_id = flight.op_open(f"op.{name}", client=index)
             if traced:
                 name = getattr(op, "kind", None) or type(op).__name__
                 root = self.tracer.root(f"op.{name}", client=index)
@@ -110,7 +115,15 @@ class ClosedLoopDriver:
             else:
                 info = yield from executor(op)
             finish = self.sim.now
-            if start >= self.warmup_us and finish <= self.end_time:
+            measured = start >= self.warmup_us and finish <= self.end_time
+            if op_id is not None:
+                aborts = info.get("aborts", 0) if info else 0
+                flight.op_close(
+                    op_id, status="aborted" if aborts else "ok",
+                    latency_us=finish - start, aborts=aborts,
+                    retries=info.get("retries", 0) if info else 0,
+                    measured=measured)
+            if measured:
                 recorder.record(finish, finish - start)
                 counters["ops"] += 1
                 if root is not None:

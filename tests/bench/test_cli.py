@@ -161,3 +161,113 @@ def test_fig1_profile_meters_internal_simulators(tmp_path, monkeypatch,
     out = capsys.readouterr().out
     assert "host self-profile" in out
     assert os.path.exists(tmp_path / "flame.fig1.txt")
+
+
+def test_parser_flight_modes():
+    parser = build_parser()
+    assert parser.parse_args(["point"]).flight is None
+    assert parser.parse_args(["point", "--flight"]).flight == 65536
+    assert parser.parse_args(["point", "--flight=128"]).flight == 128
+
+
+def test_flight_dump_and_explain(capsys, tmp_path):
+    dump = tmp_path / "flight.json"
+    assert main(["point", "--kind", "rs", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--faults", "seed=3,drop=0.02",
+                 "--flight", "--flight-dump", str(dump)]) == 0
+    out = capsys.readouterr().out
+    assert "flight recorder" in out
+    assert f"flight dump written to {dump}" in out
+    data = json.loads(dump.read_text())
+    assert data["ops_opened"] == data["ops_closed"] > 0
+    assert main(["explain", str(dump), "--top", "2"]) == 0
+    text = capsys.readouterr().out
+    assert "anomalous requests" in text
+    assert "causes:" in text
+    assert "= measured" in text
+
+
+def test_flight_dump_on_anomaly_without_explicit_path(capsys, monkeypatch,
+                                                      tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["point", "--kind", "rs", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--faults", "seed=3,drop=0.02", "--flight"]) == 0
+    out = capsys.readouterr().out
+    assert "anomaly detected" in out
+    assert os.path.exists(tmp_path / "flight.point.json")
+
+
+def test_flight_clean_run_writes_no_dump(capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200", "--flight"]) == 0
+    out = capsys.readouterr().out
+    assert "flight recorder" in out
+    assert "flight dump written" not in out
+    assert not os.path.exists(tmp_path / "flight.point.json")
+
+
+def test_record_identical_with_flight(tmp_path):
+    # --flight must leave the --json record byte-identical: the flight
+    # recorder observes transitions, it never creates or times them.
+    import subprocess
+    import sys
+
+    import repro
+    env = dict(os.environ,
+               PYTHONPATH=os.path.dirname(os.path.dirname(repro.__file__)))
+    base = [sys.executable, "-m", "repro.bench.cli", "point",
+            "--kind", "rs", "--flavor", "prism-sw",
+            "--clients", "2", "--keys", "200",
+            "--faults", "seed=3,drop=0.02"]
+    plain, flighted = tmp_path / "plain.json", tmp_path / "flight.json"
+    for extra in ([f"--json={plain}"], [f"--json={flighted}", "--flight"]):
+        proc = subprocess.run(base + extra, env=env, cwd=tmp_path,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+    assert json.loads(flighted.read_text()) == json.loads(plain.read_text())
+
+
+def test_sweep_trace_writes_designated_point(capsys, tmp_path):
+    # Satellite: --trace used to be silently ignored on fig sweeps.
+    trace = tmp_path / "fig3.trace.json"
+    assert main(["fig3", "--clients", "1,2", "--keys", "200",
+                 "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert f"chrome trace written to {trace} (prism-sw c=2)" in out
+    assert json.loads(trace.read_text())
+
+
+def test_contention_trace_writes_designated_point(capsys, tmp_path):
+    trace = tmp_path / "fig7.trace.json"
+    assert main(["fig7", "--clients", "2", "--keys", "200",
+                 "--zipfs", "0.0,0.9", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert f"chrome trace written to {trace} (prism-sw zipf=0.9)" in out
+    assert json.loads(trace.read_text())
+
+
+def test_sweep_flight_dumps_first_anomalous_point(capsys, tmp_path):
+    dump = tmp_path / "sweep-flight.json"
+    assert main(["fig6", "--clients", "1,2", "--keys", "200",
+                 "--faults", "seed=3,drop=0.02",
+                 "--flight", "--flight-dump", str(dump)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("flight dump written") == 1
+    assert json.loads(dump.read_text())["ops_opened"] > 0
+
+
+def test_trace_and_flight_rejected_off_point_commands(capsys):
+    assert main(["fig1", "--trace", "x.json"]) == 2
+    assert "--trace is not supported" in capsys.readouterr().err
+    assert main(["list", "--flight"]) == 2
+    assert "--flight is not supported" in capsys.readouterr().err
+    assert main(["point", "--flight=0"]) == 2
+    assert "capacity" in capsys.readouterr().err
+
+
+def test_explain_requires_one_path(capsys):
+    assert main(["explain"]) == 2
+    assert "usage" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""Flight recorder: off by default, bounded, causally attributed.
+
+Three guarantees under test: (1) an armed recorder never perturbs
+simulated time and the unarmed path stays a single ``is None`` check;
+(2) the ring bound is honest — eviction is visible, not silent; (3)
+events land on the right operation: fault injections recorded deep in
+the fabric carry the id of the client op whose message they hit, and
+retransmissions share a stable ``logical_id`` across fresh request
+ids.
+"""
+
+from repro.bench.harness import run_point
+from repro.obs import FlightRecorder
+from repro.sim import Simulator
+from repro.workload import YCSB_A, YCSB_C
+
+CLIENTS = 4
+KEYS = 400
+FAULTS = "seed=3,drop=0.02"
+
+
+def _workloads(index):
+    return YCSB_C(KEYS, zipf=0.9, seed=11, client_id=index)
+
+
+def _run(**kwargs):
+    return run_point("kv", "prism-sw", _workloads, CLIENTS,
+                     n_keys=KEYS, warmup_us=100.0, measure_us=500.0,
+                     **kwargs)
+
+
+def test_flight_is_off_by_default():
+    assert Simulator().flight is None
+
+
+def test_flight_does_not_perturb_simulated_time():
+    bare = _run()
+    recorded = _run(flight=FlightRecorder())
+    assert recorded == bare
+
+
+def test_flight_does_not_perturb_faulted_runs():
+    bare = _run(faults=FAULTS)
+    recorded = _run(faults=FAULTS, flight=FlightRecorder())
+    assert recorded == bare
+
+
+def test_ops_open_and_close_in_pairs():
+    flight = FlightRecorder()
+    _run(flight=flight)
+    assert flight.ops_opened > 0
+    assert flight.ops_closed == flight.ops_opened
+    kinds = {event["kind"] for event in flight.events}
+    assert {"op.open", "op.close", "req.send", "req.reply"} <= kinds
+
+
+def test_ring_evicts_oldest_and_keeps_seq_monotone():
+    flight = FlightRecorder(capacity=64)
+    _run(flight=flight)
+    events = flight.events
+    assert len(events) == 64
+    assert flight.recorded > 64
+    assert flight.evicted == flight.recorded - 64
+    seqs = [event["seq"] for event in events]
+    assert seqs == sorted(seqs)
+    # The survivors are exactly the newest `capacity` appends.
+    assert seqs[-1] == flight.recorded - 1
+    assert seqs[0] == flight.evicted
+
+
+def test_capacity_must_be_positive():
+    import pytest
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_fault_events_carry_the_victim_operation():
+    """A drop injected in the fabric lands on the client op whose
+    message was hit — the whole point of context inheritance."""
+    flight = FlightRecorder()
+    _run(faults=FAULTS, flight=flight)
+    drops = [e for e in flight.events if e["kind"] == "fault.drop"]
+    assert drops, "the seeded plan should have dropped something"
+    open_ops = {e["op"] for e in flight.events if e["kind"] == "op.open"}
+    attributed = [e for e in drops if e["op"] in open_ops]
+    assert attributed, "drops should attribute to real client ops"
+    # And the op whose message was dropped should show the recovery arc
+    # in its own story: a timeout then a fresh send, same logical id.
+    victim = attributed[0]
+    story = [e for e in flight.events if e["op"] == victim["op"]]
+    logicals = [e.get("logical") for e in story
+                if e["kind"] == "req.send"]
+    assert victim["logical"] in logicals
+
+
+def test_retransmissions_share_a_logical_id():
+    flight = FlightRecorder()
+    _run(faults=FAULTS, flight=flight)
+    sends = [e for e in flight.events if e["kind"] == "req.send"]
+    by_logical = {}
+    for event in sends:
+        by_logical.setdefault(event["logical"], []).append(event["req"])
+    retried = {logical: reqs for logical, reqs in by_logical.items()
+               if len(reqs) > 1}
+    assert retried, "a 2% drop plan must force some retransmission"
+    for reqs in retried.values():
+        # Fresh per-attempt request ids under one stable logical id.
+        assert len(set(reqs)) == len(reqs)
+
+
+def test_crash_events_are_global():
+    flight = FlightRecorder()
+    run_point("rs", "prism-sw",
+              lambda i: YCSB_A(KEYS, zipf=0.9, seed=17, client_id=i),
+              CLIENTS, n_keys=KEYS, warmup_us=100.0, measure_us=500.0,
+              faults="seed=5,crash=replica1@200+150", flight=flight)
+    kinds = {e["kind"]: e for e in flight.events}
+    assert "fault.crash" in kinds
+    assert "fault.recover" in kinds
+    # call_at callbacks run outside any process: no op to blame.
+    assert kinds["fault.crash"]["op"] is None
+    assert kinds["fault.crash"]["host"] == "replica1"
+    assert kinds["fault.recover"]["host"] == "replica1"
+
+
+def test_dump_round_trips(tmp_path):
+    from repro.obs import load_flight_dump
+    flight = FlightRecorder(capacity=256)
+    _run(flight=flight)
+    path = flight.dump(tmp_path / "flight.json")
+    loaded = load_flight_dump(path)
+    assert loaded == flight.to_dict()
+    assert loaded["capacity"] == 256
+    assert loaded["evicted"] == loaded["recorded"] - len(loaded["events"])

@@ -1,0 +1,197 @@
+"""Forensics: timelines, segment reconciliation, and diagnoses.
+
+The load-bearing contract is the same one critpath keeps: the labeled
+segments of every operation's timeline tile its duration exactly, so
+their sum equals the measured latency. On top of that, every
+anomalous request (aborted / timed out / exhausted) must get at least
+one concrete *cause* — the acceptance bar for the ``explain`` report.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.harness import run_point
+from repro.obs import FlightRecorder
+from repro.obs.forensics import (
+    crash_windows,
+    diagnose,
+    explain_lines,
+    is_anomalous,
+    narrate,
+    reconcile,
+    segment_totals,
+    segments,
+    timelines,
+    worst_requests,
+)
+from repro.workload import YCSB_A
+
+CLIENTS = 4
+KEYS = 300
+
+
+@pytest.fixture(scope="module")
+def chaos_flight():
+    """One seeded chaos run shared by the module's assertions."""
+    flight = FlightRecorder()
+    result = run_point(
+        "rs", "prism-sw",
+        lambda i: YCSB_A(KEYS, zipf=0.9, seed=17, client_id=i),
+        CLIENTS, n_keys=KEYS, warmup_us=100.0, measure_us=800.0,
+        faults="seed=3,drop=0.02", flight=flight)
+    return flight, result
+
+
+def test_every_timeline_reconciles(chaos_flight):
+    flight, _ = chaos_flight
+    by_op, _ = timelines(flight.events)
+    assert by_op
+    for timeline in by_op.values():
+        reconcile(timeline)
+
+
+def test_segments_tile_without_gaps_or_overlap(chaos_flight):
+    flight, _ = chaos_flight
+    by_op, _ = timelines(flight.events)
+    timeline = max(by_op.values(),
+                   key=lambda tl: len(tl["events"]))
+    segs = segments(timeline)
+    cursor = timeline["start"]
+    for seg in segs:
+        assert seg["from"] == cursor
+        assert seg["to"] > seg["from"]
+        cursor = seg["to"]
+    assert cursor == timeline["end"]
+
+
+def test_every_anomalous_request_gets_a_cause(chaos_flight):
+    """The acceptance bar: no anomaly goes unexplained."""
+    flight, _ = chaos_flight
+    by_op, global_events = timelines(flight.events)
+    windows = crash_windows(global_events)
+    anomalies = [tl for tl in by_op.values() if is_anomalous(tl)]
+    assert anomalies, "a 2% drop plan must produce some anomalies"
+    for timeline in anomalies:
+        diag = diagnose(timeline, windows)
+        assert diag["causes"], f"op #{timeline['op']} has no cause"
+
+
+def test_worst_requests_put_anomalies_first(chaos_flight):
+    flight, _ = chaos_flight
+    by_op, _ = timelines(flight.events)
+    picked = worst_requests(by_op, top=5)
+    flags = [is_anomalous(tl) for tl in picked]
+    # Once the anomalies end, no later entry is anomalous.
+    assert flags == sorted(flags, reverse=True)
+    assert len(picked) >= 5
+
+
+def test_explain_lines_name_the_injected_faults(chaos_flight):
+    flight, _ = chaos_flight
+    text = "\n".join(explain_lines(flight, top=3))
+    assert "injected message drop" in text
+    assert "ack timeout" in text
+    assert "sum" in text and "= measured" in text
+
+
+def test_explain_on_clean_run_reports_nothing_anomalous():
+    flight = FlightRecorder()
+    run_point("kv", "prism-sw",
+              lambda i: YCSB_A(KEYS, zipf=0.0, seed=11, client_id=i),
+              2, n_keys=KEYS, warmup_us=100.0, measure_us=400.0,
+              flight=flight)
+    lines = explain_lines(flight, top=2)
+    assert any("anomalous requests (aborted/timed-out/unfinished): 0"
+               in line for line in lines)
+
+
+# -- synthetic units -------------------------------------------------------
+
+
+def _ev(seq, t, op, kind, **fields):
+    return {"seq": seq, "t": t, "op": op, "kind": kind, **fields}
+
+
+def test_segment_labels_from_synthetic_story():
+    events = [
+        _ev(0, 0.0, 7, "op.open", name="op.put", client=1),
+        _ev(1, 1.0, 7, "req.send", logical=5, req=10),
+        _ev(2, 4.0, 7, "fault.drop", msg=99, logical=5),
+        _ev(3, 9.0, 7, "req.timeout", logical=5, req=10, timeout_us=8.0),
+        _ev(4, 9.0, 7, "req.backoff", logical=5, attempt=1,
+            backoff_us=2.0),
+        _ev(5, 11.0, 7, "req.send", logical=5, req=11),
+        _ev(6, 14.0, 7, "req.reply", logical=5, req=11, ok=True),
+        _ev(7, 15.0, 7, "op.close", status="ok", latency_us=15.0,
+            retries=1, aborts=0, measured=True),
+    ]
+    by_op, global_events = timelines(events)
+    assert global_events == []
+    timeline = by_op[7]
+    assert timeline["kind"] == "op.put"
+    assert not timeline["truncated"] and not timeline["unfinished"]
+    totals = segment_totals(timeline)
+    # 0->1 client, 1->4 inflight (drop), 4->9 timeout, 9->11 backoff,
+    # 11->14 inflight (reply), 14->15 client.
+    assert totals == {"client": 2.0, "inflight": 6.0, "timeout": 5.0,
+                      "backoff": 2.0}
+    assert reconcile(timeline) == 15.0
+    diag = diagnose(timeline)
+    assert any("drop" in c for c in diag["causes"])
+    assert any("timeout" in c for c in diag["causes"])
+    assert is_anomalous(timeline)
+
+
+def test_truncated_and_unfinished_timelines():
+    # op 3 lost its op.open to eviction; op 4 never closed.
+    events = [
+        _ev(10, 5.0, 3, "req.send", logical=1, req=1),
+        _ev(11, 8.0, 3, "req.reply", logical=1, req=1, ok=True),
+        _ev(12, 8.5, 3, "op.close", status="ok", latency_us=4.0),
+        _ev(13, 9.0, 4, "op.open", name="op.get", client=0),
+        _ev(14, 9.5, 4, "req.send", logical=2, req=2),
+    ]
+    by_op, _ = timelines(events)
+    assert by_op[3]["truncated"] and not by_op[3]["unfinished"]
+    assert by_op[4]["unfinished"] and not by_op[4]["truncated"]
+    assert by_op[4]["status"] == "unfinished"
+    assert is_anomalous(by_op[4])
+    assert any("truncated" in c for c in diagnose(by_op[3])["causes"])
+    assert any("never completed" in c for c in diagnose(by_op[4])["causes"])
+    # Truncated/unfinished ops reconcile against end - start.
+    reconcile(by_op[3])
+    reconcile(by_op[4])
+
+
+def test_crash_windows_pair_and_diagnose_overlap():
+    global_events = [
+        _ev(0, 100.0, None, "fault.crash", host="replica1"),
+        _ev(1, 250.0, None, "fault.recover", host="replica1"),
+        _ev(2, 400.0, None, "fault.crash", host="server"),
+    ]
+    windows = crash_windows(global_events)
+    assert windows == [("replica1", 100.0, 250.0),
+                      ("server", 400.0, math.inf)]
+    events = [
+        _ev(3, 120.0, 9, "op.open", name="op.put", client=2),
+        _ev(4, 130.0, 9, "fault.crash_drop", msg=7, host="replica1"),
+        _ev(5, 140.0, 9, "op.close", status="aborted", latency_us=20.0),
+    ]
+    by_op, _ = timelines(events)
+    diag = diagnose(by_op[9], windows)
+    assert any("crashed host replica1" in c for c in diag["causes"])
+    assert any("crash window of replica1" in c for c in diag["causes"])
+    assert not any("server" in c and "crash window" in c
+                   for c in diag["causes"])
+
+
+def test_narrate_truncates_long_timelines():
+    events = [_ev(0, 0.0, 1, "op.open", name="op.get", client=0)]
+    events += [_ev(i, float(i), 1, "req.send", logical=i, req=i)
+               for i in range(1, 40)]
+    events.append(_ev(40, 40.0, 1, "op.close", status="ok",
+                      latency_us=40.0))
+    by_op, _ = timelines(events)
+    lines = narrate(by_op[1], max_events=10)
+    assert any("more events" in line for line in lines)
