@@ -50,6 +50,19 @@ clean runs; sweeps dump the first anomalous point). ``explain
 and prints the K worst requests' causal narratives
 (:mod:`repro.obs.forensics`). Like every collector, ``--flight``
 leaves simulated timing and ``--json`` records bit-identical.
+
+``--series[=WINDOW_US]`` collects windowed time-series telemetry on
+the simulated clock (default window 50 µs; see
+:mod:`repro.obs.series`): per-window throughput/goodput/latency
+digests and retry/timeout/NAK counters, an MSER steady-state verdict
+that warns when the configured warmup is shorter than the detected
+transient, and changepoint annotations cross-referenced against
+injected fault windows. Each point prints sparklines + the annotated
+report, ``--json`` records gain a ``series`` section (schema v4), and
+``compare --series`` diffs steady-state-only aggregates so regression
+gates stop averaging warm-up noise. ``--warmup-us``/``--measure-us``
+set the measurement geometry the steady-state verdict is judged
+against (defaults 300/1500 µs; fig7/fig10 measure 2000 µs).
 """
 
 import argparse
@@ -73,15 +86,18 @@ from repro.bench.reporting import (
     print_flight,
     print_host,
     print_primitives,
+    print_series,
     print_table,
     utilization_rows,
 )
 from repro.net.topology import CLUSTER, DATACENTER, DIRECT, RACK
 from repro.obs import (
     FLIGHT_DEFAULT_CAPACITY,
+    SERIES_DEFAULT_WINDOW_US,
     FlightRecorder,
     HostProfiler,
     PrimitiveCollector,
+    SeriesCollector,
     Tracer,
     UtilizationCollector,
     analyze,
@@ -97,6 +113,22 @@ from repro.workload import (
 )
 
 DEFAULT_CLIENTS = [1, 8, 32, 96, 176]
+
+#: measurement geometry used when --warmup-us/--measure-us are absent
+#: (the values harness.run_point has always defaulted to)
+DEFAULT_WARMUP_US = 300.0
+DEFAULT_MEASURE_US = 1500.0
+#: fig7/fig10 have always measured a longer window
+CONTENTION_MEASURE_US = 2000.0
+
+
+def _measure_windows(args, default_measure=DEFAULT_MEASURE_US):
+    """Resolve --warmup-us/--measure-us against a command's defaults."""
+    warmup = (args.warmup_us if args.warmup_us is not None
+              else DEFAULT_WARMUP_US)
+    measure = (args.measure_us if args.measure_us is not None
+               else default_measure)
+    return warmup, measure
 
 
 def _parse_int_list(text):
@@ -175,6 +207,15 @@ def _point_host(title, hostprof):
         return None
     report = hostprof.report()
     print_host(f"{title} host self-profile", report)
+    return report
+
+
+def _point_series(title, series, utilization=None, faults=None):
+    """Print one point's windowed-series report; returns it for ``--json``."""
+    if series is None:
+        return None
+    report = series.report(utilization=utilization, faults=faults)
+    print_series(f"{title} time series", report)
     return report
 
 
@@ -259,6 +300,7 @@ def _sweep_flight_done(args, state):
 def cmd_figure_sweep(args):
     kind, flavors, seed, workload_maker = _FIGURE_SYSTEMS[args.command]
     telemetry = bool(args.json or args.util)
+    warmup_us, measure_us = _measure_windows(args)
     # --trace on a sweep traces one designated point: the first flavor
     # at the largest client count (the most interesting trace, and one
     # file — a trace per point would clobber the same path).
@@ -270,19 +312,25 @@ def cmd_figure_sweep(args):
         started = time.perf_counter()
         results = []
         for n_clients in args.clients:
-            collector = UtilizationCollector() if telemetry else None
+            # --series needs the timeline monitors for its per-window
+            # busy fractions, so it implies a UtilizationCollector.
+            collector = (UtilizationCollector()
+                         if telemetry or args.series else None)
             primitives = PrimitiveCollector() if args.primitives else None
             tracing = trace_target == (flavor, n_clients)
             tracer = Tracer() if (args.primitives or tracing) else None
             hostprof = HostProfiler() if args.profile else None
             flight = (FlightRecorder(args.flight) if args.flight
                       else None)
+            series = SeriesCollector(args.series) if args.series else None
             result = run_point(kind, flavor,
                                workload_maker(args.keys, args.zipf),
                                n_clients, n_keys=args.keys,
+                               warmup_us=warmup_us, measure_us=measure_us,
                                tracer=tracer, utilization=collector,
                                primitives=primitives, faults=args.faults,
-                               hostprof=hostprof, flight=flight)
+                               hostprof=hostprof, flight=flight,
+                               series=series)
             results.append(result)
             if tracing:
                 write_chrome_trace(tracer.roots, args.trace,
@@ -293,6 +341,9 @@ def cmd_figure_sweep(args):
                 f"{args.command}: {flavor} c={n_clients}", result)
             host_report = _point_host(
                 f"{args.command}: {flavor} c={n_clients}", hostprof)
+            series_report = _point_series(
+                f"{args.command}: {flavor} c={n_clients}", series,
+                utilization=collector, faults=faults_report)
             if flight is not None:
                 _sweep_flight(args, f"{args.command}: {flavor} "
                               f"c={n_clients}", flight, result,
@@ -315,7 +366,9 @@ def cmd_figure_sweep(args):
                     from repro.bench.regress import make_point
                     config = {"kind": kind, "flavor": flavor,
                               "clients": n_clients, "keys": args.keys,
-                              "zipf": args.zipf, "seed": seed}
+                              "zipf": args.zipf, "seed": seed,
+                              "warmup_us": warmup_us,
+                              "measure_us": measure_us}
                     if args.faults:
                         config["faults"] = args.faults
                     points.append(make_point(kind, flavor, result, config,
@@ -324,7 +377,8 @@ def cmd_figure_sweep(args):
                                              primitives=prim_report,
                                              critpath=profile,
                                              faults=faults_report,
-                                             host=host_report))
+                                             host=host_report,
+                                             series=series_report))
         wall_s = time.perf_counter() - started
         events = sum(r.extra.get("events_executed", 0) for r in results)
         rate = f", {events / wall_s:,.0f} events/s" if wall_s > 0 else ""
@@ -344,6 +398,8 @@ def cmd_contention(args):
                else ["prism-sw", "farm-hw"])
     # --trace designates the first flavor at the most skewed zipf.
     trace_target = (flavors[0], args.zipfs[-1]) if args.trace else None
+    warmup_us, measure_us = _measure_windows(
+        args, default_measure=CONTENTION_MEASURE_US)
     flight_state = {}
     rows = []
     for zipf in args.zipfs:
@@ -363,11 +419,15 @@ def cmd_contention(args):
             hostprof = HostProfiler() if args.profile else None
             flight = (FlightRecorder(args.flight) if args.flight
                       else None)
+            series = SeriesCollector(args.series) if args.series else None
+            collector = UtilizationCollector() if args.series else None
             result = run_point(kind, flavor, workload, args.clients[0],
-                               n_keys=args.keys, measure_us=2000.0,
-                               tracer=tracer, primitives=primitives,
+                               n_keys=args.keys, warmup_us=warmup_us,
+                               measure_us=measure_us,
+                               tracer=tracer, utilization=collector,
+                               primitives=primitives,
                                faults=args.faults, hostprof=hostprof,
-                               flight=flight)
+                               flight=flight, series=series)
             if tracing:
                 write_chrome_trace(tracer.roots, args.trace,
                                    process_spans=tracer.process_spans)
@@ -375,6 +435,9 @@ def cmd_contention(args):
                       f"({flavor} zipf={zipf})")
             _point_faults(f"{args.command}: {flavor} zipf={zipf}", result)
             _point_host(f"{args.command}: {flavor} zipf={zipf}", hostprof)
+            _point_series(f"{args.command}: {flavor} zipf={zipf}", series,
+                          utilization=collector,
+                          faults=result.extra.get("faults"))
             if flight is not None:
                 _sweep_flight(args, f"{args.command}: {flavor} "
                               f"zipf={zipf}", flight, result, flight_state)
@@ -400,10 +463,12 @@ def cmd_point(args):
             args.keys, read_fraction=args.read_fraction, zipf=args.zipf,
             seed=1, client_id=i))
     collector = (UtilizationCollector()
-                 if (args.json or args.util) else None)
+                 if (args.json or args.util or args.series) else None)
     primitives = PrimitiveCollector() if args.primitives else None
     hostprof = HostProfiler() if args.profile else None
     flight = FlightRecorder(args.flight) if args.flight else None
+    series = SeriesCollector(args.series) if args.series else None
+    warmup_us, measure_us = _measure_windows(args)
     phases = None
     tracer = None
     if args.trace or args.primitives:
@@ -412,7 +477,8 @@ def cmd_point(args):
             args.kind, args.flavor, workload, args.clients[0],
             trace_path=args.trace, utilization=collector,
             primitives=primitives, n_keys=args.keys, faults=args.faults,
-            hostprof=hostprof, flight=flight)
+            hostprof=hostprof, flight=flight, series=series,
+            warmup_us=warmup_us, measure_us=measure_us)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
         print_breakdown(f"{args.kind}/{args.flavor}: phase breakdown "
@@ -423,11 +489,15 @@ def cmd_point(args):
         result = run_point(args.kind, args.flavor, workload, args.clients[0],
                            n_keys=args.keys, utilization=collector,
                            faults=args.faults, hostprof=hostprof,
-                           flight=flight)
+                           flight=flight, series=series,
+                           warmup_us=warmup_us, measure_us=measure_us)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
     faults_report = _point_faults(f"{args.kind}/{args.flavor}", result)
     host_report = _point_host(f"{args.kind}/{args.flavor}", hostprof)
+    series_report = _point_series(f"{args.kind}/{args.flavor}", series,
+                                  utilization=collector,
+                                  faults=faults_report)
     if flight is not None:
         _point_flight(args, f"{args.kind}/{args.flavor}", flight, result)
     prim_report = profile = None
@@ -446,14 +516,15 @@ def cmd_point(args):
         config = {"kind": args.kind, "flavor": args.flavor,
                   "clients": args.clients[0], "keys": args.keys,
                   "zipf": args.zipf, "read_fraction": args.read_fraction,
-                  "seed": 1}
+                  "seed": 1, "warmup_us": warmup_us,
+                  "measure_us": measure_us}
         if args.faults:
             config["faults"] = args.faults
         point = make_point(args.kind, args.flavor, result, config,
                            phases=phases, utilization=util_report,
                            bottleneck=verdict, primitives=prim_report,
                            critpath=profile, faults=faults_report,
-                           host=host_report)
+                           host=host_report, series=series_report)
         write_record(make_record(f"point:{args.kind}/{args.flavor}", [point]),
                      args.json)
         print(f"result record written to {args.json}")
@@ -473,9 +544,14 @@ def cmd_compare(args):
                   file=sys.stderr)
             return 2
         tolerances[metric] = float(frac)
+    if args.host and args.series is not None:
+        print("--host and --series compare modes are exclusive",
+              file=sys.stderr)
+        return 2
     baseline = load_record(args.paths[0])
     run = load_record(args.paths[1])
-    report = compare(baseline, run, tolerances=tolerances, host=args.host)
+    report = compare(baseline, run, tolerances=tolerances, host=args.host,
+                     series=args.series is not None)
     print(f"baseline: {args.paths[0]} "
           f"(commit {report['baseline_commit'] or 'unknown'})")
     print(f"run:      {args.paths[1]} "
@@ -569,6 +645,30 @@ def build_parser():
                              "a per-point digest and dumps the event log "
                              "on anomalies (aborts, timeouts, exhausted "
                              "retries) for the explain subcommand")
+    parser.add_argument("--series", nargs="?",
+                        const=SERIES_DEFAULT_WINDOW_US, type=float,
+                        default=None, metavar="WINDOW_US",
+                        help="(point, fig3/4/6/7/9/10) collect windowed "
+                             "time-series telemetry on the simulated clock "
+                             f"(default window {SERIES_DEFAULT_WINDOW_US:g} "
+                             "µs): per-window throughput/latency/retry "
+                             "counters with sparklines, MSER steady-state "
+                             "detection, and fault-correlated changepoint "
+                             "annotations; (compare) diff the records' "
+                             "steady-state-only series aggregates instead "
+                             "of the end-of-run metrics")
+    parser.add_argument("--warmup-us", type=float, default=None,
+                        metavar="US",
+                        help="(point, fig3/4/6/7/9/10) warmup before the "
+                             "measurement window (default "
+                             f"{DEFAULT_WARMUP_US:g} µs); the series "
+                             "steady-state verdict checks it covers the "
+                             "detected transient")
+    parser.add_argument("--measure-us", type=float, default=None,
+                        metavar="US",
+                        help="(point, fig3/4/6/7/9/10) measurement window "
+                             f"length (default {DEFAULT_MEASURE_US:g} µs; "
+                             f"fig7/fig10 use {CONTENTION_MEASURE_US:g} µs)")
     parser.add_argument("--flight-dump", metavar="PATH", default=None,
                         help="(with --flight) write the flight dump to "
                              "PATH even when the run is clean; sweeps "
@@ -592,15 +692,30 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     # Fail fast instead of silently ignoring per-point flags on
     # commands that never run a sweepable measurement point.
-    for flag, value in (("--trace", args.trace), ("--flight", args.flight)):
-        if value is not None and args.command not in _POINT_COMMANDS:
+    for flag, value, allowed in (
+            ("--trace", args.trace, _POINT_COMMANDS),
+            ("--flight", args.flight, _POINT_COMMANDS),
+            ("--series", args.series, _POINT_COMMANDS | {"compare"}),
+            ("--warmup-us", args.warmup_us, _POINT_COMMANDS),
+            ("--measure-us", args.measure_us, _POINT_COMMANDS)):
+        if value is not None and args.command not in allowed:
             print(f"{flag} is not supported by {args.command!r}: only "
                   "point and the fig sweeps run a measurement point "
-                  "(supported: " + ", ".join(sorted(_POINT_COMMANDS)) + ")",
+                  "(supported: " + ", ".join(sorted(allowed)) + ")",
                   file=sys.stderr)
             return 2
     if args.flight is not None and args.flight < 1:
         print("--flight capacity must be >= 1", file=sys.stderr)
+        return 2
+    if args.series is not None and args.series <= 0:
+        print("--series window must be > 0 µs", file=sys.stderr)
+        return 2
+    if args.warmup_us is not None and args.warmup_us <= 0:
+        print("--warmup-us must be positive", file=sys.stderr)
+        return 2
+    if args.measure_us is not None and args.measure_us <= 0:
+        print("--measure-us must be positive (the warmup must end "
+              "before the run does)", file=sys.stderr)
         return 2
     dispatch = {
         "motivation": cmd_motivation,

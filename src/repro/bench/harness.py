@@ -189,7 +189,7 @@ def run_point(kind, flavor, workload_factory, n_clients,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
               n_client_hosts=N_CLIENT_HOSTS, tracer=None,
               utilization=None, primitives=None, faults=None,
-              hostprof=None, flight=None):
+              hostprof=None, flight=None, series=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
@@ -219,12 +219,20 @@ def run_point(kind, flavor, workload_factory, n_clients,
     fault injections) that :mod:`repro.obs.forensics` turns into
     per-request timelines and diagnoses. Like the other collectors it
     never touches simulated timing.
+
+    ``series`` takes a :class:`repro.obs.SeriesCollector`: the run is
+    then bucketed into fixed-width windows on the simulated clock
+    (throughput, goodput, latency digests, retry/NAK counters), with
+    MSER steady-state detection and changepoint annotation on top (see
+    :mod:`repro.obs.series`). Also timing-neutral.
     """
     sim = Simulator()
     if hostprof is not None:
         sim.set_hostprof(hostprof)
     if flight is not None:
         sim.set_flight(flight)
+    if series is not None:
+        sim.set_series(series.configure(warmup_us, measure_us))
     if faults is not None:
         if isinstance(faults, str):
             from repro.faults import parse_faults
@@ -258,6 +266,8 @@ def run_point(kind, flavor, workload_factory, n_clients,
         deactivate(hostprof)
     if utilization is not None:
         utilization.finish(sim.now)
+    if series is not None:
+        series.finish(sim.now)
     if sim.faults is not None:
         report = sim.faults.report()
         # Goodput: operations that *completed* per second of measured

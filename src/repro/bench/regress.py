@@ -52,10 +52,13 @@ SCHEMA = "repro-bench-result"
 #: PrimitiveCollector snapshot) and "critpath" (the per-op
 #: critical-path profile). v3 (additive over v2): points may carry
 #: "host" (wall-clock self-profiling of the simulator: events/sec,
-#: wall seconds, bucket shares). Every earlier field is unchanged, so
-#: this tool still reads v1 and v2 baselines.
-SCHEMA_VERSION = 3
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+#: wall seconds, bucket shares). v4 (additive over v3): points may
+#: carry "series" (the windowed time-series report: per-window
+#: throughput/latency/counters, MSER steady-state block, changepoint
+#: annotations; see :mod:`repro.obs.series`). Every earlier field is
+#: unchanged, so this tool still reads v1-v3 baselines.
+SCHEMA_VERSION = 4
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: per-metric tolerance bands: direction is which way is *better*;
 #: ``rel`` is the allowed relative degradation before failing
@@ -74,6 +77,16 @@ DEFAULT_TOLERANCES = {
 HOST_TOLERANCES = {
     "host.events_per_sec": {"direction": "higher", "rel": 0.5},
     "host.wall_s": {"direction": "lower", "rel": 1.0},
+}
+
+#: bands for ``compare(series=True)``: steady-state-only aggregates
+#: from the windowed series (transient windows excluded by the MSER
+#: detector), so these can be as tight as the end-of-run bands without
+#: averaging warm-up noise into the gate.
+SERIES_TOLERANCES = {
+    "series.steady_tput_ops_per_sec": {"direction": "higher", "rel": 0.02},
+    "series.steady_mean_us": {"direction": "lower", "rel": 0.02},
+    "series.steady_p99_us": {"direction": "lower", "rel": 0.05},
 }
 
 
@@ -108,7 +121,7 @@ def result_metrics(result):
 
 def make_point(kind, flavor, result, config, phases=None, utilization=None,
                bottleneck=None, primitives=None, critpath=None, faults=None,
-               host=None):
+               host=None, series=None):
     """One measurement point: config + metrics (+ optional telemetry).
 
     ``config`` must contain everything needed to reproduce the point
@@ -137,6 +150,8 @@ def make_point(kind, flavor, result, config, phases=None, utilization=None,
         point["faults"] = faults
     if host is not None:
         point["host"] = host
+    if series is not None:
+        point["series"] = series
     return point
 
 
@@ -207,7 +222,7 @@ def _check_metric(metric, base, run, band):
     return finding
 
 
-def compare(baseline, run, tolerances=None, host=False):
+def compare(baseline, run, tolerances=None, host=False, series=False):
     """Diff two result records; returns a report dict.
 
     ``report["ok"]`` is False when any baseline point is missing from
@@ -220,8 +235,18 @@ def compare(baseline, run, tolerances=None, host=False):
     point without a ``host`` section (any v1/v2 record, or a run made
     without ``--profile``) is skipped silently: old baselines are not
     errors.
+
+    ``series=True`` compares *steady-state-only* aggregates from the
+    windowed series sections (``series.steady_state``), under
+    :data:`SERIES_TOLERANCES` — the MSER detector has already excluded
+    transient windows, so these gates never average warm-up noise. A
+    baseline point without a ``series`` section (any v1-v3 record, or
+    a run made without ``--series``) is skipped silently.
     """
-    bands = dict(HOST_TOLERANCES if host else DEFAULT_TOLERANCES)
+    if host and series:
+        raise ValueError("host and series compare modes are exclusive")
+    bands = dict(SERIES_TOLERANCES if series
+                 else HOST_TOLERANCES if host else DEFAULT_TOLERANCES)
     if tolerances:
         for metric, rel in tolerances.items():
             if metric not in bands:
@@ -260,6 +285,22 @@ def compare(baseline, run, tolerances=None, host=False):
                     continue
                 finding = _check_metric(metric, base_host[key],
                                         run_host.get(key, float("nan")),
+                                        band)
+                finding["point"] = pid
+                findings.append(finding)
+            continue
+        if series:
+            base_steady = (base_point.get("series") or {}).get("steady_state")
+            if base_steady is None:
+                continue
+            run_steady = ((run_point.get("series") or {})
+                          .get("steady_state") or {})
+            for metric, band in bands.items():
+                key = metric.split(".", 1)[1]
+                if key not in base_steady:
+                    continue
+                finding = _check_metric(metric, base_steady[key],
+                                        run_steady.get(key, float("nan")),
                                         band)
                 finding["point"] = pid
                 findings.append(finding)

@@ -314,6 +314,158 @@ def print_flight(title, dump, top=3, out=print):
     out("")
 
 
+#: sparkline glyphs, lowest to highest (space = empty window)
+SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    """Render ``values`` as a block-character sparkline.
+
+    ``None``/NaN entries render as spaces (no data); otherwise values
+    scale linearly between the series min and max. A flat non-empty
+    series renders at mid-height so it reads as "present and steady".
+    """
+    cleaned = [None if v is None or v != v else v for v in values]
+    present = [v for v in cleaned if v is not None]
+    if not present:
+        return " " * len(values)
+    low, high = min(present), max(present)
+    span = high - low
+    glyphs = SPARK_GLYPHS[1:]
+    chars = []
+    for v in cleaned:
+        if v is None:
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(glyphs[len(glyphs) // 2])
+        else:
+            index = int((v - low) / span * (len(glyphs) - 1) + 0.5)
+            chars.append(glyphs[index])
+    return "".join(chars)
+
+
+def _series_marker_line(report, n_shown):
+    """One marker char per window: w/s boundaries, f faults, ! deviations."""
+    window_us = report["window_us"]
+    steady = report.get("steady_state", {})
+    marks = [" "] * n_shown
+
+    def mark(index, char):
+        if 0 <= index < len(marks) and marks[index] == " ":
+            marks[index] = char
+
+    for annotation in report.get("annotations", []):
+        if annotation["kind"] == "fault.drop":
+            # The aggregate drop annotation spans first..last injected
+            # drop; marking that whole span would flood the line under
+            # a scattered low-rate plan. Drop windows are marked from
+            # their own counters below.
+            continue
+        first = int(annotation["start_us"] // window_us)
+        last = int(max(annotation["end_us"] - 1e-9, annotation["start_us"])
+                   // window_us)
+        char = "f" if annotation["kind"].startswith("fault.") else "!"
+        for index in range(first, last + 1):
+            mark(index, char)
+    for index, window in enumerate(report["windows"][:n_shown]):
+        counters = window.get("counters") or {}
+        if any(counters.get(name) for name in
+               ("drops", "dups", "delays", "crash_drops")):
+            mark(index, "f")
+    mark(int(steady.get("configured_warmup_us", 0.0) // window_us), "w")
+    mark(int(steady.get("steady_from_us", 0.0) // window_us), "s")
+    return "".join(marks)
+
+
+def series_report_lines(report, out_width=72):
+    """Human-readable windowed-series summary with sparklines.
+
+    ``report`` is :meth:`repro.obs.SeriesCollector.report` output.
+    Two sparklines (throughput, mean latency) over the window grid, a
+    marker line (``w`` warmup boundary, ``s`` steady-state start,
+    ``f`` fault window, ``!`` deviation), the MSER steady-state
+    verdict, the reconciliation line, and one line per annotation.
+    """
+    steady = report.get("steady_state", {})
+    recon = report.get("reconciliation", {})
+    # Render up to the end of the measurement window: the drain tail
+    # (in-flight ops completing after it) is a few sparse part-width
+    # windows whose inflated per-µs rates would dominate the scale.
+    measure_end = report["measure_end_us"]
+    windows = [w for w in report["windows"] if w["start"] < measure_end]
+    drained = report["n_windows"] - len(windows)
+    tail = f" + {drained} drain" if drained else ""
+    lines = [
+        f"series: {report['n_windows']} windows x "
+        f"{report['window_us']:g} µs "
+        f"(run {report['run_end_us']:.0f} µs, measure ends "
+        f"{measure_end:.0f} µs; showing {len(windows)}{tail})"
+    ]
+    tput = [w["tput_ops_per_sec"] / 1e6 or None for w in windows]
+    lat = [w["lat_mean_us"] if w["ops"] else None for w in windows]
+    lines.append(f"  tput  |{sparkline(tput)}| peak "
+                 f"{max((v or 0.0) for v in tput):.3f} Mops/s")
+    lines.append(f"  lat   |{sparkline(lat)}| mean "
+                 f"{steady.get('band', {}).get('mean', float('nan')):.2f} µs "
+                 f"steady")
+    marker = _series_marker_line(report, len(windows))
+    if marker.strip():
+        lines.append(f"        |{marker}| w=warmup s=steady f=fault "
+                     f"!=deviation")
+    transient = steady.get("transient_end_us", 0.0)
+    warmup = steady.get("configured_warmup_us", 0.0)
+    if steady.get("warmup_sufficient", True):
+        lines.append(
+            f"  steady state: transient ends {transient:.0f} µs (MSER); "
+            f"warmup {warmup:g} µs covers it [OK]")
+    else:
+        lines.append(
+            f"  WARNING: detected transient ({transient:.0f} µs) is longer "
+            f"than configured warmup ({warmup:g} µs) — measured window "
+            f"includes warm-up noise; raise --warmup-us")
+    lines.append(
+        f"  steady window: {steady.get('steady_windows', 0)} windows from "
+        f"{steady.get('steady_from_us', 0.0):.0f} µs, "
+        f"{steady.get('steady_measured_ops', 0)} measured ops, "
+        f"mean {steady.get('steady_mean_us', float('nan')):.2f} µs, "
+        f"p99 {steady.get('steady_p99_us', float('nan')):.2f} µs, "
+        f"{steady.get('steady_tput_ops_per_sec', 0.0) / 1e6:.3f} Mops/s")
+    merged = recon.get("merged", {})
+    exact = "exact" if recon.get("digest_exact") else "approx (compressed)"
+    lines.append(
+        f"  reconciliation: window measured sum "
+        f"{recon.get('window_measured_sum')} "
+        f"{'==' if recon.get('window_measured_sum') == recon.get('measured_ops') else '!='} "
+        f"{recon.get('measured_ops')} measured ops; merged digest "
+        f"p50 {merged.get('p50_us', float('nan')):.2f} / "
+        f"p99 {merged.get('p99_us', float('nan')):.2f} µs [{exact}]")
+    annotations = report.get("annotations", [])
+    if annotations:
+        lines.append(f"  annotations ({len(annotations)}):")
+        for annotation in annotations:
+            cause = annotation.get("cause")
+            suffix = f" — cause: {cause}" if cause else ""
+            lines.append(
+                f"    [{annotation['kind']}] "
+                f"{annotation['start_us']:.0f}..{annotation['end_us']:.0f} µs"
+                f" {annotation['label']}{suffix}")
+    else:
+        lines.append("  annotations: none (steady run)")
+    for row in report.get("utilization", []):
+        lines.append(f"  busy  |{sparkline(row['busy'][:len(windows)])}| "
+                     f"{row['name']} ({row['kind']})")
+    return lines
+
+
+def print_series(title, report, out=print):
+    """Print the windowed-series report as a titled block."""
+    out("")
+    out(f"== {title} ==")
+    for line in series_report_lines(report):
+        out(line)
+    out("")
+
+
 def low_load_latency(results):
     """Mean latency of the single-client point."""
     for r in results:

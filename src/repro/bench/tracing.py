@@ -26,12 +26,15 @@ from repro.bench.reporting import (
     print_faults,
     print_host,
     print_primitives,
+    print_series,
     print_table,
     utilization_rows,
 )
 from repro.obs import (
+    SERIES_DEFAULT_WINDOW_US,
     HostProfiler,
     PrimitiveCollector,
+    SeriesCollector,
     Tracer,
     UtilizationCollector,
     analyze,
@@ -171,11 +174,22 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                              "time, and capture the run as a cProfile "
                              "session (cprofile) or sampled collapsed "
                              "stacks (sample, the default)")
+    parser.add_argument("--series", nargs="?",
+                        const=SERIES_DEFAULT_WINDOW_US, type=float,
+                        default=None, metavar="WINDOW_US",
+                        help="collect windowed time-series telemetry "
+                             "(default window "
+                             f"{SERIES_DEFAULT_WINDOW_US:g} µs): "
+                             "sparklines, MSER steady-state verdict, "
+                             "changepoint annotations; --json records "
+                             "gain a series section")
     args = parser.parse_args(argv)
 
-    collector = UtilizationCollector() if (args.json or args.util) else None
+    collector = (UtilizationCollector()
+                 if (args.json or args.util or args.series) else None)
     primitives = PrimitiveCollector() if args.primitives else None
     hostprof = HostProfiler() if args.profile else None
+    series = SeriesCollector(args.series) if args.series else None
     session = None
     if args.profile:
         from repro.obs.hostprof import profile_session
@@ -186,7 +200,7 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
             kind, flavor, workload_maker(args.keys), args.clients,
             trace_path=args.trace, utilization=collector,
             primitives=primitives, n_keys=args.keys, faults=args.faults,
-            hostprof=hostprof, **point_kwargs)
+            hostprof=hostprof, series=series, **point_kwargs)
     finally:
         if session is not None:
             session.stop()
@@ -229,6 +243,11 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
     if hostprof is not None:
         host_report = hostprof.report()
         print_host(f"{title}: host self-profile", host_report)
+    series_report = None
+    if series is not None:
+        series_report = series.report(utilization=collector,
+                                      faults=faults_report)
+        print_series(f"{title}: time series", series_report)
     if args.json:
         from repro.bench.regress import make_point, make_record, write_record
         config = {"kind": kind, "flavor": flavor, "clients": args.clients,
@@ -241,7 +260,8 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                            utilization=util_report,
                            bottleneck=analyze(util_report),
                            primitives=primitives_report, critpath=profile,
-                           faults=faults_report, host=host_report)
+                           faults=faults_report, host=host_report,
+                           series=series_report)
         write_record(make_record(benchmark or title, [point]), args.json)
         print(f"result record written to {args.json}")
     if args.trace:

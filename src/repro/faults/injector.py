@@ -105,21 +105,30 @@ class FaultInjector:
                      and self._net.random() < plan.duplicate)
         delay_us = (self._net.uniform(0.0, plan.jitter_us)
                     if plan.jitter_us > 0.0 else 0.0)
+        series = self.sim.series
         if drop:
             self.counters["messages_dropped"] += 1
+            if series is not None:
+                series.count("drops")
             return MessageFate(drop=True)
         if not duplicate and delay_us == 0.0:
             return _NO_FATE
         if duplicate:
             self.counters["messages_duplicated"] += 1
+            if series is not None:
+                series.count("dups")
         if delay_us > 0.0:
             self.counters["messages_delayed"] += 1
             self.delay_injected_us += delay_us
+            if series is not None:
+                series.count("delays")
         return MessageFate(duplicate=duplicate, delay_us=delay_us)
 
     def note_crash_drop(self):
         """A message arrived at (or left) a crash-stopped host."""
         self.counters["crash_drops"] += 1
+        if self.sim.series is not None:
+            self.sim.series.count("crash_drops")
 
     # -- recovery-side accounting ------------------------------------------
 
@@ -211,6 +220,8 @@ class FaultInjector:
                  "recover_at_us": c.recover_at_us}
                 for c in self.plan.crashes],
             "starve": self.plan.starve,
+            "starve_at_us": self.plan.starve_at_us,
+            "starve_hold_us": self.plan.starve_hold_us,
             "retry": {
                 "timeout_us": self.plan.retry.timeout_us,
                 "max_retries": self.plan.retry.max_retries,

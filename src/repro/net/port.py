@@ -109,6 +109,8 @@ class RequestChannel:
             return  # duplicate or cancelled; drop silently like a NIC would
         if self.monitor is not None:
             self.monitor.adjust(-1)
+        if not reply.ok and self.sim.series is not None:
+            self.sim.series.count("naks")
         if reply.ok:
             event.succeed(reply.body)
         else:
@@ -156,6 +158,8 @@ class RequestChannel:
                 if fl is not None:
                     fl.record("req.timeout", logical=logical_id,
                               req=request_id, dst=dst, timeout_us=timeout_us)
+                if self.sim.series is not None:
+                    self.sim.series.count("timeouts")
                 raise TimeoutExpired(
                     timeout_us, what=f"request {request_id} to {dst}/{service}")
             result = value
@@ -211,12 +215,16 @@ class RequestChannel:
                     if fl is not None:
                         fl.record("req.exhausted", logical=logical_id,
                                   attempts=attempt + 1)
+                    if self.sim.series is not None:
+                        self.sim.series.count("retries_exhausted")
                     raise
                 backoff = policy.backoff_us(attempt, self._retry_rng)
                 attempt += 1
                 self.retransmissions += 1
                 if faults is not None:
                     faults.note_retransmit()
+                if self.sim.series is not None:
+                    self.sim.series.count("retransmissions")
                 if fl is not None:
                     fl.record("req.backoff", logical=logical_id,
                               attempt=attempt, backoff_us=backoff)

@@ -35,6 +35,11 @@ Three pieces, all driven by the simulated clock:
   client operation they belong to; install a :class:`FlightRecorder`
   via ``sim.set_flight``. :mod:`repro.obs.forensics` replays a flight
   log into per-request timelines and automatic diagnoses.
+* :mod:`repro.obs.series` — windowed time-series telemetry on the
+  simulated clock (per-window throughput/goodput/latency digests and
+  retry/NAK counters) with MSER steady-state detection and
+  changepoint annotation cross-referenced against injected faults;
+  install a :class:`SeriesCollector` via ``sim.set_series``.
 """
 
 from repro.obs.bottleneck import (
@@ -76,6 +81,13 @@ from repro.obs.forensics import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.primitives import PrimitiveCollector, TopK
+from repro.obs.series import (
+    DEFAULT_WINDOW_US as SERIES_DEFAULT_WINDOW_US,
+    LatencyDigest,
+    SeriesCollector,
+    detect_steady_state,
+    merge_digests,
+)
 from repro.obs.timeline import (
     ChargeMonitor,
     DepthMonitor,
@@ -89,6 +101,7 @@ __all__ = [
     "HOST_BUCKETS",
     "PHASES",
     "SATURATION_THRESHOLD",
+    "SERIES_DEFAULT_WINDOW_US",
     "analyze",
     "breakdown",
     "breakdown_rows",
@@ -100,8 +113,10 @@ __all__ = [
     "critical_segments",
     "critpath_profile",
     "critpath_rows",
+    "detect_steady_state",
     "format_analysis",
     "load_flight_dump",
+    "merge_digests",
     "narrate",
     "phase_attribution",
     "profile_session",
@@ -117,6 +132,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HostProfiler",
+    "LatencyDigest",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
@@ -124,6 +140,7 @@ __all__ = [
     "PrimitiveCollector",
     "ProfileSession",
     "ResourceMonitor",
+    "SeriesCollector",
     "Span",
     "StackSampler",
     "TopK",

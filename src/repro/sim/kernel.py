@@ -174,6 +174,7 @@ class Simulator:
         self.primitives = None
         self.faults = None
         self.flight = None
+        self.series = None
         # Adopt the ambient host profiler, if one is active (None in
         # normal runs; standalone --profile scripts activate one).
         self.hostprof = _hostprof.ACTIVE
@@ -236,6 +237,20 @@ class Simulator:
         """
         self.flight = recorder.bind(self)
         return recorder
+
+    def set_series(self, collector):
+        """Install a windowed time-series collector; returns it.
+
+        Install *before* system construction — same contract as the
+        other collectors. The workload driver then buckets operation
+        completions and the net/fault layers bucket recovery counters
+        into fixed-width windows on the simulated clock (see
+        :mod:`repro.obs.series`). The collector only appends to
+        host-side dictionaries at transitions the run already makes,
+        so a collected run stays bit-identical in simulated time.
+        """
+        self.series = collector.bind(self)
+        return collector
 
     def set_hostprof(self, profiler):
         """Install a host-side self-profiler; returns it for chaining.

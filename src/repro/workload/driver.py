@@ -96,6 +96,7 @@ class ClosedLoopDriver:
                                    * self.stagger_us)
         traced = self.tracer.enabled
         flight = self.sim.flight
+        series = self.sim.series
         while self.sim.now < self.end_time:
             op = workload.next_op()
             root = None
@@ -116,13 +117,16 @@ class ClosedLoopDriver:
                 info = yield from executor(op)
             finish = self.sim.now
             measured = start >= self.warmup_us and finish <= self.end_time
+            aborts = info.get("aborts", 0) if info else 0
             if op_id is not None:
-                aborts = info.get("aborts", 0) if info else 0
                 flight.op_close(
                     op_id, status="aborted" if aborts else "ok",
                     latency_us=finish - start, aborts=aborts,
                     retries=info.get("retries", 0) if info else 0,
                     measured=measured)
+            if series is not None:
+                series.record_op(finish, finish - start, measured,
+                                 ok=not aborts)
             if measured:
                 recorder.record(finish, finish - start)
                 counters["ops"] += 1

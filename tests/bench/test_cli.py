@@ -78,7 +78,7 @@ def test_parser_profile_modes():
         parser.parse_args(["point", "--profile", "perf"])
 
 
-def test_point_profile_writes_v3_host_record(tmp_path, monkeypatch, capsys):
+def test_point_profile_writes_host_record(tmp_path, monkeypatch, capsys):
     monkeypatch.chdir(tmp_path)
     record = tmp_path / "run.json"
     assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
@@ -89,7 +89,7 @@ def test_point_profile_writes_v3_host_record(tmp_path, monkeypatch, capsys):
     assert "events/s" in out
     assert "profile artifact written" in out
     data = json.loads(record.read_text())
-    assert data["schema_version"] == 3
+    assert data["schema_version"] == 4
     host = data["points"][0]["host"]
     assert host["events_per_sec"] > 0
     assert host["wall_s"] > 0
@@ -271,3 +271,125 @@ def test_trace_and_flight_rejected_off_point_commands(capsys):
 def test_explain_requires_one_path(capsys):
     assert main(["explain"]) == 2
     assert "usage" in capsys.readouterr().err
+
+
+def test_parser_series_modes():
+    parser = build_parser()
+    assert parser.parse_args(["point"]).series is None
+    assert parser.parse_args(["point", "--series"]).series == 50.0
+    assert parser.parse_args(["point", "--series=25"]).series == 25.0
+
+
+def test_series_point_prints_report(capsys):
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200", "--series"]) == 0
+    out = capsys.readouterr().out
+    assert "time series" in out
+    assert "steady state" in out
+    assert "reconciliation" in out
+    assert "tput" in out and "lat" in out
+
+
+def test_series_rejected_off_point_commands(capsys):
+    assert main(["fig1", "--series"]) == 2
+    assert "--series is not supported" in capsys.readouterr().err
+    assert main(["list", "--series"]) == 2
+    assert "--series is not supported" in capsys.readouterr().err
+
+
+def test_series_window_must_be_positive(capsys):
+    assert main(["point", "--series=0"]) == 2
+    assert "window must be > 0" in capsys.readouterr().err
+
+
+def test_warmup_measure_flags_validated(capsys):
+    assert main(["point", "--warmup-us", "-1"]) == 2
+    assert "--warmup-us must be positive" in capsys.readouterr().err
+    assert main(["point", "--measure-us", "0"]) == 2
+    assert "--measure-us must be positive" in capsys.readouterr().err
+    assert main(["list", "--warmup-us", "10"]) == 2
+    assert "--warmup-us is not supported" in capsys.readouterr().err
+
+
+def test_warmup_measure_recorded_in_config(tmp_path, capsys):
+    record = tmp_path / "windows.json"
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--warmup-us", "100", "--measure-us", "800",
+                 "--json", str(record)]) == 0
+    capsys.readouterr()
+    config = json.loads(record.read_text())["points"][0]["config"]
+    assert config["warmup_us"] == 100.0
+    assert config["measure_us"] == 800.0
+
+
+def test_series_json_embeds_report(tmp_path, capsys):
+    record = tmp_path / "series.json"
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--series", "--json", str(record)]) == 0
+    capsys.readouterr()
+    data = json.loads(record.read_text())
+    assert data["schema_version"] == 4
+    series = data["points"][0]["series"]
+    assert series["windows"]
+    assert series["steady_state"]["detector"] == "mser"
+    assert series["reconciliation"]["window_measured_sum"] == \
+        data["points"][0]["metrics"]["ops"]
+
+
+def test_record_identical_with_series(tmp_path):
+    # --series must leave the rest of the --json record byte-identical,
+    # faults included: the collector observes transitions, it never
+    # creates or times them.
+    import subprocess
+    import sys
+
+    import repro
+    env = dict(os.environ,
+               PYTHONPATH=os.path.dirname(os.path.dirname(repro.__file__)))
+    base = [sys.executable, "-m", "repro.bench.cli", "point",
+            "--kind", "rs", "--flavor", "prism-sw",
+            "--clients", "2", "--keys", "200",
+            "--faults", "seed=3,drop=0.02"]
+    plain, collected = tmp_path / "plain.json", tmp_path / "series.json"
+    for extra in ([f"--json={plain}"], [f"--json={collected}", "--series"]):
+        proc = subprocess.run(base + extra, env=env, cwd=tmp_path,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+    expected = json.loads(plain.read_text())
+    observed = json.loads(collected.read_text())
+    del observed["points"][0]["series"]
+    assert observed == expected
+
+
+def test_sweep_series_prints_per_point(capsys):
+    assert main(["fig3", "--clients", "1,2", "--keys", "200",
+                 "--series"]) == 0
+    out = capsys.readouterr().out
+    # one series block per (flavor, client count) point
+    assert out.count("time series") == 6
+    assert "steady state" in out
+
+
+def test_compare_series_flag(tmp_path, capsys):
+    record = tmp_path / "series.json"
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--series", "--json", str(record)]) == 0
+    capsys.readouterr()
+    assert main(["compare", str(record), str(record), "--series"]) == 0
+    out = capsys.readouterr().out
+    assert "series.steady_mean_us" in out
+    assert "compare: PASS" in out
+
+
+def test_compare_host_and_series_exclusive(tmp_path, capsys):
+    record = tmp_path / "run.json"
+    assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
+                 "--clients", "2", "--keys", "200",
+                 "--json", str(record)]) == 0
+    capsys.readouterr()
+    assert main(["compare", str(record), str(record),
+                 "--host", "--series"]) == 2
+    assert "exclusive" in capsys.readouterr().err

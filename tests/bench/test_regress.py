@@ -12,6 +12,8 @@ from repro.bench.regress import (
     HOST_TOLERANCES,
     SCHEMA,
     SCHEMA_VERSION,
+    SERIES_TOLERANCES,
+    SUPPORTED_SCHEMA_VERSIONS,
     compare,
     format_compare,
     load_record,
@@ -294,8 +296,8 @@ class TestSchemaV3:
                            host=_host_section())
         return make_record("test", [point])
 
-    def test_current_version_is_v3(self):
-        assert SCHEMA_VERSION == 3
+    def test_v3_is_still_supported(self):
+        assert 3 in SUPPORTED_SCHEMA_VERSIONS
 
     def test_host_field_is_optional(self, small_result, config):
         bare = make_point("kv", "prism-sw", small_result, config)
@@ -305,6 +307,7 @@ class TestSchemaV3:
         assert rich["host"]["events_per_sec"] == 100_000.0
 
     def test_v3_round_trip(self, v3_record, tmp_path):
+        v3_record = dict(v3_record, schema_version=3)
         path = tmp_path / "v3.json"
         write_record(v3_record, path)
         loaded = load_record(path)
@@ -380,6 +383,119 @@ class TestSchemaV3:
     def test_host_bands_are_wide(self):
         assert HOST_TOLERANCES["host.events_per_sec"]["rel"] >= 0.5
         assert HOST_TOLERANCES["host.wall_s"]["rel"] >= 1.0
+
+
+def _series_section(mean_us=10.0, p99_us=20.0, tput=100_000.0):
+    return {
+        "window_us": 50.0,
+        "steady_state": {
+            "detector": "mser",
+            "transient_windows": 2,
+            "transient_end_us": 100.0,
+            "configured_warmup_us": 300.0,
+            "warmup_sufficient": True,
+            "steady_mean_us": mean_us,
+            "steady_p99_us": p99_us,
+            "steady_tput_ops_per_sec": tput,
+        },
+        "annotations": [],
+    }
+
+
+class TestSchemaV4:
+    """v4 is additive: points may carry a windowed ``series`` section."""
+
+    @pytest.fixture
+    def config(self):
+        return {"kind": "kv", "flavor": "prism-sw", "clients": 2,
+                "keys": 200, "seed": 11}
+
+    @pytest.fixture
+    def v4_record(self, small_result, config):
+        point = make_point("kv", "prism-sw", small_result, config,
+                           series=_series_section())
+        return make_record("test", [point])
+
+    def test_current_version_is_v4(self):
+        assert SCHEMA_VERSION == 4
+        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2, 3, 4)
+
+    def test_series_field_is_optional(self, small_result, config):
+        bare = make_point("kv", "prism-sw", small_result, config)
+        assert "series" not in bare
+        rich = make_point("kv", "prism-sw", small_result, config,
+                          series=_series_section())
+        assert rich["series"]["steady_state"]["detector"] == "mser"
+
+    def test_v4_round_trip(self, v4_record, tmp_path):
+        path = tmp_path / "v4.json"
+        write_record(v4_record, path)
+        loaded = load_record(path)
+        assert loaded["schema_version"] == 4
+        assert loaded["points"][0]["series"]["window_us"] == 50.0
+
+    def test_v4_compares_against_older_baselines(self, small_result,
+                                                 config, v4_record):
+        for version in (1, 2, 3):
+            baseline = make_record(
+                "test", [make_point("kv", "prism-sw", small_result, config)])
+            baseline["schema_version"] = version
+            report = compare(baseline, v4_record)
+            assert report["ok"], version
+
+    def test_series_self_compare_passes(self, v4_record):
+        report = compare(v4_record, v4_record, series=True)
+        assert report["ok"]
+        assert {f["metric"] for f in report["findings"]} == \
+            set(SERIES_TOLERANCES)
+
+    def test_series_mode_ignores_simulated_metrics(self, v4_record):
+        worse = _degrade(v4_record, "throughput_ops_per_sec", 0.5)
+        assert compare(v4_record, worse, series=True)["ok"]
+        assert not compare(v4_record, worse)["ok"]
+
+    def test_steady_state_regression_fails(self, small_result, config,
+                                           v4_record):
+        slow = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            series=_series_section(mean_us=15.0, tput=60_000.0))])
+        report = compare(v4_record, slow, series=True)
+        assert not report["ok"]
+        assert {f["metric"] for f in report["regressions"]} == \
+            {"series.steady_mean_us", "series.steady_tput_ops_per_sec"}
+
+    def test_baseline_without_series_is_not_an_error(
+            self, small_result, config, v4_record):
+        old = make_record(
+            "test", [make_point("kv", "prism-sw", small_result, config)])
+        old["schema_version"] = 3
+        report = compare(old, v4_record, series=True)
+        assert report["ok"]
+        assert report["findings"] == []
+
+    def test_run_without_series_is_a_regression(self, small_result,
+                                                config, v4_record):
+        uncollected = make_record(
+            "test", [make_point("kv", "prism-sw", small_result, config)])
+        assert not compare(v4_record, uncollected, series=True)["ok"]
+
+    def test_series_tolerance_override(self, v4_record, small_result,
+                                       config):
+        slipped = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            series=_series_section(mean_us=10.1))])
+        assert compare(v4_record, slipped, series=True)["ok"]
+        assert not compare(v4_record, slipped, series=True,
+                           tolerances={"series.steady_mean_us": 0.001})["ok"]
+
+    def test_series_metrics_unknown_outside_series_mode(self, v4_record):
+        with pytest.raises(ValueError, match="no tolerance band"):
+            compare(v4_record, v4_record,
+                    tolerances={"series.steady_mean_us": 0.1})
+
+    def test_host_and_series_modes_exclusive(self, v4_record):
+        with pytest.raises(ValueError, match="exclusive"):
+            compare(v4_record, v4_record, host=True, series=True)
 
 
 class TestPrimitivesCli:

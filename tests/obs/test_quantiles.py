@@ -53,12 +53,62 @@ class TestHistogramBuckets:
         samples = [0.1 * i for i in range(100)]
         buckets = quantiles.fixed_width_histogram(samples, max_buckets=8)
         assert sum(count for _, count in buckets) == len(samples)
-        assert len(buckets) <= 8 + 1  # max value may land on its own edge
+        # the max is the closed upper edge of the last bucket, never a
+        # bucket of its own — the cap is honored exactly
+        assert len(buckets) <= 8
+
+    def test_max_lands_in_last_bucket(self):
+        buckets = quantiles.fixed_width_histogram([0.0, 4.0],
+                                                  bucket_width=1.0)
+        assert buckets == [(0.0, 1), (3.0, 1)]
+
+    def test_single_sample(self):
+        assert quantiles.fixed_width_histogram([7.0]) == [(7.0, 1)]
+
+    def test_two_samples(self):
+        buckets = quantiles.fixed_width_histogram([1.0, 2.0], max_buckets=4)
+        assert sum(count for _, count in buckets) == 2
+        assert len(buckets) <= 4
+
+    def test_all_equal_samples(self):
+        buckets = quantiles.fixed_width_histogram([3.0] * 5)
+        assert buckets == [(3.0, 5)]
 
     def test_explicit_width(self):
         buckets = quantiles.fixed_width_histogram([0.0, 0.5, 1.5],
                                                   bucket_width=1.0)
         assert buckets == [(0.0, 2), (1.0, 1)]
+
+
+class TestPercentileWeighted:
+    def test_zero_weight_is_nan(self):
+        assert math.isnan(quantiles.percentile_weighted([], 50))
+        assert math.isnan(quantiles.percentile_weighted([(5.0, 0)], 50))
+
+    def test_single_unit_weight(self):
+        assert quantiles.percentile_weighted([(7.0, 1)], 0) == 7.0
+        assert quantiles.percentile_weighted([(7.0, 1)], 100) == 7.0
+
+    def test_matches_expanded_multiset(self):
+        items = [(1.0, 3), (2.5, 1), (4.0, 5), (9.0, 2)]
+        expanded = sorted(value for value, weight in items
+                          for _ in range(weight))
+        for p in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert quantiles.percentile_weighted(items, p) == \
+                pytest.approx(quantiles.percentile_sorted(expanded, p))
+
+    def test_p100_is_last_value(self):
+        assert quantiles.percentile_weighted([(1.0, 4), (8.0, 2)],
+                                             100) == 8.0
+
+    def test_all_equal_values(self):
+        assert quantiles.percentile_weighted([(5.0, 9)], 50) == 5.0
+
+    def test_skips_zero_weight_entries(self):
+        items = [(1.0, 2), (3.0, 0), (5.0, 2)]
+        expanded = [1.0, 1.0, 5.0, 5.0]
+        assert quantiles.percentile_weighted(items, 50) == \
+            quantiles.percentile_sorted(expanded, 50)
 
 
 class TestDistributionSummary:
