@@ -19,6 +19,9 @@ tx        farm-hw / farm-sw                      FaRM
 ========  =====================================  =========================
 """
 
+import gc
+import time
+
 from repro.apps.blockstore import (
     AbdLockClient,
     AbdLockReplica,
@@ -36,7 +39,8 @@ from repro.prism import (
     SoftwareRdmaBackend,
 )
 from repro.sim import Simulator
-from repro.workload.driver import ClosedLoopDriver
+from repro.workload.driver import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.sources import AggregatedOpenLoopSource, partition_clients
 
 N_CLIENT_HOSTS = 11  # the paper's testbed: up to 11 client machines
 
@@ -189,10 +193,20 @@ def run_point(kind, flavor, workload_factory, n_clients,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
               n_client_hosts=N_CLIENT_HOSTS, tracer=None,
               utilization=None, primitives=None, faults=None,
-              hostprof=None, flight=None, series=None):
+              hostprof=None, flight=None, series=None, source_model=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
+
+    ``source_model`` switches the point from N closed-loop client
+    coroutines to **aggregated open-loop arrival sources** (see
+    :mod:`repro.workload.sources`): a dict with at least
+    ``rate_per_client_ops_s``, plus optional ``read_fraction`` /
+    ``zipf`` / ``seed`` / ``window`` / ``n_sources``. ``n_clients``
+    then counts *modeled* clients (10⁵–10⁶ is fine), spread over
+    ``n_sources`` coroutines (default: one per client host), and
+    ``workload_factory`` is unused — the source draws its own keys.
+    The model is recorded in ``result.extra["source_model"]``.
     Pass a :class:`repro.obs.Tracer` to collect per-operation span
     trees, a :class:`repro.obs.UtilizationCollector` to account
     per-resource busy time and queue depth, and/or a
@@ -247,20 +261,70 @@ def run_point(kind, flavor, workload_factory, n_clients,
         utilization.measure_until = warmup_us + measure_us
     if primitives is not None:
         sim.set_primitives(primitives)
+    if source_model is not None:
+        spec = dict(source_model)
+        n_sources = min(spec.pop("n_sources", n_client_hosts), n_clients)
+        rate = spec.pop("rate_per_client_ops_s")
+        sources = [
+            AggregatedOpenLoopSource(
+                chunk, rate, n_keys,
+                read_fraction=spec.get("read_fraction", 1.0),
+                value_size=value_size, zipf=spec.get("zipf", 0.0),
+                seed=spec.get("seed", 0), source_id=i,
+                window=spec.get("window"))
+            for i, chunk in
+            enumerate(partition_clients(n_clients, n_sources))]
+        # In-flight concurrency is bounded by the windows, not the
+        # modeled population — size the buffer pipeline to the windows.
+        concurrency = sum(source.window for source in sources)
+    else:
+        sources = None
+        concurrency = n_clients
     # Spare buffers must cover the recycling pipeline: retired buffers
     # sit in client-side batches and the daemon queue before reposting.
     system = build_system(kind, flavor, sim, n_keys=n_keys,
                           value_size=value_size, profile=profile,
                           n_client_hosts=n_client_hosts,
-                          spare_buffers=4096 + 48 * n_clients)
-    driver = ClosedLoopDriver(sim, warmup_us=warmup_us,
-                              measure_us=measure_us, tracer=sim.tracer)
-    for index in range(n_clients):
-        host = f"client{index % n_client_hosts}"
-        driver.add_client(system.executor(index, host),
-                          workload_factory(index))
-    result = driver.run()
+                          spare_buffers=4096 + 48 * concurrency)
+    if sources is not None:
+        driver = OpenLoopDriver(sim, warmup_us=warmup_us,
+                                measure_us=measure_us, tracer=sim.tracer)
+        for index, source in enumerate(sources):
+            host = f"client{index % n_client_hosts}"
+            driver.add_source(system.executor(index, host), source)
+    else:
+        driver = ClosedLoopDriver(sim, warmup_us=warmup_us,
+                                  measure_us=measure_us, tracer=sim.tracer)
+        for index in range(n_clients):
+            host = f"client{index % n_client_hosts}"
+            driver.add_client(system.executor(index, host),
+                              workload_factory(index))
+    # The run allocates heavily (events, spans) but retains almost
+    # nothing cycle-forming; generational GC passes mid-run are pure
+    # overhead. Simulated results are unaffected (GC never changes
+    # program semantics), so pause collection for the measured run.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    wall_start = time.perf_counter()
+    try:
+        result = driver.run()
+    finally:
+        wall_s = time.perf_counter() - wall_start
+        if gc_was_enabled:
+            gc.enable()
     result.extra["events_executed"] = sim.events_executed
+    # Wall-clock cost of the simulated run itself (setup and analysis
+    # excluded): the regress schema's ``wall`` section, available on
+    # every run — unlike the ``host`` section, which needs --profile.
+    # Stored on the equality-excluded field, not ``extra``: wall time
+    # is host-side and must not break exact RunResult comparisons.
+    result.wall_s = wall_s
+    if sources is not None:
+        model = sources[0].describe()
+        model["clients"] = n_clients
+        model["n_sources"] = len(sources)
+        model["windows"] = [source.window for source in sources]
+        result.extra["source_model"] = model
     if hostprof is not None:
         from repro.obs.hostprof import deactivate
         deactivate(hostprof)

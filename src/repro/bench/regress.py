@@ -55,10 +55,14 @@ SCHEMA = "repro-bench-result"
 #: wall seconds, bucket shares). v4 (additive over v3): points may
 #: carry "series" (the windowed time-series report: per-window
 #: throughput/latency/counters, MSER steady-state block, changepoint
-#: annotations; see :mod:`repro.obs.series`). Every earlier field is
-#: unchanged, so this tool still reads v1-v3 baselines.
-SCHEMA_VERSION = 4
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
+#: annotations; see :mod:`repro.obs.series`). v5 (additive over v4):
+#: points may carry "wall" (wall-clock cost of the simulated run:
+#: wall_s, events_executed, events_per_sec) — recorded on every run,
+#: unlike the richer "host" section which needs ``--profile``. Every
+#: earlier field is unchanged, so this tool still reads v1-v4
+#: baselines.
+SCHEMA_VERSION = 5
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 #: per-metric tolerance bands: direction is which way is *better*;
 #: ``rel`` is the allowed relative degradation before failing
@@ -119,9 +123,27 @@ def result_metrics(result):
     }
 
 
+def wall_section(result):
+    """The ``wall`` point section from a :class:`RunResult`.
+
+    Returns None when the harness did not record wall timing (old
+    callers leave ``wall_s`` at 0.0), keeping the section strictly
+    additive.
+    """
+    wall_s = getattr(result, "wall_s", 0.0)
+    if not wall_s:
+        return None
+    events = result.extra.get("events_executed", 0)
+    return {
+        "wall_s": wall_s,
+        "events_executed": events,
+        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+    }
+
+
 def make_point(kind, flavor, result, config, phases=None, utilization=None,
                bottleneck=None, primitives=None, critpath=None, faults=None,
-               host=None, series=None):
+               host=None, series=None, wall=None):
     """One measurement point: config + metrics (+ optional telemetry).
 
     ``config`` must contain everything needed to reproduce the point
@@ -152,6 +174,8 @@ def make_point(kind, flavor, result, config, phases=None, utilization=None,
         point["host"] = host
     if series is not None:
         point["series"] = series
+    if wall is not None:
+        point["wall"] = wall
     return point
 
 

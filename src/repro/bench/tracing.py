@@ -160,6 +160,22 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                              "watermarks, key hotness) and the "
                              "critical-path profile")
     parser.add_argument("--clients", type=int, default=default_clients)
+    parser.add_argument("--clients-aggregated", type=int, default=None,
+                        metavar="N",
+                        help="replace the closed-loop client coroutines "
+                             "with aggregated open-loop arrival sources "
+                             "modeling N clients (10⁵–10⁶ is fine; see "
+                             "repro.workload.sources). The source-model "
+                             "config is recorded in --json output")
+    parser.add_argument("--arrival-rate", type=float, default=50.0,
+                        metavar="OPS_PER_S",
+                        help="with --clients-aggregated, each modeled "
+                             "client's Poisson op rate (default 50 op/s)")
+    parser.add_argument("--source-window", type=int, default=None,
+                        metavar="W",
+                        help="with --clients-aggregated, max ops in "
+                             "flight per source coroutine (default: "
+                             "population-scaled, see sources module)")
     parser.add_argument("--keys", type=int, default=default_keys)
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="run under a seeded fault plan, e.g. "
@@ -174,6 +190,14 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                              "time, and capture the run as a cProfile "
                              "session (cprofile) or sampled collapsed "
                              "stacks (sample, the default)")
+    parser.add_argument("--profile-stride", type=int, default=16,
+                        metavar="N",
+                        help="with --profile, time bucket attribution on "
+                             "every N-th kernel event (default 16); "
+                             "events/sec and counters stay exact, only "
+                             "the bucket split is sampled. 1 restores "
+                             "exhaustive attribution at higher observer "
+                             "overhead")
     parser.add_argument("--series", nargs="?",
                         const=SERIES_DEFAULT_WINDOW_US, type=float,
                         default=None, metavar="WINDOW_US",
@@ -188,19 +212,29 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
     collector = (UtilizationCollector()
                  if (args.json or args.util or args.series) else None)
     primitives = PrimitiveCollector() if args.primitives else None
-    hostprof = HostProfiler() if args.profile else None
+    hostprof = (HostProfiler(stride=args.profile_stride)
+                if args.profile else None)
     series = SeriesCollector(args.series) if args.series else None
     session = None
     if args.profile:
         from repro.obs.hostprof import profile_session
         session = profile_session(
             args.profile, prefix=benchmark or f"{kind}-{flavor}").start()
+    source_model = None
+    n_clients = args.clients
+    if args.clients_aggregated is not None:
+        source_model = {"rate_per_client_ops_s": args.arrival_rate,
+                        "seed": seed or 0}
+        if args.source_window is not None:
+            source_model["window"] = args.source_window
+        n_clients = args.clients_aggregated
     try:
         result, report, tracer = run_traced_point(
-            kind, flavor, workload_maker(args.keys), args.clients,
+            kind, flavor, workload_maker(args.keys), n_clients,
             trace_path=args.trace, utilization=collector,
             primitives=primitives, n_keys=args.keys, faults=args.faults,
-            hostprof=hostprof, series=series, **point_kwargs)
+            hostprof=hostprof, series=series, source_model=source_model,
+            **point_kwargs)
     finally:
         if session is not None:
             session.stop()
@@ -209,6 +243,14 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                   round(result.throughput_ops_per_sec / 1e6, 3),
                   round(result.mean_latency_us, 2),
                   round(result.p99_latency_us, 2)]])
+    if source_model is not None:
+        model = result.extra["source_model"]
+        print(f"source model: aggregated open-loop, "
+              f"{model['clients']:,} modeled clients over "
+              f"{model['n_sources']} sources at "
+              f"{model['rate_per_client_ops_s']:g} op/s each "
+              f"(window {model['window']}, "
+              f"{result.extra['stalled_arrivals']} stalled arrivals)")
     print_breakdown(f"{title}: phase breakdown (mean µs per op)", report)
     faults_report = result.extra.get("faults")
     if faults_report is not None:
@@ -249,11 +291,20 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                                       faults=faults_report)
         print_series(f"{title}: time series", series_report)
     if args.json:
-        from repro.bench.regress import make_point, make_record, write_record
-        config = {"kind": kind, "flavor": flavor, "clients": args.clients,
+        from repro.bench.regress import (
+            make_point,
+            make_record,
+            wall_section,
+            write_record,
+        )
+        config = {"kind": kind, "flavor": flavor, "clients": n_clients,
                   "keys": args.keys, "seed": seed}
         if args.faults:
             config["faults"] = args.faults
+        if source_model is not None:
+            # The resolved model (with per-source windows) from the
+            # harness, so the record reproduces the point exactly.
+            config["source_model"] = result.extra["source_model"]
         config.update({key: value for key, value in point_kwargs.items()
                        if isinstance(value, (int, float, str, bool))})
         point = make_point(kind, flavor, result, config, phases=report,
@@ -261,7 +312,8 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                            bottleneck=analyze(util_report),
                            primitives=primitives_report, critpath=profile,
                            faults=faults_report, host=host_report,
-                           series=series_report)
+                           series=series_report,
+                           wall=wall_section(result))
         write_record(make_record(benchmark or title, [point]), args.json)
         print(f"result record written to {args.json}")
     if args.trace:

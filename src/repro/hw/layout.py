@@ -6,6 +6,8 @@ that client-side and server-side views of a structure can never drift
 apart.
 """
 
+import struct
+
 from repro.obs import hostprof as _hostprof
 from repro.hw.memory import POINTER_SIZE
 
@@ -13,6 +15,17 @@ U16 = 2
 U32 = 4
 U64 = 8
 BOUNDED_PTR_SIZE = POINTER_SIZE + U64  # ⟨ptr, bound⟩ struct of §3.1
+
+# Precompiled codecs for the common widths (same table as hw.memory):
+# ``int.from_bytes`` + a slice per field is the slow path now.
+_STRUCTS = {
+    1: struct.Struct("<B"),
+    2: struct.Struct("<H"),
+    4: struct.Struct("<I"),
+    8: struct.Struct("<Q"),
+}
+_U64_STRUCT = _STRUCTS[8]
+_BOUNDED_PTR_STRUCT = struct.Struct("<QQ")
 
 # Host-profiling: the public codec entry points charge their wall time
 # to the "codec" bucket of the ambient profiler (repro.obs.hostprof).
@@ -22,21 +35,32 @@ BOUNDED_PTR_SIZE = POINTER_SIZE + U64  # ⟨ptr, bound⟩ struct of §3.1
 
 
 def _pack_uint_raw(value, width):
-    return value.to_bytes(width, "little")
+    codec = _STRUCTS.get(width)
+    if codec is None:
+        return value.to_bytes(width, "little")
+    try:
+        return codec.pack(value)
+    except struct.error:
+        # Out-of-range: re-encode via to_bytes for the canonical
+        # OverflowError the callers (and tests) rely on.
+        return value.to_bytes(width, "little")
 
 
 def _unpack_uint_raw(data, offset, width):
-    return int.from_bytes(data[offset:offset + width], "little")
+    codec = _STRUCTS.get(width)
+    if codec is None:
+        return int.from_bytes(data[offset:offset + width], "little")
+    return codec.unpack_from(data, offset)[0]
 
 
 def pack_uint(value, width):
     """Little-endian unsigned encode; raises if it does not fit."""
     hp = _hostprof.ACTIVE
-    if hp is None:
-        return value.to_bytes(width, "little")
+    if hp is None or not hp._timing:
+        return _pack_uint_raw(value, width)
     hp.enter("codec")
     try:
-        return value.to_bytes(width, "little")
+        return _pack_uint_raw(value, width)
     finally:
         hp.exit()
 
@@ -44,40 +68,48 @@ def pack_uint(value, width):
 def unpack_uint(data, offset=0, width=U64):
     """Little-endian unsigned decode from ``data[offset:offset+width]``."""
     hp = _hostprof.ACTIVE
-    if hp is None:
-        return int.from_bytes(data[offset:offset + width], "little")
+    if hp is None or not hp._timing:
+        codec = _STRUCTS.get(width)
+        if codec is None:
+            return int.from_bytes(data[offset:offset + width], "little")
+        return codec.unpack_from(data, offset)[0]
     hp.enter("codec")
     try:
-        return int.from_bytes(data[offset:offset + width], "little")
+        return _unpack_uint_raw(data, offset, width)
     finally:
         hp.exit()
+
+
+def _pack_bounded_ptr_raw(addr, bound):
+    try:
+        return _BOUNDED_PTR_STRUCT.pack(addr, bound)
+    except struct.error:
+        return (addr.to_bytes(POINTER_SIZE, "little")
+                + bound.to_bytes(U64, "little"))
 
 
 def pack_bounded_ptr(addr, bound):
     """Encode the ⟨ptr, bound⟩ struct used by bounded indirect ops."""
     hp = _hostprof.ACTIVE
-    if hp is not None:
-        hp.enter("codec")
+    if hp is None or not hp._timing:
+        return _pack_bounded_ptr_raw(addr, bound)
+    hp.enter("codec")
     try:
-        return (_pack_uint_raw(addr, POINTER_SIZE)
-                + _pack_uint_raw(bound, U64))
+        return _pack_bounded_ptr_raw(addr, bound)
     finally:
-        if hp is not None:
-            hp.exit()
+        hp.exit()
 
 
 def unpack_bounded_ptr(data, offset=0):
     """Decode a ⟨ptr, bound⟩ struct; returns (addr, bound)."""
     hp = _hostprof.ACTIVE
-    if hp is not None:
-        hp.enter("codec")
+    if hp is None or not hp._timing:
+        return _BOUNDED_PTR_STRUCT.unpack_from(data, offset)
+    hp.enter("codec")
     try:
-        addr = _unpack_uint_raw(data, offset, POINTER_SIZE)
-        bound = _unpack_uint_raw(data, offset + POINTER_SIZE, U64)
-        return addr, bound
+        return _BOUNDED_PTR_STRUCT.unpack_from(data, offset)
     finally:
-        if hp is not None:
-            hp.exit()
+        hp.exit()
 
 
 class FieldStruct:
@@ -114,6 +146,8 @@ class FieldStruct:
     def pack(self, **values):
         """Encode the struct; variable tail defaults to b''."""
         hp = _hostprof.ACTIVE
+        if hp is not None and not hp._timing:
+            hp = None
         if hp is not None:
             hp.enter("codec")
         try:
@@ -132,6 +166,8 @@ class FieldStruct:
     def unpack(self, data):
         """Decode into a dict (variable tail under its field name)."""
         hp = _hostprof.ACTIVE
+        if hp is not None and not hp._timing:
+            hp = None
         if hp is not None:
             hp.enter("codec")
         try:

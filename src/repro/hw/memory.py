@@ -6,10 +6,24 @@ these arrays. Addresses are plain integers; address 0 is reserved as
 the NULL pointer so stored pointers can be validity-checked.
 """
 
+import struct
+
 from repro.obs import hostprof as _hostprof
 
 POINTER_SIZE = 8
 NULL_PTR = 0
+
+#: Precompiled little-endian codecs for the common integer widths.
+#: ``unpack_from``/``pack_into`` work directly on the backing
+#: bytearray — no intermediate ``bytes`` slice per access.
+_STRUCTS = {
+    1: struct.Struct("<B"),
+    2: struct.Struct("<H"),
+    4: struct.Struct("<I"),
+    8: struct.Struct("<Q"),
+}
+_U64_UNPACK_FROM = _STRUCTS[8].unpack_from
+_U64_PACK_INTO = _STRUCTS[8].pack_into
 
 
 class MemoryError_(Exception):
@@ -23,12 +37,17 @@ class HostMemory:
     valid allocation ever has address 0.
     """
 
+    __slots__ = ("size", "_data", "_brk", "_fill_cache")
+
     def __init__(self, size):
         if size <= POINTER_SIZE:
             raise MemoryError_(f"memory too small: {size}")
         self.size = size
         self._data = bytearray(size)
         self._brk = POINTER_SIZE
+        # byte value -> cached pattern for fill(); grown on demand so
+        # repeated fills of the same value never re-allocate.
+        self._fill_cache = {}
 
     # -- allocation (server-CPU setup-time; not simulated-time) ----------
 
@@ -75,34 +94,60 @@ class HostMemory:
     def read_uint(self, addr, width=POINTER_SIZE):
         """Read an unsigned little-endian integer of ``width`` bytes.
 
+        The common widths (1/2/4/8) decode through precompiled
+        :class:`struct.Struct` codecs straight off the backing array —
+        no per-call ``int.from_bytes`` or intermediate ``bytes`` copy.
         Integer codecs charge the ambient host profiler's "codec"
         bucket (a single None check when profiling is off).
         """
         hp = _hostprof.ACTIVE
-        if hp is None:
-            return int.from_bytes(self.read(addr, width), "little")
+        if hp is None or not hp._timing:
+            codec = _STRUCTS.get(width)
+            if codec is None:
+                return int.from_bytes(self.read(addr, width), "little")
+            if addr < POINTER_SIZE or addr + width > self.size:
+                self._check(addr, width)
+            return codec.unpack_from(self._data, addr)[0]
         hp.enter("codec")
         try:
-            return int.from_bytes(self.read(addr, width), "little")
+            codec = _STRUCTS.get(width)
+            if codec is None:
+                return int.from_bytes(self.read(addr, width), "little")
+            if addr < POINTER_SIZE or addr + width > self.size:
+                self._check(addr, width)
+            return codec.unpack_from(self._data, addr)[0]
         finally:
             hp.exit()
 
     def write_uint(self, addr, value, width=POINTER_SIZE):
         """Write an unsigned little-endian integer of ``width`` bytes."""
         hp = _hostprof.ACTIVE
+        if hp is not None and not hp._timing:
+            hp = None
         if hp is not None:
             hp.enter("codec")
         try:
             if value < 0 or value >= 1 << (8 * width):
                 raise MemoryError_(
                     f"value {value} does not fit in {width} bytes")
-            self.write(addr, value.to_bytes(width, "little"))
+            codec = _STRUCTS.get(width)
+            if codec is None:
+                self.write(addr, value.to_bytes(width, "little"))
+            else:
+                if addr < POINTER_SIZE or addr + width > self.size:
+                    self._check(addr, width)
+                codec.pack_into(self._data, addr, value)
         finally:
             if hp is not None:
                 hp.exit()
 
     def read_ptr(self, addr):
         """Read a stored pointer (8-byte unsigned)."""
+        hp = _hostprof.ACTIVE
+        if hp is None or not hp._timing:
+            if addr < POINTER_SIZE or addr + 8 > self.size:
+                self._check(addr, 8)
+            return _U64_UNPACK_FROM(self._data, addr)[0]
         return self.read_uint(addr, POINTER_SIZE)
 
     def write_ptr(self, addr, target):
@@ -110,10 +155,32 @@ class HostMemory:
         self.write_uint(addr, target, POINTER_SIZE)
 
     def fill(self, addr, length, byte=0):
-        """Set ``length`` bytes at ``addr`` to ``byte``."""
+        """Set ``length`` bytes at ``addr`` to ``byte``.
+
+        Fill patterns are cached per byte value (and grown to the
+        largest length seen), so repeated fills — allocator scrubs,
+        slot retirement — do not allocate a fresh ``length``-byte
+        string every call.
+        """
         self._check(addr, length)
-        self._data[addr:addr + length] = bytes([byte]) * length
+        if length == 0:
+            return
+        pattern = self._fill_cache.get(byte)
+        if pattern is None or len(pattern) < length:
+            pattern = bytes([byte]) * max(length, 64)
+            self._fill_cache[byte] = pattern
+        # A memoryview slice of the cached pattern is zero-copy; the
+        # bytearray slice-assign copies straight from it.
+        self._data[addr:addr + length] = memoryview(pattern)[:length]
 
     def contains(self, addr, length=1):
-        """True if [addr, addr+length) is a valid (non-NULL-page) range."""
-        return addr >= POINTER_SIZE and length >= 0 and addr + length <= self.size
+        """True if [addr, addr+length) is a valid (non-NULL-page) range.
+
+        ``addr`` must itself address a real byte (``addr < size``): a
+        zero-length range hanging off the end of memory is *not*
+        contained — pointers one-past-the-end are never dereferenceable.
+        Zero-length ``read``/``write`` remain permissive anywhere in
+        [POINTER_SIZE, size] (they touch nothing).
+        """
+        return (POINTER_SIZE <= addr < self.size and length >= 0
+                and addr + length <= self.size)

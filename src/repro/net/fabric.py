@@ -10,7 +10,7 @@ per host; they typically spawn a process to do timed work and reply
 via :meth:`Fabric.send`.
 """
 
-from repro.obs.trace import NULL_SPAN
+from repro.obs.trace import NULL_SPAN, Span
 from repro.sim.resources import BandwidthPipe
 from repro.net.message import Message
 
@@ -88,18 +88,29 @@ class Fabric:
         serialization here, propagation and RX serialization in the
         delivery process (the span rides on the message).
         """
+        sim = self.sim
         message = Message(src_name, dst_name, service, payload, size_bytes)
-        message.send_time = self.sim.now
+        message.send_time = sim._now
         message.span = span
         src = self.hosts[src_name]
         yield from src.tx.transmit(size_bytes, span=span)
-        faults = self.sim.faults
+        faults = sim.faults
         if faults is None:
-            self.sim.spawn(self._deliver(message), name=f"deliver#{message.id}")
+            # The per-message process name only matters to forensics
+            # (flight recorder, process-lifetime traces, deadlock
+            # dumps); the hot path skips the f-string.
+            if sim.flight is None and not sim.tracer.trace_processes:
+                sim.spawn(self._deliver(message), name="deliver")
+            else:
+                sim.spawn(self._deliver(message),
+                          name=f"deliver#{message.id}")
             return message
         # Fault point: the message has left the TX port (the sender paid
         # serialization either way); it may now vanish, fork, or lag.
         hp = self.sim.hostprof
+        if hp is not None and not hp._timing:
+            # Stride sampling: attribution is off for this event.
+            hp = None
         if hp is not None:
             hp.enter("hooks.faults")
         fate = faults.on_message(message)
@@ -133,15 +144,27 @@ class Fabric:
         return message
 
     def _deliver(self, message, extra_delay_us=0.0):
+        sim = self.sim
         if self.monitor is not None:
             self.monitor.adjust(+1)
         if extra_delay_us > 0.0:
-            yield self.sim.timeout(extra_delay_us)
-        with message.span.child("net.propagate", phase="wire",
-                                src=message.src, dst=message.dst):
-            yield self.sim.timeout(
+            yield sim.timeout(extra_delay_us)
+        span = message.span
+        if span.enabled:
+            # Span protocol inlined (see BandwidthPipe.transmit).
+            propagate_span = Span(span.tracer, "net.propagate", "wire",
+                                  span, sim._now,
+                                  {"src": message.src, "dst": message.dst})
+            span.children.append(propagate_span)
+            try:
+                yield sim.timeout(
+                    self.path_latency_us(message.src, message.dst))
+            finally:
+                propagate_span.end = sim._now
+        else:
+            yield sim.timeout(
                 self.path_latency_us(message.src, message.dst))
-        faults = self.sim.faults
+        faults = sim.faults
         if faults is not None and (faults.is_down(message.dst)
                                    or faults.is_down(message.src)):
             # Crash-stop: a dead host neither receives nor has its

@@ -14,8 +14,8 @@ completion overheads.
 from itertools import count
 
 from repro.core.errors import PrismError
-from repro.obs.trace import NULL_SPAN
-from repro.sim.events import TimeoutExpired
+from repro.obs.trace import NULL_SPAN, Span
+from repro.sim.events import Event, TimeoutExpired
 
 
 #: Logical request ids: allocated once per *logical* request, stable
@@ -126,30 +126,39 @@ class RequestChannel:
         retransmission. Plain calls allocate a fresh one, so a logical
         id is always 1:1 with what the caller considers one request.
         """
+        sim = self.sim
         request_id = next(self._ids)
         if logical_id is None:
             logical_id = next(_logical_ids)
         request = Request(request_id, self.host_name, self.reply_service, body)
         request.span = span
         request.logical_id = logical_id
-        fl = self.sim.flight
+        fl = sim.flight
         if fl is not None:
             fl.record("req.send", logical=logical_id, req=request_id,
                       dst=dst, service=service)
-        reply_event = self.sim.event()
+        reply_event = Event(sim)
         self._pending[request_id] = reply_event
         if self.monitor is not None:
             self.monitor.adjust(+1)
         if self.post_overhead_us:
-            with span.child("client.post", phase="cpu"):
-                yield self.sim.timeout(self.post_overhead_us)
+            if span.enabled:
+                post_span = Span(span.tracer, "client.post", "cpu", span,
+                                 sim._now, {})
+                span.children.append(post_span)
+                try:
+                    yield sim.timeout(self.post_overhead_us)
+                finally:
+                    post_span.end = sim._now
+            else:
+                yield sim.timeout(self.post_overhead_us)
         yield from self.fabric.send(self.host_name, dst, service, request,
                                     request_size, span=span)
         if timeout_us is None:
             result = yield reply_event
         else:
-            winner = yield self.sim.any_of(
-                [reply_event, self.sim.timeout(timeout_us)])
+            winner = yield sim.any_of(
+                [reply_event, sim.timeout(timeout_us)])
             index, value = winner
             if index == 1:
                 if (self._pending.pop(request_id, None) is not None
@@ -158,14 +167,22 @@ class RequestChannel:
                 if fl is not None:
                     fl.record("req.timeout", logical=logical_id,
                               req=request_id, dst=dst, timeout_us=timeout_us)
-                if self.sim.series is not None:
-                    self.sim.series.count("timeouts")
+                if sim.series is not None:
+                    sim.series.count("timeouts")
                 raise TimeoutExpired(
                     timeout_us, what=f"request {request_id} to {dst}/{service}")
             result = value
         if self.completion_overhead_us:
-            with span.child("client.completion", phase="cpu"):
-                yield self.sim.timeout(self.completion_overhead_us)
+            if span.enabled:
+                completion_span = Span(span.tracer, "client.completion",
+                                       "cpu", span, sim._now, {})
+                span.children.append(completion_span)
+                try:
+                    yield sim.timeout(self.completion_overhead_us)
+                finally:
+                    completion_span.end = sim._now
+            else:
+                yield sim.timeout(self.completion_overhead_us)
         return result
 
     def request_with_retry(self, dst, service, body, request_size, policy,

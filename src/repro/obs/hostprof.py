@@ -133,6 +133,13 @@ class HostProfiler:
         self.events += 1
         if self.events % self.stride:
             return
+        self.begin_timed()
+
+    def begin_timed(self):
+        """Start timing one event. The kernel's profiled loops inline
+        the counter increment and stride check and call this only for
+        the sampled events (see ``_run_profiled``); ``event_begin`` is
+        the equivalent single-call form."""
         self.timed_events += 1
         self._timing = True
         self.enter("dispatch")

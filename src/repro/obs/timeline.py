@@ -85,6 +85,13 @@ class _WindowedMonitor:
     base class splits the integrals exactly at window boundaries.
     """
 
+    __slots__ = ("sim", "name", "kind", "capacity", "window_us",
+                 "windows", "extra", "_in_use", "_depth", "_last",
+                 "_win_start", "_win_busy", "_win_depth_time",
+                 "_win_max_depth", "_win_events", "_win_units",
+                 "_finished", "busy_us", "depth_time_us", "max_depth",
+                 "events", "units")
+
     def __init__(self, sim, name, kind, capacity=1,
                  window_us=DEFAULT_WINDOW_US):
         self.sim = sim
@@ -139,6 +146,19 @@ class _WindowedMonitor:
     def _advance(self, now):
         """Integrate current state up to ``now``, closing crossed windows."""
         boundary = self._win_start + self.window_us
+        if now < boundary:
+            # Fast path: still inside the current window — inline the
+            # integration (this runs on every monitored transition).
+            dt = now - self._last
+            if dt > 0:
+                busy = self._in_use * dt
+                depth = self._depth * dt
+                self._win_busy += busy
+                self._win_depth_time += depth
+                self.busy_us += busy
+                self.depth_time_us += depth
+            self._last = now
+            return
         while now >= boundary:
             self._integrate_to(boundary)
             self._close_window(boundary)
@@ -221,6 +241,9 @@ class ResourceMonitor(_WindowedMonitor):
     (zero for uncontended acquires) into a distribution.
     """
 
+    __slots__ = ("requests", "grants", "releases", "enqueues",
+                 "dequeues", "cancels", "queue_delays")
+
     def __init__(self, sim, name, kind, capacity=1,
                  window_us=DEFAULT_WINDOW_US):
         super().__init__(sim, name, kind, capacity, window_us)
@@ -234,7 +257,7 @@ class ResourceMonitor(_WindowedMonitor):
 
     def on_request(self, queued):
         """An acquire() arrived; ``queued`` when no slot was free."""
-        self._advance(self.sim.now)
+        self._advance(self.sim._now)
         self.requests += 1
         if queued:
             self._depth += 1
@@ -243,7 +266,7 @@ class ResourceMonitor(_WindowedMonitor):
 
     def on_grant(self, waited_us, from_queue):
         """A slot was granted after ``waited_us`` in the queue."""
-        self._advance(self.sim.now)
+        self._advance(self.sim._now)
         self.grants += 1
         self.events += 1
         self._win_events += 1
@@ -253,16 +276,43 @@ class ResourceMonitor(_WindowedMonitor):
         self._in_use += 1
         self.queue_delays.append(waited_us)
 
+    def on_uncontended_grant(self):
+        """Fused ``on_request(queued=False)`` + ``on_grant(0.0,
+        from_queue=False)``: both hooks fire at the same instant on an
+        uncontended acquire (the hot case), so one ``_advance``
+        suffices and the result is numerically identical."""
+        self._advance(self.sim._now)
+        self.requests += 1
+        self.grants += 1
+        self.events += 1
+        self._win_events += 1
+        self._in_use += 1
+        self.queue_delays.append(0.0)
+
+    def on_handoff(self, waited_us):
+        """Fused ``on_release`` + ``on_grant(waited_us,
+        from_queue=True)``: a freed slot handed straight to a waiter
+        changes nothing at distinct instants (release -1 and grant +1
+        cancel), so one ``_advance`` suffices."""
+        self._advance(self.sim._now)
+        self.releases += 1
+        self.grants += 1
+        self.events += 1
+        self._win_events += 1
+        self._depth -= 1
+        self.dequeues += 1
+        self.queue_delays.append(waited_us)
+
     def on_release(self):
         """A slot was freed (possibly handed straight to a waiter)."""
-        self._advance(self.sim.now)
+        self._advance(self.sim._now)
         self.releases += 1
         self._in_use -= 1
 
     def on_cancel(self):
         """A queued acquire was abandoned (interrupt, timeout) before
         any slot was granted — a dequeue that is not a grant."""
-        self._advance(self.sim.now)
+        self._advance(self.sim._now)
         self._depth -= 1
         self.dequeues += 1
         self.cancels += 1
@@ -286,8 +336,10 @@ class ChargeMonitor(_WindowedMonitor):
     the instant it is recorded.
     """
 
+    __slots__ = ()
+
     def charge(self, duration_us, events=1, units=0):
-        self._advance(self.sim.now)
+        self._advance(self.sim._now)
         self._win_busy += duration_us
         self.busy_us += duration_us
         self._win_events += events
@@ -308,6 +360,8 @@ class ChargeMonitor(_WindowedMonitor):
 class DepthMonitor(_WindowedMonitor):
     """A pure occupancy counter: in-flight requests, queued messages."""
 
+    __slots__ = ("enters", "exits")
+
     def __init__(self, sim, name, kind, window_us=DEFAULT_WINDOW_US):
         super().__init__(sim, name, kind, capacity=None,
                          window_us=window_us)
@@ -315,7 +369,7 @@ class DepthMonitor(_WindowedMonitor):
         self.exits = 0
 
     def adjust(self, delta):
-        self._advance(self.sim.now)
+        self._advance(self.sim._now)
         self._depth += delta
         if delta > 0:
             self.enters += delta

@@ -60,7 +60,15 @@ class Span:
 
     def child(self, name, phase="other", **attrs):
         """Open a child span starting now."""
-        span = Span(self.tracer, name, phase, self, self.tracer.now, attrs)
+        # Clock read inlined (tracer.now -> sim.now are two property
+        # hops); child() runs several times per simulated operation.
+        # Falls back to the ``now`` property for duck-typed clocks.
+        tracer = self.tracer
+        try:
+            now = tracer._sim._now
+        except AttributeError:
+            now = tracer._sim.now
+        span = Span(tracer, name, phase, self, now, attrs)
         self.children.append(span)
         return span
 
@@ -69,7 +77,11 @@ class Span:
     def finish(self):
         """Close the span at the current simulated time (idempotent)."""
         if self.end is None:
-            self.end = self.tracer.now
+            sim = self.tracer._sim
+            try:
+                self.end = sim._now
+            except AttributeError:
+                self.end = sim.now
 
     def __enter__(self):
         return self
@@ -187,7 +199,11 @@ class Tracer:
 
     def root(self, name, phase="other", **attrs):
         """Open a new top-level span (one per traced operation)."""
-        span = Span(self, name, phase, None, self.now, attrs)
+        try:
+            now = self._sim._now
+        except AttributeError:
+            now = self._sim.now
+        span = Span(self, name, phase, None, now, attrs)
         self.roots.append(span)
         return span
 

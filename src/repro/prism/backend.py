@@ -11,10 +11,30 @@ is (§3.3).
 from dataclasses import dataclass, field
 
 from repro.core.chain import Chain
-from repro.obs.trace import NULL_SPAN
+from repro.obs.trace import NULL_SPAN, Span
 from repro.prism.address_space import DOMAIN_HOST
 from repro.prism.engine import ChainResult, OpResult, OpStatus
 from repro.sim.resources import Resource
+
+
+#: interned span labels for the per-op trace children — chains are
+#: short and opnames few, so both caches stay tiny for a whole run.
+_DISPATCH_LABELS = {}
+_OP_LABELS = {}
+
+
+def _dispatch_label(op_index):
+    label = _DISPATCH_LABELS.get(op_index)
+    if label is None:
+        label = _DISPATCH_LABELS[op_index] = f"dispatch[{op_index}]"
+    return label
+
+
+def _op_label(opname):
+    label = _OP_LABELS.get(opname)
+    if label is None:
+        label = _OP_LABELS[opname] = f"op.{opname}"
+    return label
 
 
 @dataclass
@@ -66,12 +86,23 @@ class PostingGate:
     so the drain is fast even under saturation.
     """
 
+    __slots__ = ("sim", "_executing", "_posting", "_drained", "_unblocked")
+
     def __init__(self, sim):
         self.sim = sim
         self._executing = 0
         self._posting = False
         self._drained = None
         self._unblocked = None
+
+    def try_enter(self):
+        """Non-blocking read side: claim an execution slot if no poster
+        is active (the overwhelmingly common case). Returns False when
+        the caller must fall back to the yielding :meth:`enter`."""
+        if self._posting:
+            return False
+        self._executing += 1
+        return True
 
     def enter(self):
         """Process helper (read side): begin executing one op."""
@@ -204,7 +235,24 @@ class Backend:
         """
         if isinstance(ops, Chain):
             ops = ops.ops
-        with span.child("admission", phase=self.admission_phase):
+        # Span children (and their f-string labels) only exist when the
+        # request is actually traced; the clean path skips them whole.
+        # Traced spans are opened/closed by direct field writes, with
+        # the per-index and per-opname labels interned in shared caches
+        # — no f-string or context-manager work per op.
+        sim = self.sim
+        traced = span.enabled
+        if traced:
+            tracer = span.tracer
+            children = span.children
+            admission_span = Span(tracer, "admission",
+                                  self.admission_phase, span, sim._now, {})
+            children.append(admission_span)
+            try:
+                yield from self.request_admission(ops)
+            finally:
+                admission_span.end = sim._now
+        else:
             yield from self.request_admission(ops)
         results = []
         prev_ok = True
@@ -213,22 +261,41 @@ class Backend:
             if aborted:
                 results.append(OpResult(OpStatus.SKIPPED))
                 continue
-            with span.child(f"dispatch[{op_index}]", phase="queue"):
+            if traced:
+                label = _dispatch_label(op_index)
+                dispatch_span = Span(tracer, label, "queue", span,
+                                     sim._now, {})
+                children.append(dispatch_span)
+                try:
+                    release = yield from self.acquire_execution(op)
+                    if not self.gate.try_enter():
+                        yield from self.gate.enter()
+                finally:
+                    dispatch_span.end = sim._now
+            else:
                 release = yield from self.acquire_execution(op)
-                yield from self.gate.enter()
+                if not self.gate.try_enter():
+                    yield from self.gate.enter()
             try:
                 result, accesses = self.engine.execute_op(
                     connection, op, prev_ok)
                 duration = self.op_time(op, accesses, op_index)
-                if self.sim.utilization is not None:
+                if sim.utilization is not None:
                     self.note_execution(op, accesses, op_index, duration)
-                with span.child(f"op.{op.opname}", phase=self.execution_phase,
-                                status=result.status.value) as op_span:
-                    if op_span.enabled:
-                        op_span.set_parts(
-                            self.op_time_parts(op, accesses, op_index))
-                    if duration > 0:
-                        yield self.sim.timeout(duration)
+                if traced:
+                    op_span = Span(tracer, _op_label(op.opname),
+                                   self.execution_phase, span, sim._now,
+                                   {"status": result.status.value})
+                    children.append(op_span)
+                    try:
+                        op_span.parts = self.op_time_parts(
+                            op, accesses, op_index)
+                        if duration > 0:
+                            yield sim.timeout(duration)
+                    finally:
+                        op_span.end = sim._now
+                elif duration > 0:
+                    yield sim.timeout(duration)
             finally:
                 self.gate.exit()
                 release()

@@ -18,13 +18,16 @@ class AccessFlags(enum.Flag):
 class MemoryRegion:
     """A registered, remotely accessible span of server memory."""
 
-    __slots__ = ("rkey", "start", "length", "flags")
+    __slots__ = ("rkey", "start", "length", "flags", "_mask")
 
     def __init__(self, rkey, start, length, flags):
         self.rkey = rkey
         self.start = start
         self.length = length
         self.flags = flags
+        # Plain-int permission mask: ``check`` runs once per memory
+        # access, and enum.Flag operators are ~10x an int ``&``.
+        self._mask = flags.value
 
     @property
     def end(self):
@@ -73,11 +76,15 @@ class MemoryRegionTable:
         Returns the region on success; raises :class:`AccessViolation`
         otherwise.
         """
-        region = self.region(rkey)
-        if need & ~region.flags:
+        try:
+            region = self._regions[rkey]
+        except KeyError:
+            raise AccessViolation(f"unknown rkey {rkey:#x}") from None
+        if need.value & ~region._mask:
             raise AccessViolation(
                 f"rkey {rkey:#x} lacks {need} (has {region.flags})")
-        if not region.covers(addr, length):
+        start = region.start
+        if addr < start or addr + length > start + region.length:
             raise AccessViolation(
                 f"[{addr}, {addr + length}) outside region {region!r}")
         return region

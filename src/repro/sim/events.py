@@ -38,6 +38,23 @@ class TimeoutExpired(TimeoutError):
         self.what = what
 
 
+class _LateCall:
+    """A callback registered on an already-processed event.
+
+    A tiny ``__slots__`` callable for the ready queue — the hot path
+    never allocates closures for this (or anything else).
+    """
+
+    __slots__ = ("callback", "event")
+
+    def __init__(self, callback, event):
+        self.callback = callback
+        self.event = event
+
+    def __call__(self):
+        self.callback(self.event)
+
+
 class Event:
     """A one-shot occurrence on the simulation timeline.
 
@@ -82,7 +99,12 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.sim._enqueue_triggered(self)
+        # Same-instant work goes on the ready deque (FIFO == the old
+        # heap's seq order at one timestamp) — no heap push, no seq.
+        # The event itself is the deque entry (it is callable, see
+        # ``__call__``); appending a bound ``_process`` method would
+        # allocate one per trigger on the hottest kernel path.
+        self.sim._ready.append(self)
         return self
 
     def fail(self, exception):
@@ -94,7 +116,7 @@ class Event:
         self._ok = False
         self._value = exception
         self._triggered = True
-        self.sim._enqueue_triggered(self)
+        self.sim._ready.append(self)
         return self
 
     def add_callback(self, callback):
@@ -104,7 +126,7 @@ class Event:
         next kernel step rather than being silently dropped.
         """
         if self._processed:
-            self.sim._enqueue_callback(self, callback)
+            self.sim._ready.append(_LateCall(callback, self))
         else:
             self.callbacks.append(callback)
 
@@ -140,10 +162,62 @@ class Event:
         for callback in callbacks:
             callback(self)
 
+    # A triggered event on the ready deque is dispatched by calling it;
+    # subclasses that use ``__call__`` for another deque role (pending
+    # zero-delay timers) dispatch on their trigger state instead.
+    __call__ = _process
+
     def __repr__(self):
         state = "processed" if self._processed else (
             "triggered" if self._triggered else "pending")
         return f"<Event {state} at t={self.sim.now:.3f}>"
+
+
+class TimerEvent(Event):
+    """The event behind ``Simulator.timeout``: fires at a fixed time.
+
+    The simulator stores the timer itself as the queue payload — no
+    per-timeout lambda. Cancelling a pending timer *withdraws* it: a
+    heap-resident timer is tombstoned (skipped, and compacted away in
+    bulk once tombstones dominate) instead of firing into the void.
+    This is what keeps the queue O(in-flight) when ``with_timeout`` /
+    ``any_of`` waits are won by the guarded event and the losing timer
+    is abandoned — previously each one sat in the heap until its
+    deadline.
+    """
+
+    __slots__ = ("_fire_value", "cancelled")
+
+    def __init__(self, sim, value=None):
+        # Inlined Event.__init__ — timers are the single most common
+        # allocation in the kernel; skip the super() call.
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._triggered = False
+        self._processed = False
+        self._fire_value = value
+        self.cancelled = False
+
+    def fire(self):
+        """Heap-pop path: trigger (the kernel already checked ``cancelled``)."""
+        self.succeed(self._fire_value)
+
+    def __call__(self):
+        """Ready-deque path: a pending entry is a zero-delay timer
+        firing (unless cancelled); a triggered entry is running its
+        callbacks, like any other event."""
+        if self._triggered:
+            self._process()
+        elif not self.cancelled:
+            self.succeed(self._fire_value)
+
+    def cancel(self):
+        if self.cancelled or self._triggered:
+            return
+        self.cancelled = True
+        self.sim._note_timer_cancelled()
 
 
 class _Composite(Event):
@@ -209,6 +283,15 @@ class AnyOf(_Composite):
                 self.succeed((index, event.value))
             else:
                 self.fail(event.value)
+            # Withdraw losing *timers* so they don't sit in the heap
+            # until their (now meaningless) deadlines. Only timers:
+            # auto-cancelling a losing resource claim here would move
+            # its withdrawal earlier within the timestep than the
+            # waiter's own explicit cancel, perturbing grant order.
+            for sub, callback in self._subscriptions:
+                if (sub is not event and not sub._triggered
+                        and type(sub) is TimerEvent):
+                    sub.waiter_detached(callback)
         return on_trigger
 
 

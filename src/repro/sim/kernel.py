@@ -1,9 +1,17 @@
 """The event loop and process machinery.
 
-``Simulator`` owns a priority queue of timestamped entries. Each entry
-is either an event to process (running its callbacks) or a bare
-callable. Processes are generators driven by the kernel: every value a
-process yields must be an :class:`~repro.sim.events.Event` (or another
+``Simulator`` owns two scheduling structures: a FIFO *ready deque* of
+work due at the current instant and a priority heap of future-time
+entries. Every entry pushed at the current simulated time lands on the
+deque (no heap push, no sequence number, no tuple); only real timers
+and deferred callables reach the heap. Because nothing can schedule
+work at or before the current time *into the heap*, draining order is
+exactly the old single-heap ``(when, seq)`` order: heap entries at a
+timestamp were pushed from an earlier instant, so they precede
+everything appended to the deque at that timestamp.
+
+Processes are generators driven by the kernel: every value a process
+yields must be an :class:`~repro.sim.events.Event` (or another
 :class:`Process`, which doubles as its completion event).
 """
 
@@ -19,7 +27,31 @@ from repro.sim.events import (
     Interrupt,
     SimulationError,
     TimeoutExpired,
+    TimerEvent,
+    _LateCall,
 )
+
+from collections import deque
+
+#: Tombstoned timers are compacted out of the heap in bulk once they
+#: outnumber live entries (and at least this many have accumulated) —
+#: amortized O(1) per cancel, keeping the heap O(in-flight).
+_COMPACT_MIN = 64
+
+
+class _ScheduledCall:
+    """Heap payload for :meth:`Simulator.call_at`.
+
+    Gives bare future callables the same ``cancelled``/``fire`` shape
+    as :class:`~repro.sim.events.TimerEvent`, so the run loops touch
+    exactly one payload type.
+    """
+
+    __slots__ = ("fire", "cancelled")
+
+    def __init__(self, callback):
+        self.fire = callback
+        self.cancelled = False
 
 
 class Process(Event):
@@ -45,10 +77,18 @@ class Process(Event):
         # attribute their events to the originating client operation.
         fl = sim.flight
         self._flight_ctx = None if fl is None else fl.current_ctx()
-        sim.tracer.process_started(self)
-        bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        tracer = sim.tracer
+        if tracer.trace_processes:
+            tracer.process_started(self)
+        sim._ready.append(self._bootstrap)
+
+    def _bootstrap(self):
+        # Guard against a resume that beat the bootstrap to the deque
+        # (an interrupt in the spawn instant): the generator is then
+        # already past its first yield, or finished.
+        if self._triggered or self._waiting_on is not None:
+            return
+        self._step(self._generator.send, None)
 
     def add_callback(self, callback):
         self._ever_waited = True
@@ -75,7 +115,7 @@ class Process(Event):
             if self._triggered:
                 return
             self._detach_from_waited_event()
-            self._step(lambda: self._generator.throw(Interrupt(cause)))
+            self._step(self._generator.throw, Interrupt(cause))
         return resume
 
     def _detach_from_waited_event(self):
@@ -99,40 +139,87 @@ class Process(Event):
             # one it is actually waiting on.
             return
         self._waiting_on = None
-        if event.ok:
-            self._step(lambda: self._generator.send(event.value))
+        if event._ok:
+            self._step(self._generator.send, event._value)
         else:
-            self._step(lambda: self._generator.throw(event.value))
+            self._step(self._generator.throw, event._value)
 
-    def _step(self, advance):
+    def _step(self, advance, arg):
+        # ``advance`` is the generator's bound ``send``/``throw`` and
+        # ``arg`` its payload — passed unpacked so resuming allocates
+        # no closure.
+        sim = self.sim
         # Host-profiling hook: resume accounting (off => one None check).
-        hp = self.sim.hostprof
-        if hp is not None:
-            hp.resume_begin()
+        hp = sim.hostprof
         # Flight-recorder hook: who is executing (off => one None check).
-        fl = self.sim.flight
-        if fl is not None:
-            fl.enter_process(self)
-        try:
+        fl = sim.flight
+        if hp is not None:
+            hp.resumes += 1
+            if not hp._timing:
+                # Unsampled resume (stride sampling): the counter stays
+                # exact, but bucket attribution is off for this event —
+                # skip the paired enter/exit calls entirely.
+                hp = None
+        if hp is None and fl is None:
             try:
-                target = advance()
+                target = advance(arg)
             except StopIteration as stop:
                 self.succeed(getattr(stop, "value", None))
-                self.sim.tracer.process_finished(self)
+                tracer = sim.tracer
+                if tracer.trace_processes:
+                    tracer.process_finished(self)
                 return
             except Exception as exc:
                 self._fail_or_crash(exc)
                 return
             if isinstance(target, Event):
                 self._waiting_on = target
-                target.add_callback(self._resume)
+                # Inlined Event.add_callback — one call per resume on
+                # the hottest kernel path. Waiting on a child process
+                # must still mark it observed (orphan-failure triage).
+                if isinstance(target, Process):
+                    target._ever_waited = True
+                if target._processed:
+                    sim._ready.append(_LateCall(self._resume, target))
+                else:
+                    target.callbacks.append(self._resume)
             else:
                 message = (
                     f"process {self.name!r} yielded {target!r}; processes "
                     "may only yield Event instances (use 'yield from' to "
                     "call sub-generators)")
-                self._step(
-                    lambda: self._generator.throw(SimulationError(message)))
+                self._step(self._generator.throw, SimulationError(message))
+            return
+        if hp is not None:
+            hp.enter("resume")
+        if fl is not None:
+            fl.enter_process(self)
+        try:
+            try:
+                target = advance(arg)
+            except StopIteration as stop:
+                self.succeed(getattr(stop, "value", None))
+                tracer = sim.tracer
+                if tracer.trace_processes:
+                    tracer.process_finished(self)
+                return
+            except Exception as exc:
+                self._fail_or_crash(exc)
+                return
+            if isinstance(target, Event):
+                self._waiting_on = target
+                if isinstance(target, Process):
+                    target._ever_waited = True
+                if target._processed:
+                    sim._ready.append(_LateCall(self._resume, target))
+                else:
+                    target.callbacks.append(self._resume)
+            else:
+                message = (
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    "may only yield Event instances (use 'yield from' to "
+                    "call sub-generators)")
+                self._step(self._generator.throw, SimulationError(message))
         finally:
             if fl is not None:
                 fl.exit_process()
@@ -161,13 +248,16 @@ class Simulator:
     construction so every contended resource created on this simulator
     self-registers for busy/queue accounting. ``events_executed``
     counts queue entries run — a cheap health counter the metrics
-    registry can absorb.
+    registry can absorb. (Tombstoned — cancelled — timers are skipped,
+    not run, so they are not counted.)
     """
 
     def __init__(self):
         self._now = 0.0
         self._queue = []
+        self._ready = deque()
         self._sequence = count()
+        self._cancelled_timers = 0
         self._failed_processes = []
         self.tracer = NULL_TRACER
         self.utilization = None
@@ -283,13 +373,29 @@ class Simulator:
         """An event that succeeds ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        event = Event(self)
-        self._push(self._now + delay, lambda: self._trigger_timeout(event, value))
+        # TimerEvent.__init__ inlined — timers are the most common
+        # allocation in the kernel, and skipping the constructor frame
+        # is worth ~a call per event on the dominant op path.
+        event = TimerEvent.__new__(TimerEvent)
+        event.sim = self
+        event.callbacks = []
+        event._value = None
+        event._ok = None
+        event._triggered = False
+        event._processed = False
+        event._fire_value = value
+        event.cancelled = False
+        # Compare the *computed* deadline, not the delay: a denormal
+        # delay that rounds to the current instant must keep FIFO
+        # position with other same-instant work (the heap only ever
+        # holds strictly-future entries — the ordering invariant the
+        # run loops rely on).
+        when = self._now + delay
+        if when == self._now:
+            self._ready.append(event)
+        else:
+            heapq.heappush(self._queue, (when, next(self._sequence), event))
         return event
-
-    @staticmethod
-    def _trigger_timeout(event, value):
-        event.succeed(value)
 
     def spawn(self, generator, name=None):
         """Start running a generator as a process."""
@@ -314,7 +420,10 @@ class Simulator:
         withdraws its claim instead of stranding a slot or swallowing
         an item — which is also what makes the helper interrupt-safe:
         an Interrupt landing inside the wait detaches from both the
-        event and the timer through the same cancellation path.
+        event and the timer through the same cancellation path. When
+        ``event`` wins, the losing timer is withdrawn from the heap
+        (see :class:`~repro.sim.events.TimerEvent`), so N timed waits
+        leave O(in-flight) queue entries, not O(N).
         """
         if not isinstance(event, Event):
             raise SimulationError("with_timeout requires an Event")
@@ -336,23 +445,45 @@ class Simulator:
         """Run a bare callable at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
-        self._push(when, callback)
+        if when == self._now:
+            self._ready.append(callback)
+        else:
+            heapq.heappush(self._queue,
+                           (when, next(self._sequence), _ScheduledCall(callback)))
 
     # -- kernel internals -------------------------------------------------
 
-    def _push(self, when, callback):
-        heapq.heappush(self._queue, (when, next(self._sequence), callback))
-
     def _enqueue_triggered(self, event):
-        self._push(self._now, event._process)
+        self._ready.append(event)
 
-    def _enqueue_callback(self, event, callback):
-        self._push(self._now, lambda: callback(event))
+    def _note_timer_cancelled(self):
+        """A heap-resident timer was tombstoned; compact when they dominate."""
+        self._cancelled_timers += 1
+        queue = self._queue
+        if (self._cancelled_timers >= _COMPACT_MIN
+                and self._cancelled_timers * 2 > len(queue)):
+            # In place: the run loops hold a local alias to the list.
+            queue[:] = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(queue)
+            self._cancelled_timers = 0
 
     def _note_process_failure(self, process, exc):
         self._failed_processes.append((process, exc))
 
     # -- execution ---------------------------------------------------------
+
+    # The four run loops below share one shape:
+    #
+    #   1. pop heap entries due at the current instant (they were
+    #      pushed from an *earlier* instant, so they precede anything
+    #      on the ready deque at this instant);
+    #   2. drain the ready deque FIFO — nothing a ready callback does
+    #      can make a heap entry due at the current instant, so no
+    #      re-check is needed between deque entries;
+    #   3. advance the clock to the earliest future heap entry.
+    #
+    # Tombstoned (cancelled) timers are skipped without advancing the
+    # clock and without counting in ``events_executed``.
 
     def run(self, until=None):
         """Run until the queue drains or simulated time passes ``until``.
@@ -362,18 +493,41 @@ class Simulator:
         """
         if self.hostprof is not None:
             return self._run_profiled(until)
-        while self._queue:
-            when, _seq, callback = self._queue[0]
-            if until is not None and when > until:
-                self._now = until
-                break
-            heapq.heappop(self._queue)
-            self._now = when
-            self.events_executed += 1
-            callback()
-        else:
-            if until is not None:
-                self._now = until
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        now = self._now
+        executed = 0
+        try:
+            while True:
+                while queue and queue[0][0] <= now:
+                    obj = pop(queue)[2]
+                    if obj.cancelled:
+                        self._cancelled_timers -= 1
+                        continue
+                    executed += 1
+                    obj.fire()
+                while ready:
+                    executed += 1
+                    ready.popleft()()
+                if not queue:
+                    if until is not None:
+                        self._now = until
+                    break
+                when = queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                obj = pop(queue)[2]
+                if obj.cancelled:
+                    self._cancelled_timers -= 1
+                    continue
+                now = when
+                self._now = when
+                executed += 1
+                obj.fire()
+        finally:
+            self.events_executed += executed
         self._raise_orphan_failures()
         return self._now
 
@@ -385,25 +539,74 @@ class Simulator:
         reads ``perf_counter`` around the same callbacks.
         """
         hp = self.hostprof
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        now = self._now
+        # Stride sampling inlined: untimed events pay one increment and
+        # one modulo, not two method calls and a try/finally.
+        stride = hp.stride
+        executed = 0
+        # The sampling counter lives in a local for the whole loop (an
+        # attribute RMW per event is measurable); flushed on exit so
+        # report() and nested runs see the true count.
+        ev = hp.events
         hp.run_begin()
         try:
-            while self._queue:
-                when, _seq, callback = self._queue[0]
+            while True:
+                while queue and queue[0][0] <= now:
+                    obj = pop(queue)[2]
+                    if obj.cancelled:
+                        self._cancelled_timers -= 1
+                        continue
+                    executed += 1
+                    ev += 1
+                    if ev % stride:
+                        obj.fire()
+                    else:
+                        hp.begin_timed()
+                        try:
+                            obj.fire()
+                        finally:
+                            hp.event_end()
+                while ready:
+                    executed += 1
+                    ev += 1
+                    if ev % stride:
+                        ready.popleft()()
+                    else:
+                        hp.begin_timed()
+                        try:
+                            ready.popleft()()
+                        finally:
+                            hp.event_end()
+                if not queue:
+                    if until is not None:
+                        self._now = until
+                    break
+                when = queue[0][0]
                 if until is not None and when > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
+                obj = pop(queue)[2]
+                if obj.cancelled:
+                    self._cancelled_timers -= 1
+                    continue
+                now = when
                 self._now = when
-                self.events_executed += 1
-                hp.event_begin()
-                try:
-                    callback()
-                finally:
-                    hp.event_end()
-            else:
-                if until is not None:
-                    self._now = until
+                executed += 1
+                ev += 1
+                if ev % stride:
+                    obj.fire()
+                else:
+                    hp.begin_timed()
+                    try:
+                        obj.fire()
+                    finally:
+                        hp.event_end()
         finally:
+            self.events_executed += executed
+            hp.events = ev
             hp.run_end()
         self._raise_orphan_failures()
         return self._now
@@ -420,15 +623,47 @@ class Simulator:
         if self.hostprof is not None:
             self._drain_profiled(process, limit)
         else:
-            while self._queue and not process.processed:
-                when, _seq, callback = self._queue[0]
-                if limit is not None and when > limit:
-                    self._now = limit
-                    break
-                heapq.heappop(self._queue)
-                self._now = when
-                self.events_executed += 1
-                callback()
+            ready = self._ready
+            queue = self._queue
+            pop = heapq.heappop
+            now = self._now
+            executed = 0
+            try:
+                while not process._processed:
+                    while queue and queue[0][0] <= now:
+                        obj = pop(queue)[2]
+                        if obj.cancelled:
+                            self._cancelled_timers -= 1
+                            continue
+                        executed += 1
+                        obj.fire()
+                        if process._processed:
+                            break
+                    if process._processed:
+                        break
+                    while ready:
+                        executed += 1
+                        ready.popleft()()
+                        if process._processed:
+                            break
+                    if process._processed:
+                        break
+                    if not queue:
+                        break
+                    when = queue[0][0]
+                    if limit is not None and when > limit:
+                        self._now = limit
+                        break
+                    obj = pop(queue)[2]
+                    if obj.cancelled:
+                        self._cancelled_timers -= 1
+                        continue
+                    now = when
+                    self._now = when
+                    executed += 1
+                    obj.fire()
+            finally:
+                self.events_executed += executed
         self._raise_orphan_failures()
         if not process.triggered:
             raise SimulationError(
@@ -441,29 +676,97 @@ class Simulator:
     def _drain_profiled(self, process, limit):
         """The :meth:`run_until_complete` loop under the host profiler."""
         hp = self.hostprof
+        ready = self._ready
+        queue = self._queue
+        pop = heapq.heappop
+        now = self._now
+        stride = hp.stride
+        executed = 0
+        # The sampling counter lives in a local for the whole loop (an
+        # attribute RMW per event is measurable); flushed on exit so
+        # report() and nested runs see the true count.
+        ev = hp.events
         hp.run_begin()
         try:
-            while self._queue and not process.processed:
-                when, _seq, callback = self._queue[0]
+            while not process._processed:
+                while queue and queue[0][0] <= now:
+                    obj = pop(queue)[2]
+                    if obj.cancelled:
+                        self._cancelled_timers -= 1
+                        continue
+                    executed += 1
+                    ev += 1
+                    if ev % stride:
+                        obj.fire()
+                    else:
+                        hp.begin_timed()
+                        try:
+                            obj.fire()
+                        finally:
+                            hp.event_end()
+                    if process._processed:
+                        break
+                if process._processed:
+                    break
+                while ready:
+                    executed += 1
+                    ev += 1
+                    if ev % stride:
+                        ready.popleft()()
+                    else:
+                        hp.begin_timed()
+                        try:
+                            ready.popleft()()
+                        finally:
+                            hp.event_end()
+                    if process._processed:
+                        break
+                if process._processed:
+                    break
+                if not queue:
+                    break
+                when = queue[0][0]
                 if limit is not None and when > limit:
                     self._now = limit
                     break
-                heapq.heappop(self._queue)
+                obj = pop(queue)[2]
+                if obj.cancelled:
+                    self._cancelled_timers -= 1
+                    continue
+                now = when
                 self._now = when
-                self.events_executed += 1
-                hp.event_begin()
-                try:
-                    callback()
-                finally:
-                    hp.event_end()
+                executed += 1
+                ev += 1
+                if ev % stride:
+                    obj.fire()
+                else:
+                    hp.begin_timed()
+                    try:
+                        obj.fire()
+                    finally:
+                        hp.event_end()
         finally:
+            self.events_executed += executed
+            hp.events = ev
             hp.run_end()
 
     def _raise_orphan_failures(self):
-        for process, exc in self._failed_processes:
-            # A failure is "observed" if anything ever waited on the
-            # process's completion event; otherwise it must not vanish.
-            if not process._ever_waited:
-                self._failed_processes = []
-                raise exc
+        failures = self._failed_processes
+        if not failures:
+            return
         self._failed_processes = []
+        # A failure is "observed" if anything ever waited on the
+        # process's completion event; otherwise it must not vanish.
+        orphans = [(process, exc) for process, exc in failures
+                   if not process._ever_waited]
+        if not orphans:
+            return
+        first_exc = orphans[0][1]
+        # Raise the first orphan, but never swallow the rest: attach
+        # them as notes so two concurrently-crashing daemons both
+        # surface in the traceback.
+        for process, exc in orphans[1:]:
+            first_exc.add_note(
+                f"also unobserved: process {process.name!r} failed with "
+                f"{type(exc).__name__}: {exc}")
+        raise first_exc

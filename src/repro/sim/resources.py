@@ -7,7 +7,7 @@ link serialization are all instances of these classes.
 
 from collections import deque
 
-from repro.obs.trace import NULL_SPAN
+from repro.obs.trace import NULL_SPAN, Span
 from repro.sim.events import Event, SimulationError
 
 
@@ -26,7 +26,14 @@ class AcquireEvent(Event):
     __slots__ = ("resource", "cancelled")
 
     def __init__(self, resource):
-        super().__init__(resource.sim)
+        # Inlined Event.__init__ — acquire events are the hottest
+        # allocation on the model path; skip the super() call.
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._triggered = False
+        self._processed = False
         self.resource = resource
         self.cancelled = False
 
@@ -49,7 +56,13 @@ class GetEvent(Event):
     __slots__ = ("store", "cancelled")
 
     def __init__(self, store):
-        super().__init__(store.sim)
+        # Inlined Event.__init__ (see AcquireEvent).
+        self.sim = store.sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._triggered = False
+        self._processed = False
         self.store = store
         self.cancelled = False
 
@@ -79,6 +92,10 @@ class Resource:
     acquire/grant/release; with no collector the hooks are a single
     ``is None`` check and timing is untouched.
     """
+
+    __slots__ = ("sim", "capacity", "name", "kind", "_in_use", "_waiters",
+                 "_total_acquired", "_busy_time", "_last_change", "monitor",
+                 "_wait_since")
 
     def __init__(self, sim, capacity=1, name=None, kind="other"):
         if capacity < 1:
@@ -115,6 +132,21 @@ class Resource:
         instead of leaking the slot it queued for.
         """
         hp = self.sim.hostprof
+        if hp is not None and not hp._timing:
+            # Stride sampling: attribution is off for this event.
+            hp = None
+        if hp is None and self.monitor is None:
+            # Fast path: no profiler, no utilization monitor — the
+            # common configuration for fig sweeps.
+            event = AcquireEvent(self)
+            if self._in_use < self.capacity:
+                self._account()
+                self._in_use += 1
+                self._total_acquired += 1
+                event.succeed(self)
+            else:
+                self._waiters.append(event)
+            return event
         if hp is not None:
             hp.enter("resource")
         try:
@@ -126,8 +158,7 @@ class Resource:
                 if self.monitor is not None:
                     if hp is not None:
                         hp.enter("hooks.obs")
-                    self.monitor.on_request(queued=False)
-                    self.monitor.on_grant(0.0, from_queue=False)
+                    self.monitor.on_uncontended_grant()
                     if hp is not None:
                         hp.exit()
                 event.succeed(self)
@@ -137,7 +168,7 @@ class Resource:
                     if hp is not None:
                         hp.enter("hooks.obs")
                     self.monitor.on_request(queued=True)
-                    self._wait_since.append(self.sim.now)
+                    self._wait_since.append(self.sim._now)
                     if hp is not None:
                         hp.exit()
             return event
@@ -153,6 +184,23 @@ class Resource:
         the same kernel step).
         """
         hp = self.sim.hostprof
+        if hp is not None and not hp._timing:
+            # Stride sampling: attribution is off for this event.
+            hp = None
+        if hp is None and self.monitor is None:
+            if self._in_use <= 0:
+                raise SimulationError(f"{self.name}: release without acquire")
+            waiters = self._waiters
+            while waiters:
+                event = waiters.popleft()
+                if event.cancelled or event._triggered:
+                    continue
+                self._total_acquired += 1
+                event.succeed(self)
+                return
+            self._account()
+            self._in_use -= 1
+            return
         if hp is not None:
             hp.enter("resource")
         try:
@@ -174,9 +222,7 @@ class Resource:
                 if self.monitor is not None:
                     if hp is not None:
                         hp.enter("hooks.obs")
-                    self.monitor.on_release()
-                    self.monitor.on_grant(self.sim.now - waited_since,
-                                          from_queue=True)
+                    self.monitor.on_handoff(self.sim._now - waited_since)
                     if hp is not None:
                         hp.exit()
                 event.succeed(self)
@@ -217,7 +263,7 @@ class Resource:
         return self._busy_time / (elapsed * self.capacity)
 
     def _account(self):
-        now = self.sim.now
+        now = self.sim._now
         self._busy_time += self._in_use * (now - self._last_change)
         self._last_change = now
 
@@ -242,6 +288,8 @@ class Resource:
 class Store:
     """An unbounded FIFO buffer of items with blocking ``get``."""
 
+    __slots__ = ("sim", "name", "_items", "_getters")
+
     def __init__(self, sim, name=None):
         self.sim = sim
         self.name = name or "store"
@@ -259,8 +307,20 @@ class Store:
         kernel step) — waking one would make the item vanish.
         """
         hp = self.sim.hostprof
-        if hp is not None:
-            hp.enter("resource")
+        if hp is not None and not hp._timing:
+            # Stride sampling: attribution is off for this event.
+            hp = None
+        if hp is None:
+            getters = self._getters
+            while getters:
+                getter = getters.popleft()
+                if getter.cancelled or getter._triggered:
+                    continue
+                getter.succeed(item)
+                return
+            self._items.append(item)
+            return
+        hp.enter("resource")
         try:
             while self._getters:
                 getter = self._getters.popleft()
@@ -270,8 +330,7 @@ class Store:
                 return
             self._items.append(item)
         finally:
-            if hp is not None:
-                hp.exit()
+            hp.exit()
 
     def get(self):
         """Event that fires with the next item (FIFO).
@@ -281,8 +340,17 @@ class Store:
         returned to the front of the buffer instead of being lost.
         """
         hp = self.sim.hostprof
-        if hp is not None:
-            hp.enter("resource")
+        if hp is not None and not hp._timing:
+            # Stride sampling: attribution is off for this event.
+            hp = None
+        if hp is None:
+            event = GetEvent(self)
+            if self._items:
+                event.succeed(self._items.popleft())
+            else:
+                self._getters.append(event)
+            return event
+        hp.enter("resource")
         try:
             event = GetEvent(self)
             if self._items:
@@ -291,8 +359,7 @@ class Store:
                 self._getters.append(event)
             return event
         finally:
-            if hp is not None:
-                hp.exit()
+            hp.exit()
 
     def _getter_cancelled(self, event):
         """A blocked getter went away (interrupt or timeout race)."""
@@ -329,6 +396,10 @@ class BandwidthPipe:
     port — propagation delay is added by the fabric, not here.
     """
 
+    __slots__ = ("sim", "bytes_per_us", "per_message_us", "name", "_port",
+                 "bytes_total", "messages_total", "_queue_label",
+                 "_xmit_label")
+
     def __init__(self, sim, bytes_per_us, per_message_us=0.0, name=None):
         if bytes_per_us <= 0:
             raise SimulationError("bandwidth must be positive")
@@ -336,6 +407,10 @@ class BandwidthPipe:
         self.bytes_per_us = float(bytes_per_us)
         self.per_message_us = float(per_message_us)
         self.name = name or "pipe"
+        # Span labels are fixed per pipe; building them per transmit()
+        # was two f-strings on the hottest wire path.
+        self._queue_label = f"{self.name}.queue"
+        self._xmit_label = f"{self.name}.xmit"
         self._port = Resource(sim, capacity=1, name=f"{self.name}.port",
                               kind="wire")
         if self._port.monitor is not None:
@@ -370,12 +445,39 @@ class BandwidthPipe:
         wait on the (busy) port and a wire span for the serialization
         itself.
         """
-        with span.child(f"{self.name}.queue", phase="queue"):
+        if not span.enabled:
+            # Untraced fast path: no span children, no context managers.
             yield self._port.acquire()
+            try:
+                yield self.sim.timeout(
+                    self.per_message_us + size_bytes / self.bytes_per_us)
+                self.bytes_total += size_bytes
+                self.messages_total += 1
+            finally:
+                self._port.release()
+            return
+        # Traced path with the span protocol inlined: children are
+        # opened/closed by direct field writes instead of the
+        # child()/context-manager/finish() call chain — three Python
+        # calls per span on the hottest wire path.
+        sim = self.sim
+        tracer = span.tracer
+        queue_span = Span(tracer, self._queue_label, "queue", span,
+                          sim._now, {})
+        span.children.append(queue_span)
         try:
-            with span.child(f"{self.name}.xmit", phase="wire",
-                            bytes=size_bytes):
-                yield self.sim.timeout(self.serialization_time(size_bytes))
+            yield self._port.acquire()
+        finally:
+            queue_span.end = sim._now
+        try:
+            xmit_span = Span(tracer, self._xmit_label, "wire", span,
+                             sim._now, {"bytes": size_bytes})
+            span.children.append(xmit_span)
+            try:
+                yield sim.timeout(
+                    self.per_message_us + size_bytes / self.bytes_per_us)
+            finally:
+                xmit_span.end = sim._now
             self.bytes_total += size_bytes
             self.messages_total += 1
         finally:

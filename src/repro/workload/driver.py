@@ -27,6 +27,11 @@ class RunResult:
     aborts: int = 0
     retries: int = 0
     extra: dict = field(default_factory=dict)
+    #: wall-clock seconds the simulated run cost on the host (regress
+    #: schema ``wall`` section). Excluded from equality: two identical
+    #: simulations never take identical host time, and the
+    #: observers-don't-perturb tests compare results exactly.
+    wall_s: float = field(default=0.0, compare=False)
 
     def row(self):
         """Compact dict for printing benchmark tables."""
@@ -91,23 +96,33 @@ class ClosedLoopDriver:
 
     def _client_loop(self, index, executor, workload, recorder, counters,
                      takes_span):
+        sim = self.sim
         if self.stagger_us:
-            yield self.sim.timeout((index * self.GOLDEN % 1.0)
-                                   * self.stagger_us)
+            yield sim.timeout((index * self.GOLDEN % 1.0)
+                              * self.stagger_us)
         traced = self.tracer.enabled
-        flight = self.sim.flight
-        series = self.sim.series
-        while self.sim.now < self.end_time:
-            op = workload.next_op()
+        flight = sim.flight
+        series = sim.series
+        warmup_until = self.warmup_us
+        end_time = warmup_until + self.measure_us
+        next_op = workload.next_op
+        # Root-span labels are one of a few op kinds; cache the
+        # f-strings instead of rebuilding one per operation.
+        labels = {}
+        while sim._now < end_time:
+            op = next_op()
             root = None
             op_id = None
-            start = self.sim.now
+            start = sim._now
+            if flight is not None or traced:
+                name = getattr(op, "kind", None) or type(op).__name__
+                label = labels.get(name)
+                if label is None:
+                    label = labels[name] = f"op.{name}"
             if flight is not None:
-                name = getattr(op, "kind", None) or type(op).__name__
-                op_id = flight.op_open(f"op.{name}", client=index)
+                op_id = flight.op_open(label, client=index)
             if traced:
-                name = getattr(op, "kind", None) or type(op).__name__
-                root = self.tracer.root(f"op.{name}", client=index)
+                root = self.tracer.root(label, client=index)
                 if takes_span:
                     info = yield from executor(op, span=root)
                 else:
@@ -115,8 +130,8 @@ class ClosedLoopDriver:
                 root.finish()
             else:
                 info = yield from executor(op)
-            finish = self.sim.now
-            measured = start >= self.warmup_us and finish <= self.end_time
+            finish = sim._now
+            measured = start >= warmup_until and finish <= end_time
             aborts = info.get("aborts", 0) if info else 0
             if op_id is not None:
                 flight.op_close(
@@ -169,3 +184,170 @@ class ClosedLoopDriver:
     @staticmethod
     def _await(event):
         yield event
+
+
+class OpenLoopDriver:
+    """Runs aggregated open-loop arrival sources against an adapter.
+
+    Each source (see
+    :class:`repro.workload.sources.AggregatedOpenLoopSource`) models
+    thousands of clients in one coroutine: the source loop draws
+    inter-arrival gaps, and every arrival spawns a fire-and-forget op
+    process through the source's executor. The source's bounded
+    in-flight window provides backpressure: a full window defers
+    arrivals (counted, never dropped) until a completion frees a slot.
+
+    Measurement accounting (warmup window, latency recorder, series /
+    flight hooks) matches :class:`ClosedLoopDriver`, so results are
+    comparable row for row; ``RunResult.clients`` is the *modeled*
+    population, and ``extra`` carries the source model and the
+    stalled-arrival count.
+    """
+
+    def __init__(self, sim, warmup_us=200.0, measure_us=2_000.0,
+                 tracer=None):
+        self.sim = sim
+        self.warmup_us = warmup_us
+        self.measure_us = measure_us
+        self.tracer = tracer or NULL_TRACER
+        self._sources = []
+
+    def add_source(self, executor, source):
+        self._sources.append((executor, source, _accepts_span(executor)))
+        return self
+
+    @property
+    def end_time(self):
+        return self.warmup_us + self.measure_us
+
+    def _source_loop(self, index, executor, source, recorder, counters,
+                     takes_span):
+        sim = self.sim
+        end_time = self.warmup_us + self.measure_us
+        next_gap = source.next_gap_us
+        next_op = source.next_op
+        spawn = sim.spawn
+        # Shared with the op runners: in-flight count and the gate a
+        # stalled arrival waits on. One mutable cell, not attributes on
+        # self — a driver may run many sources.
+        state = {"in_flight": 0, "gate": None}
+        while True:
+            gap = next_gap()
+            if sim._now + gap >= end_time:
+                return
+            yield sim.timeout(gap)
+            if state["in_flight"] >= source.window:
+                # Window full: defer this arrival until a completion
+                # frees a slot. Deferred arrivals are counted — a large
+                # number means the configured offered load exceeds what
+                # the window can carry and the source is degrading to
+                # window-limited closed-loop behaviour.
+                counters["stalls"] += 1
+                source.stalled_arrivals += 1
+                gate = state["gate"]
+                if gate is None:
+                    gate = state["gate"] = sim.event()
+                yield gate
+                if sim._now >= end_time:
+                    return
+            state["in_flight"] += 1
+            spawn(self._op_runner(index, executor, next_op(), recorder,
+                                  counters, state, takes_span),
+                  name="op")
+
+    def _op_runner(self, index, executor, op, recorder, counters, state,
+                   takes_span):
+        sim = self.sim
+        flight = sim.flight
+        series = sim.series
+        traced = self.tracer.enabled
+        warmup_until = self.warmup_us
+        end_time = warmup_until + self.measure_us
+        start = sim._now
+        root = None
+        op_id = None
+        if flight is not None or traced:
+            label = f"op.{getattr(op, 'kind', None) or type(op).__name__}"
+        if flight is not None:
+            op_id = flight.op_open(label, client=index)
+        info = None
+        try:
+            if traced:
+                root = self.tracer.root(label, client=index)
+                if takes_span:
+                    info = yield from executor(op, span=root)
+                else:
+                    info = yield from executor(op)
+                root.finish()
+            else:
+                info = yield from executor(op)
+        finally:
+            # Free the window slot even when the op fails — a crashing
+            # executor must not wedge the arrival stream (the failure
+            # itself still surfaces through the orphan-failure check).
+            state["in_flight"] -= 1
+            gate = state["gate"]
+            if gate is not None:
+                state["gate"] = None
+                gate.succeed()
+        finish = sim._now
+        measured = start >= warmup_until and finish <= end_time
+        aborts = info.get("aborts", 0) if info else 0
+        if op_id is not None:
+            flight.op_close(
+                op_id, status="aborted" if aborts else "ok",
+                latency_us=finish - start, aborts=aborts,
+                retries=info.get("retries", 0) if info else 0,
+                measured=measured)
+        if series is not None:
+            series.record_op(finish, finish - start, measured,
+                             ok=not aborts)
+        if measured:
+            recorder.record(finish, finish - start)
+            counters["ops"] += 1
+            if root is not None:
+                root.annotate(measured=True)
+            if info:
+                counters["aborts"] += aborts
+                counters["retries"] += info.get("retries", 0)
+
+    def run(self):
+        """Execute the experiment; returns a :class:`RunResult`.
+
+        The run ends when every source's arrival stream is exhausted;
+        ops still in flight at ``end_time`` complete outside the
+        measurement window (unmeasured), exactly like the closed-loop
+        driver's tail ops.
+        """
+        if not self._sources:
+            raise ValueError("no sources added")
+        recorder = LatencyRecorder(warmup_until=self.warmup_us)
+        counters = {"ops": 0, "aborts": 0, "retries": 0, "stalls": 0}
+        processes = [
+            self.sim.spawn(
+                self._source_loop(i, executor, source, recorder, counters,
+                                  takes_span),
+                name=f"source{i}")
+            for i, (executor, source, takes_span) in
+            enumerate(self._sources)
+        ]
+        done = self.sim.all_of(processes)
+        waiter = self.sim.spawn(ClosedLoopDriver._await(done), name="driver")
+        self.sim.run_until_complete(waiter)
+        window = self.measure_us
+        throughput = counters["ops"] / window * 1e6 if window > 0 else 0.0
+        n_clients = sum(source.n_clients
+                        for _, source, _ in self._sources)
+        result = RunResult(
+            clients=n_clients,
+            ops=counters["ops"],
+            throughput_ops_per_sec=throughput,
+            mean_latency_us=recorder.mean(),
+            median_latency_us=recorder.median(),
+            p99_latency_us=recorder.p99(),
+            aborts=counters["aborts"],
+            retries=counters["retries"],
+        )
+        result.extra["stalled_arrivals"] = counters["stalls"]
+        result.extra["n_sources"] = len(self._sources)
+        return result

@@ -23,6 +23,16 @@ class UniformKeys:
     def sample(self):
         return int(self._rng.integers(0, self.n_keys))
 
+    def sample_block(self, count):
+        """Draw ``count`` keys in one vectorized call.
+
+        numpy's bounded-integer sampler is elementwise, so the block is
+        the exact same stream ``count`` single :meth:`sample` calls
+        would produce — callers may buffer blocks without changing any
+        simulated result, they only pay the numpy call overhead once.
+        """
+        return self._rng.integers(0, self.n_keys, size=count).tolist()
+
     def sample_distinct(self, count):
         """Draw ``count`` distinct keys (for multi-key transactions)."""
         if count > self.n_keys:
@@ -59,6 +69,15 @@ class ZipfKeys:
         u = self._rng.random()
         rank = int(np.searchsorted(self._cdf, u, side="left"))
         return int(self._rank_to_key[min(rank, self.n_keys - 1)])
+
+    def sample_block(self, count):
+        """Vectorized draw, stream-identical to ``count`` singles
+        (``rng.random(count)`` advances PCG64 exactly like ``count``
+        scalar draws; the searchsorted/table steps are elementwise)."""
+        us = self._rng.random(count)
+        ranks = np.minimum(np.searchsorted(self._cdf, us, side="left"),
+                           self.n_keys - 1)
+        return self._rank_to_key[ranks].tolist()
 
     def sample_distinct(self, count):
         if count > self.n_keys:

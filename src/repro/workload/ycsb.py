@@ -53,11 +53,29 @@ class YcsbWorkload:
         self._coin = random.Random(seed * 104729 + client_id)
         self._payload = bytes((client_id + i) % 256
                               for i in range(value_size))
+        # Key draws are served from vectorized blocks (stream-identical
+        # to single draws, see ``sample_block``), and the frozen KvOp
+        # value objects are interned per (kind, key) — a closed-loop
+        # client re-issues the same few thousand ops for a whole run.
+        self._key_block = []
+        self._key_next = 0
+        self._op_cache = {}
+
+    _KEY_BLOCK = 64
 
     def next_op(self):
-        key = self._keys.sample()
+        index = self._key_next
+        block = self._key_block
+        if index >= len(block):
+            block = self._key_block = self._keys.sample_block(self._KEY_BLOCK)
+            index = 0
+        self._key_next = index + 1
+        key = block[index]
         if self._coin.random() < self.read_fraction:
-            return KvOp("get", key)
+            op = self._op_cache.get(key)
+            if op is None:
+                op = self._op_cache[key] = KvOp("get", key)
+            return op
         return KvOp("put", key, self._payload)
 
 

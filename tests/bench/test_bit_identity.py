@@ -1,0 +1,47 @@
+"""The optimized kernel must reproduce the committed baseline exactly.
+
+The hot-path overhaul (slotted events, ready-deque kernel, timer
+withdrawal, struct codecs, batched RNG draws) is only legal because it
+never changes simulated semantics. This test enforces that end to end:
+a fresh subprocess runs the perf-smoke fig3 point and its simulated
+metrics must equal ``benchmarks/BENCH_baseline.json`` **bit for bit**
+— not within tolerance.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "benchmarks" / "BENCH_baseline.json"
+
+#: metrics that must match exactly (floats included: the simulation is
+#: deterministic, so equality is the correct bar)
+EXACT_METRICS = ("ops", "throughput_ops_per_sec", "mean_us", "p50_us",
+                 "p99_us", "aborts", "retries")
+
+
+def test_fig3_point_reproduces_baseline_bit_identical(tmp_path):
+    out = tmp_path / "run.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    subprocess.run(
+        [sys.executable, str(REPO / "benchmarks" / "bench_fig3_kv_read.py"),
+         "--clients", "4", "--keys", "1000", "--json", str(out)],
+        check=True, env=env, cwd=tmp_path, capture_output=True, timeout=300)
+    baseline_points = {point["id"]: point
+                       for point in json.loads(BASELINE.read_text())["points"]}
+    run_points = {point["id"]: point
+                  for point in json.loads(out.read_text())["points"]}
+    assert set(baseline_points) == set(run_points)
+    for pid, base in baseline_points.items():
+        run = run_points[pid]
+        for metric in EXACT_METRICS:
+            if metric not in base["metrics"]:
+                continue
+            assert run["metrics"][metric] == base["metrics"][metric], (
+                f"{pid}: {metric} drifted from "
+                f"{base['metrics'][metric]!r} to "
+                f"{run['metrics'][metric]!r} — the kernel optimization "
+                f"changed simulated results")

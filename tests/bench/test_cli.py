@@ -89,7 +89,7 @@ def test_point_profile_writes_host_record(tmp_path, monkeypatch, capsys):
     assert "events/s" in out
     assert "profile artifact written" in out
     data = json.loads(record.read_text())
-    assert data["schema_version"] == 4
+    assert data["schema_version"] == 5
     host = data["points"][0]["host"]
     assert host["events_per_sec"] > 0
     assert host["wall_s"] > 0
@@ -330,7 +330,7 @@ def test_series_json_embeds_report(tmp_path, capsys):
                  "--series", "--json", str(record)]) == 0
     capsys.readouterr()
     data = json.loads(record.read_text())
-    assert data["schema_version"] == 4
+    assert data["schema_version"] == 5
     series = data["points"][0]["series"]
     assert series["windows"]
     assert series["steady_state"]["detector"] == "mser"

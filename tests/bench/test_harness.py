@@ -97,3 +97,40 @@ def test_curve_rows_shape():
     rows = curve_rows(results)
     assert len(rows) == 1
     assert len(rows[0]) == len(CURVE_HEADERS)
+
+
+class TestAggregatedSourceModel:
+    MODEL = {"rate_per_client_ops_s": 200.0, "seed": 3, "window": 8}
+
+    def run_aggregated(self, n_clients=10_000):
+        return run_point("kv", "prism-sw", None, n_clients=n_clients,
+                         n_keys=200, warmup_us=100, measure_us=500,
+                         source_model=dict(self.MODEL))
+
+    def test_aggregated_point_runs(self):
+        result = self.run_aggregated()
+        assert result.clients == 10_000
+        assert result.ops > 100
+        assert result.mean_latency_us > 0
+        model = result.extra["source_model"]
+        assert model["model"] == "aggregated-open-loop"
+        assert model["clients"] == 10_000
+        assert model["n_sources"] == 11
+        assert model["windows"] == [8] * 11
+        assert result.extra["stalled_arrivals"] >= 0
+
+    def test_aggregated_point_deterministic(self):
+        first = self.run_aggregated()
+        second = self.run_aggregated()
+        assert first.ops == second.ops
+        assert first.mean_latency_us == second.mean_latency_us
+        assert first.extra["events_executed"] == \
+            second.extra["events_executed"]
+
+    def test_wall_section_recorded_on_every_run(self):
+        result = run_point("kv", "prism-sw",
+                           lambda i: YCSB_C(100, seed=1, client_id=i),
+                           n_clients=2, n_keys=100, warmup_us=50,
+                           measure_us=200)
+        assert result.wall_s > 0
+        assert result.extra["events_executed"] > 0

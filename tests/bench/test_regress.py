@@ -20,6 +20,7 @@ from repro.bench.regress import (
     make_point,
     make_record,
     point_id,
+    wall_section,
     write_record,
 )
 from repro.workload import YCSB_C
@@ -416,9 +417,9 @@ class TestSchemaV4:
                            series=_series_section())
         return make_record("test", [point])
 
-    def test_current_version_is_v4(self):
-        assert SCHEMA_VERSION == 4
-        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2, 3, 4)
+    def test_current_version_is_v5(self):
+        assert SCHEMA_VERSION == 5
+        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2, 3, 4, 5)
 
     def test_series_field_is_optional(self, small_result, config):
         bare = make_point("kv", "prism-sw", small_result, config)
@@ -431,7 +432,7 @@ class TestSchemaV4:
         path = tmp_path / "v4.json"
         write_record(v4_record, path)
         loaded = load_record(path)
-        assert loaded["schema_version"] == 4
+        assert loaded["schema_version"] == 5
         assert loaded["points"][0]["series"]["window_us"] == 50.0
 
     def test_v4_compares_against_older_baselines(self, small_result,
@@ -524,3 +525,33 @@ class TestPrimitivesCli:
         # a v1 baseline of the same point would otherwise drift.
         assert "primitives" not in point["config"]
         capsys.readouterr()
+
+
+class TestWallSection:
+    """v5: the wall-clock record available on every run."""
+
+    def test_wall_section_from_harness_result(self, small_result):
+        wall = wall_section(small_result)
+        assert wall is not None
+        assert wall["wall_s"] > 0
+        assert wall["events_executed"] > 0
+        assert wall["events_per_sec"] == pytest.approx(
+            wall["events_executed"] / wall["wall_s"])
+
+    def test_wall_section_absent_without_timing(self, small_result):
+        stripped = copy.deepcopy(small_result)
+        stripped.wall_s = 0.0
+        assert wall_section(stripped) is None
+
+    def test_wall_field_is_additive(self, small_result):
+        config = {"kind": "kv", "flavor": "prism-sw", "clients": 2,
+                  "keys": 200, "seed": 11}
+        bare = make_point("kv", "prism-sw", small_result, config)
+        assert "wall" not in bare
+        rich = make_point("kv", "prism-sw", small_result, config,
+                          wall=wall_section(small_result))
+        assert rich["wall"]["events_executed"] > 0
+        # old records without the field still load and compare
+        record = make_record("test", [rich])
+        report = compare(record, record)
+        assert report["ok"]

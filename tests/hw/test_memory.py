@@ -112,3 +112,66 @@ def test_bytes_allocated_high_water():
     before = memory.bytes_allocated
     memory.sbrk(100)
     assert memory.bytes_allocated >= before + 100
+
+
+def test_contains_zero_length_edges():
+    memory = HostMemory(64)
+    # A zero-length range must still anchor at a real byte: one past
+    # the end is never dereferenceable, even at zero length.
+    assert not memory.contains(64, 0)
+    assert memory.contains(63, 0)
+    assert memory.contains(63, 1)
+    assert not memory.contains(63, 2)
+    assert not memory.contains(0, 0)  # null page
+
+
+def test_zero_length_read_write_permissive_at_end():
+    memory = HostMemory(64)
+    # read/write of zero bytes touch nothing, so [POINTER_SIZE, size]
+    # is all fair game — including the one-past-the-end address.
+    assert memory.read(64, 0) == b""
+    memory.write(64, b"")
+    with pytest.raises(MemoryError_):
+        memory.read(65, 0)
+    with pytest.raises(MemoryError_):
+        memory.read(64, 1)
+
+
+def test_fill_nonzero_byte_and_cache_reuse():
+    memory = HostMemory(256)
+    addr = memory.sbrk(32)
+    memory.fill(addr, 32, byte=0xAB)
+    assert memory.read(addr, 32) == b"\xab" * 32
+    pattern = memory._fill_cache[0xAB]
+    memory.fill(addr, 8, byte=0xAB)  # smaller fill reuses the pattern
+    assert memory._fill_cache[0xAB] is pattern
+    memory.fill(addr, 16, byte=0xCD)
+    assert memory.read(addr, 32) == b"\xcd" * 16 + b"\xab" * 16
+    memory.fill(addr, 0, byte=0xEE)  # zero-length fill is a no-op
+    assert memory.read(addr, 1) == b"\xcd"
+
+
+def test_uint_roundtrip_without_struct_codec():
+    # Widths with no precompiled codec (3, 5) take the int.to_bytes
+    # fallback and must round-trip identically.
+    memory = HostMemory(128)
+    addr = memory.sbrk(16)
+    for width in (3, 5):
+        top = (1 << (8 * width)) - 1
+        memory.write_uint(addr, top, width)
+        assert memory.read_uint(addr, width) == top
+        with pytest.raises(MemoryError_):
+            memory.write_uint(addr, top + 1, width)
+
+
+def test_uint_codec_bounds_checked_at_memory_edge():
+    memory = HostMemory(64)
+    # The struct fast path must enforce the same bounds as read/write:
+    # an 8-byte integer ending exactly at size is fine, one byte later
+    # is not.
+    memory.write_uint(56, 0x1122334455667788, 8)
+    assert memory.read_uint(56, 8) == 0x1122334455667788
+    with pytest.raises(MemoryError_):
+        memory.write_uint(57, 1, 8)
+    with pytest.raises(MemoryError_):
+        memory.read_uint(57, 8)

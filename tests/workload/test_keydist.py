@@ -80,3 +80,29 @@ def test_make_distribution_dispatch():
     assert isinstance(make_distribution(10, zipf=0.0), UniformKeys)
     assert isinstance(make_distribution(10, zipf=0.9), ZipfKeys)
     assert isinstance(make_distribution(10, zipf=None), UniformKeys)
+
+
+class TestSampleBlock:
+    """Vectorized draws must be stream-identical to single draws."""
+
+    def test_uniform_block_equals_singles(self):
+        block_side = UniformKeys(1000, seed=5)
+        single_side = UniformKeys(1000, seed=5)
+        block = block_side.sample_block(64)
+        assert block == [single_side.sample() for _ in range(64)]
+        # the streams stay aligned after the block
+        assert block_side.sample() == single_side.sample()
+
+    def test_zipf_block_equals_singles(self):
+        block_side = ZipfKeys(1000, 0.99, seed=7, permutation_seed=3)
+        single_side = ZipfKeys(1000, 0.99, seed=7, permutation_seed=3)
+        block = block_side.sample_block(64)
+        assert block == [single_side.sample() for _ in range(64)]
+        assert block_side.sample() == single_side.sample()
+
+    def test_block_values_in_range(self):
+        for dist in (UniformKeys(10, seed=1),
+                     ZipfKeys(10, 1.2, seed=1)):
+            block = dist.sample_block(256)
+            assert all(0 <= key < 10 for key in block)
+            assert all(isinstance(key, int) for key in block)
