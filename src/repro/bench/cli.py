@@ -63,6 +63,22 @@ report, ``--json`` records gain a ``series`` section (schema v4), and
 gates stop averaging warm-up noise. ``--warmup-us``/``--measure-us``
 set the measurement geometry the steady-state verdict is judged
 against (defaults 300/1500 µs; fig7/fig10 measure 2000 µs).
+
+``--views[=WINDOW_US]`` installs the *online* telemetry views (default
+window 50 µs; see :mod:`repro.obs.views`): per-connection/per-key
+sliding-window CAS-retry/NAK/timeout/backoff rates, pointer-chase and
+service-time EWMAs — queryable mid-run by policy code — plus the
+bounded decision log that shadow-mode probes write into. On the
+fig7/fig10 contention sweeps a shadow RFP-crossover probe is armed
+automatically: it logs which transport (one-sided vs RPC) the RFP rule
+would pick per connection, switching nothing, and with ``--series``
+also on its verdicts are validated against the post-hoc changepoint
+windows. Each point prints the views report, ``--json`` records gain a
+``views`` section (schema v6), and ``--views-log PATH`` writes the
+decision-log transcript to a file (the CI artifact). ``compare
+--host --series`` now combine: both band families are checked and a
+trip in either fails — the host gate also covers the views-off hook
+cost (one ``is None`` check per hook).
 """
 
 import argparse
@@ -88,20 +104,26 @@ from repro.bench.reporting import (
     print_primitives,
     print_series,
     print_table,
+    print_views,
     utilization_rows,
+    views_report_lines,
 )
 from repro.net.topology import CLUSTER, DATACENTER, DIRECT, RACK
 from repro.obs import (
     FLIGHT_DEFAULT_CAPACITY,
     SERIES_DEFAULT_WINDOW_US,
+    VIEWS_DEFAULT_WINDOW_US,
     FlightRecorder,
     HostProfiler,
     PrimitiveCollector,
+    RfpCrossoverProbe,
     SeriesCollector,
     Tracer,
     UtilizationCollector,
+    ViewCollector,
     analyze,
     critpath_profile,
+    crossover_vs_series,
     format_analysis,
     write_chrome_trace,
 )
@@ -219,6 +241,52 @@ def _point_series(title, series, utilization=None, faults=None):
     return report
 
 
+def _make_views(args):
+    """Build the point's ViewCollector; fig7/fig10 arm the RFP probe."""
+    if not args.views:
+        return None
+    views = ViewCollector(args.views)
+    if args.command in ("fig7", "fig10"):
+        # The demonstration probe: shadow-mode RFP crossover detection
+        # on the contention sweeps (see repro.obs.views); it logs which
+        # transport the RFP rule would pick and switches nothing.
+        views.add_probe(RfpCrossoverProbe())
+    return views
+
+
+def _point_views(title, views, series_report=None, state=None):
+    """Print one point's online-views report; returns it for ``--json``.
+
+    With a ``series_report`` from the same run and probe decisions on
+    record, the shadow verdicts are validated against the post-hoc
+    changepoint windows and the agreement verdict printed. ``state``
+    accumulates the per-point report lines for ``--views-log``.
+    """
+    if views is None:
+        return None
+    report = views.report()
+    print_views(f"{title} online views", report)
+    if series_report is not None and report["decisions"]["recorded"]:
+        check = crossover_vs_series(views.decision_log(), series_report)
+        verdict = ("agree" if check["agree"]
+                   else f"CONFLICT ({len(check['conflicts'])})")
+        print(f"shadow probe vs series changepoints: {verdict} "
+              f"({check['decisions']} decision(s), "
+              f"{check['changepoints']} changepoint window(s))")
+    if state is not None:
+        state.setdefault("lines", []).append(f"== {title} ==")
+        state["lines"].extend(views_report_lines(report))
+    return report
+
+
+def _views_log_done(args, state):
+    """--views-log: write the accumulated decision-log transcript."""
+    if args.views_log and state.get("lines"):
+        with open(args.views_log, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(state["lines"]) + "\n")
+        print(f"views decision-log report written to {args.views_log}")
+
+
 def _point_primitives(title, primitives, tracer, result=None):
     """Report one point's primitive telemetry + critical-path profile.
 
@@ -307,6 +375,7 @@ def cmd_figure_sweep(args):
     trace_target = ((flavors[0], max(args.clients)) if args.trace
                     else None)
     flight_state = {}
+    views_state = {}
     points = []
     for flavor in flavors:
         started = time.perf_counter()
@@ -323,6 +392,7 @@ def cmd_figure_sweep(args):
             flight = (FlightRecorder(args.flight) if args.flight
                       else None)
             series = SeriesCollector(args.series) if args.series else None
+            views = _make_views(args)
             result = run_point(kind, flavor,
                                workload_maker(args.keys, args.zipf),
                                n_clients, n_keys=args.keys,
@@ -330,7 +400,7 @@ def cmd_figure_sweep(args):
                                tracer=tracer, utilization=collector,
                                primitives=primitives, faults=args.faults,
                                hostprof=hostprof, flight=flight,
-                               series=series)
+                               series=series, views=views)
             results.append(result)
             if tracing:
                 write_chrome_trace(tracer.roots, args.trace,
@@ -344,6 +414,9 @@ def cmd_figure_sweep(args):
             series_report = _point_series(
                 f"{args.command}: {flavor} c={n_clients}", series,
                 utilization=collector, faults=faults_report)
+            views_report = _point_views(
+                f"{args.command}: {flavor} c={n_clients}", views,
+                series_report=series_report, state=views_state)
             if flight is not None:
                 _sweep_flight(args, f"{args.command}: {flavor} "
                               f"c={n_clients}", flight, result,
@@ -378,7 +451,8 @@ def cmd_figure_sweep(args):
                                              critpath=profile,
                                              faults=faults_report,
                                              host=host_report,
-                                             series=series_report))
+                                             series=series_report,
+                                             views=views_report))
         wall_s = time.perf_counter() - started
         events = sum(r.extra.get("events_executed", 0) for r in results)
         rate = f", {events / wall_s:,.0f} events/s" if wall_s > 0 else ""
@@ -386,6 +460,7 @@ def cmd_figure_sweep(args):
                     f"({wall_s:.1f}s wall{rate})",
                     CURVE_HEADERS, curve_rows(results))
     _sweep_flight_done(args, flight_state)
+    _views_log_done(args, views_state)
     if args.json:
         from repro.bench.regress import make_record, write_record
         write_record(make_record(args.command, points), args.json)
@@ -401,6 +476,7 @@ def cmd_contention(args):
     warmup_us, measure_us = _measure_windows(
         args, default_measure=CONTENTION_MEASURE_US)
     flight_state = {}
+    views_state = {}
     rows = []
     for zipf in args.zipfs:
         row = [zipf]
@@ -421,13 +497,14 @@ def cmd_contention(args):
                       else None)
             series = SeriesCollector(args.series) if args.series else None
             collector = UtilizationCollector() if args.series else None
+            views = _make_views(args)
             result = run_point(kind, flavor, workload, args.clients[0],
                                n_keys=args.keys, warmup_us=warmup_us,
                                measure_us=measure_us,
                                tracer=tracer, utilization=collector,
                                primitives=primitives,
                                faults=args.faults, hostprof=hostprof,
-                               flight=flight, series=series)
+                               flight=flight, series=series, views=views)
             if tracing:
                 write_chrome_trace(tracer.roots, args.trace,
                                    process_spans=tracer.process_spans)
@@ -435,9 +512,11 @@ def cmd_contention(args):
                       f"({flavor} zipf={zipf})")
             _point_faults(f"{args.command}: {flavor} zipf={zipf}", result)
             _point_host(f"{args.command}: {flavor} zipf={zipf}", hostprof)
-            _point_series(f"{args.command}: {flavor} zipf={zipf}", series,
-                          utilization=collector,
-                          faults=result.extra.get("faults"))
+            series_report = _point_series(
+                f"{args.command}: {flavor} zipf={zipf}", series,
+                utilization=collector, faults=result.extra.get("faults"))
+            _point_views(f"{args.command}: {flavor} zipf={zipf}", views,
+                         series_report=series_report, state=views_state)
             if flight is not None:
                 _sweep_flight(args, f"{args.command}: {flavor} "
                               f"zipf={zipf}", flight, result, flight_state)
@@ -449,6 +528,7 @@ def cmd_contention(args):
                        else result.throughput_ops_per_sec / 1e6)
         rows.append(row)
     _sweep_flight_done(args, flight_state)
+    _views_log_done(args, views_state)
     metric = "mean latency (µs)" if kind == "rs" else "throughput (M/s)"
     print_table(f"{args.command}: {metric} vs zipf",
                 ["zipf"] + flavors, rows)
@@ -468,6 +548,7 @@ def cmd_point(args):
     hostprof = HostProfiler() if args.profile else None
     flight = FlightRecorder(args.flight) if args.flight else None
     series = SeriesCollector(args.series) if args.series else None
+    views = _make_views(args)
     warmup_us, measure_us = _measure_windows(args)
     phases = None
     tracer = None
@@ -477,7 +558,7 @@ def cmd_point(args):
             args.kind, args.flavor, workload, args.clients[0],
             trace_path=args.trace, utilization=collector,
             primitives=primitives, n_keys=args.keys, faults=args.faults,
-            hostprof=hostprof, flight=flight, series=series,
+            hostprof=hostprof, flight=flight, series=series, views=views,
             warmup_us=warmup_us, measure_us=measure_us)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
@@ -489,7 +570,7 @@ def cmd_point(args):
         result = run_point(args.kind, args.flavor, workload, args.clients[0],
                            n_keys=args.keys, utilization=collector,
                            faults=args.faults, hostprof=hostprof,
-                           flight=flight, series=series,
+                           flight=flight, series=series, views=views,
                            warmup_us=warmup_us, measure_us=measure_us)
         print_table(f"{args.kind}/{args.flavor}", CURVE_HEADERS,
                     curve_rows([result]))
@@ -498,6 +579,11 @@ def cmd_point(args):
     series_report = _point_series(f"{args.kind}/{args.flavor}", series,
                                   utilization=collector,
                                   faults=faults_report)
+    views_state = {}
+    views_report = _point_views(f"{args.kind}/{args.flavor}", views,
+                                series_report=series_report,
+                                state=views_state)
+    _views_log_done(args, views_state)
     if flight is not None:
         _point_flight(args, f"{args.kind}/{args.flavor}", flight, result)
     prim_report = profile = None
@@ -524,7 +610,8 @@ def cmd_point(args):
                            phases=phases, utilization=util_report,
                            bottleneck=verdict, primitives=prim_report,
                            critpath=profile, faults=faults_report,
-                           host=host_report, series=series_report)
+                           host=host_report, series=series_report,
+                           views=views_report)
         write_record(make_record(f"point:{args.kind}/{args.flavor}", [point]),
                      args.json)
         print(f"result record written to {args.json}")
@@ -544,10 +631,6 @@ def cmd_compare(args):
                   file=sys.stderr)
             return 2
         tolerances[metric] = float(frac)
-    if args.host and args.series is not None:
-        print("--host and --series compare modes are exclusive",
-              file=sys.stderr)
-        return 2
     baseline = load_record(args.paths[0])
     run = load_record(args.paths[1])
     report = compare(baseline, run, tolerances=tolerances, host=args.host,
@@ -657,6 +740,20 @@ def build_parser():
                              "annotations; (compare) diff the records' "
                              "steady-state-only series aggregates instead "
                              "of the end-of-run metrics")
+    parser.add_argument("--views", nargs="?",
+                        const=VIEWS_DEFAULT_WINDOW_US, type=float,
+                        default=None, metavar="WINDOW_US",
+                        help="(point, fig3/4/6/7/9/10) install the online "
+                             "telemetry views (default window "
+                             f"{VIEWS_DEFAULT_WINDOW_US:g} µs): "
+                             "per-connection/per-key sliding-window "
+                             "CAS-retry/NAK/timeout rates and chase/"
+                             "service-time EWMAs, queryable mid-run, plus "
+                             "the shadow-probe decision log; fig7/fig10 arm "
+                             "the RFP-crossover probe automatically")
+    parser.add_argument("--views-log", metavar="PATH", default=None,
+                        help="(with --views) write the per-point views "
+                             "reports and decision-log transcript to PATH")
     parser.add_argument("--warmup-us", type=float, default=None,
                         metavar="US",
                         help="(point, fig3/4/6/7/9/10) warmup before the "
@@ -680,7 +777,9 @@ def build_parser():
                         help="(compare) diff the records' host "
                              "self-profiling sections (events/sec, wall "
                              "seconds) under wide bands instead of the "
-                             "simulated metrics")
+                             "simulated metrics; combines with --series "
+                             "(both families checked, either failing "
+                             "fails the compare)")
     return parser
 
 
@@ -696,6 +795,8 @@ def main(argv=None):
             ("--trace", args.trace, _POINT_COMMANDS),
             ("--flight", args.flight, _POINT_COMMANDS),
             ("--series", args.series, _POINT_COMMANDS | {"compare"}),
+            ("--views", args.views, _POINT_COMMANDS),
+            ("--views-log", args.views_log, _POINT_COMMANDS),
             ("--warmup-us", args.warmup_us, _POINT_COMMANDS),
             ("--measure-us", args.measure_us, _POINT_COMMANDS)):
         if value is not None and args.command not in allowed:
@@ -709,6 +810,12 @@ def main(argv=None):
         return 2
     if args.series is not None and args.series <= 0:
         print("--series window must be > 0 µs", file=sys.stderr)
+        return 2
+    if args.views is not None and args.views <= 0:
+        print("--views window must be > 0 µs", file=sys.stderr)
+        return 2
+    if args.views_log and args.views is None:
+        print("--views-log requires --views", file=sys.stderr)
         return 2
     if args.warmup_us is not None and args.warmup_us <= 0:
         print("--warmup-us must be positive", file=sys.stderr)

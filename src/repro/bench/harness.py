@@ -193,7 +193,8 @@ def run_point(kind, flavor, workload_factory, n_clients,
               warmup_us=300.0, measure_us=1500.0, profile=RACK,
               n_client_hosts=N_CLIENT_HOSTS, tracer=None,
               utilization=None, primitives=None, faults=None,
-              hostprof=None, flight=None, series=None, source_model=None):
+              hostprof=None, flight=None, series=None, views=None,
+              source_model=None):
     """One deterministic measurement point.
 
     ``workload_factory(client_index)`` builds each client's workload.
@@ -239,6 +240,13 @@ def run_point(kind, flavor, workload_factory, n_clients,
     (throughput, goodput, latency digests, retry/NAK counters), with
     MSER steady-state detection and changepoint annotation on top (see
     :mod:`repro.obs.series`). Also timing-neutral.
+
+    ``views`` takes a :class:`repro.obs.ViewCollector`: the run then
+    maintains *online* sliding-window signals (per-connection/per-key
+    CAS retry, NAK, chase-depth, timeout/backoff, service-time rates
+    and EWMAs) queryable mid-run by application code and shadow-mode
+    probes, whose decisions land in the collector's bounded decision
+    log (see :mod:`repro.obs.views`). Also timing-neutral.
     """
     sim = Simulator()
     if hostprof is not None:
@@ -247,6 +255,8 @@ def run_point(kind, flavor, workload_factory, n_clients,
         sim.set_flight(flight)
     if series is not None:
         sim.set_series(series.configure(warmup_us, measure_us))
+    if views is not None:
+        sim.set_views(views)
     if faults is not None:
         if isinstance(faults, str):
             from repro.faults import parse_faults
@@ -332,6 +342,8 @@ def run_point(kind, flavor, workload_factory, n_clients,
         utilization.finish(sim.now)
     if series is not None:
         series.finish(sim.now)
+    if views is not None:
+        views.finish(sim.now)
     if sim.faults is not None:
         report = sim.faults.report()
         # Goodput: operations that *completed* per second of measured

@@ -58,11 +58,14 @@ SCHEMA = "repro-bench-result"
 #: annotations; see :mod:`repro.obs.series`). v5 (additive over v4):
 #: points may carry "wall" (wall-clock cost of the simulated run:
 #: wall_s, events_executed, events_per_sec) — recorded on every run,
-#: unlike the richer "host" section which needs ``--profile``. Every
-#: earlier field is unchanged, so this tool still reads v1-v4
-#: baselines.
-SCHEMA_VERSION = 5
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+#: unlike the richer "host" section which needs ``--profile``. v6
+#: (additive over v5): points may carry "views" (the online
+#: sliding-window telemetry report: end-of-run window rates, per-conn
+#: EWMAs, hot keys, and the shadow-probe decision log; see
+#: :mod:`repro.obs.views`). Every earlier field is unchanged, so this
+#: tool still reads v1-v5 baselines.
+SCHEMA_VERSION = 6
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 #: per-metric tolerance bands: direction is which way is *better*;
 #: ``rel`` is the allowed relative degradation before failing
@@ -143,7 +146,7 @@ def wall_section(result):
 
 def make_point(kind, flavor, result, config, phases=None, utilization=None,
                bottleneck=None, primitives=None, critpath=None, faults=None,
-               host=None, series=None, wall=None):
+               host=None, series=None, views=None, wall=None):
     """One measurement point: config + metrics (+ optional telemetry).
 
     ``config`` must contain everything needed to reproduce the point
@@ -174,6 +177,8 @@ def make_point(kind, flavor, result, config, phases=None, utilization=None,
         point["host"] = host
     if series is not None:
         point["series"] = series
+    if views is not None:
+        point["views"] = views
     if wall is not None:
         point["wall"] = wall
     return point
@@ -266,11 +271,19 @@ def compare(baseline, run, tolerances=None, host=False, series=False):
     transient windows, so these gates never average warm-up noise. A
     baseline point without a ``series`` section (any v1-v3 record, or
     a run made without ``--series``) is skipped silently.
+
+    ``host=True`` and ``series=True`` combine: every point is checked
+    against *both* band families (the union of their metrics), and a
+    trip in either fails the compare. ``tolerances`` overrides are
+    looked up across the union of the selected families.
     """
-    if host and series:
-        raise ValueError("host and series compare modes are exclusive")
-    bands = dict(SERIES_TOLERANCES if series
-                 else HOST_TOLERANCES if host else DEFAULT_TOLERANCES)
+    bands = {}
+    if host:
+        bands.update(HOST_TOLERANCES)
+    if series:
+        bands.update(SERIES_TOLERANCES)
+    if not bands:
+        bands = dict(DEFAULT_TOLERANCES)
     if tolerances:
         for metric, rel in tolerances.items():
             if metric not in bands:
@@ -300,10 +313,11 @@ def compare(baseline, run, tolerances=None, host=False, series=False):
             continue
         if host:
             base_host = base_point.get("host")
-            if base_host is None:
-                continue
             run_host = run_point.get("host") or {}
-            for metric, band in bands.items():
+            for metric in HOST_TOLERANCES:
+                if base_host is None:
+                    break
+                band = bands[metric]
                 key = metric.split(".", 1)[1]
                 if key not in base_host:
                     continue
@@ -312,14 +326,14 @@ def compare(baseline, run, tolerances=None, host=False, series=False):
                                         band)
                 finding["point"] = pid
                 findings.append(finding)
-            continue
         if series:
             base_steady = (base_point.get("series") or {}).get("steady_state")
-            if base_steady is None:
-                continue
             run_steady = ((run_point.get("series") or {})
                           .get("steady_state") or {})
-            for metric, band in bands.items():
+            for metric in SERIES_TOLERANCES:
+                if base_steady is None:
+                    break
+                band = bands[metric]
                 key = metric.split(".", 1)[1]
                 if key not in base_steady:
                     continue
@@ -328,6 +342,7 @@ def compare(baseline, run, tolerances=None, host=False, series=False):
                                         band)
                 finding["point"] = pid
                 findings.append(finding)
+        if host or series:
             continue
         for metric, band in bands.items():
             if metric not in base_point["metrics"]:

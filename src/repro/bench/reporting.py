@@ -466,6 +466,73 @@ def print_series(title, report, out=print):
     out("")
 
 
+def views_report_lines(report, top=5):
+    """Human-readable online-views summary with decision transcript.
+
+    ``report`` is :meth:`repro.obs.ViewCollector.report` output: the
+    end-of-run state of the sliding-window signals (totals plus the
+    rate over the final window), the per-connection EWMA views, the
+    hot contended addresses, and the shadow-probe decision log.
+    """
+    signals = report.get("signals", {})
+    decisions = report.get("decisions", {})
+    lines = []
+    parts = [f"{name} {entry['total']:g}"
+             for name, entry in signals.items() if entry["total"]]
+    lines.append(
+        f"views: window {report['window_us']:g} µs x "
+        f"{report['n_buckets']} buckets; totals "
+        + (", ".join(parts) if parts else "(no signals)"))
+    conns = report.get("connections", {})
+    shown = sorted(conns.items())[:top]
+    for conn, row in shown:
+        chase = row.get("chase_depth_ewma", float("nan"))
+        service = row.get("service_time_ewma_us", float("nan"))
+        lines.append(
+            f"  conn {conn}: cas {row.get('cas_attempt_total', 0):g} "
+            f"({row.get('cas_retry_total', 0):g} retries), "
+            f"chase ewma {chase:.2f} "
+            f"(p99 {row.get('chase_depth_p99', float('nan')):.2f}), "
+            f"service ewma {service:.2f} µs, "
+            f"timeouts {row.get('timeout_total', 0):g}, "
+            f"backoffs {row.get('backoff_total', 0):g}")
+    if len(conns) > len(shown):
+        lines.append(f"  ... and {len(conns) - len(shown)} more connection(s)")
+    hot = report.get("hot_keys", [])
+    if hot:
+        lines.append("  hot CAS targets: " + ", ".join(
+            (f"{entry['key']:#x}" if isinstance(entry["key"], int)
+             else str(entry["key"]))
+            + f" x{entry['cas_retry_total']:g}" for entry in hot[:top])
+            + (f" ({report.get('evicted_keys', 0)} keys evicted)"
+               if report.get("evicted_keys") else ""))
+    recorded = decisions.get("recorded", 0)
+    lines.append(
+        f"  decisions: {recorded} recorded "
+        f"({decisions.get('evicted', 0)} evicted, capacity "
+        f"{decisions.get('capacity', 0)}); probes: "
+        + (", ".join(report.get("probes", [])) or "(none)"))
+    for entry in decisions.get("log", []):
+        inputs = entry.get("inputs", {})
+        detail = ", ".join(
+            f"{key}={value:.3g}" if isinstance(value, float)
+            else f"{key}={value}"
+            for key, value in inputs.items() if key != "conn")
+        lines.append(
+            f"    [{entry['t_us']:.1f} µs] {entry['name']} "
+            f"conn={inputs.get('conn', '-')}: {entry['verdict']} ({detail})")
+    return lines
+
+
+def print_views(title, report, top=5, out=print):
+    """Print the online-views report as a titled block."""
+    out("")
+    out(f"== {title} ==")
+    for line in views_report_lines(report, top=top):
+        out(line)
+    out("")
+
+
 def low_load_latency(results):
     """Mean latency of the single-client point."""
     for r in results:

@@ -28,15 +28,18 @@ from repro.bench.reporting import (
     print_primitives,
     print_series,
     print_table,
+    print_views,
     utilization_rows,
 )
 from repro.obs import (
     SERIES_DEFAULT_WINDOW_US,
+    VIEWS_DEFAULT_WINDOW_US,
     HostProfiler,
     PrimitiveCollector,
     SeriesCollector,
     Tracer,
     UtilizationCollector,
+    ViewCollector,
     analyze,
     breakdown,
     breakdown_rows,
@@ -207,6 +210,14 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                              "sparklines, MSER steady-state verdict, "
                              "changepoint annotations; --json records "
                              "gain a series section")
+    parser.add_argument("--views", nargs="?",
+                        const=VIEWS_DEFAULT_WINDOW_US, type=float,
+                        default=None, metavar="WINDOW_US",
+                        help="install the online telemetry views (default "
+                             f"window {VIEWS_DEFAULT_WINDOW_US:g} µs): "
+                             "per-connection/per-key sliding-window rates, "
+                             "EWMAs, and the shadow-probe decision log; "
+                             "--json records gain a views section")
     args = parser.parse_args(argv)
 
     collector = (UtilizationCollector()
@@ -215,6 +226,7 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
     hostprof = (HostProfiler(stride=args.profile_stride)
                 if args.profile else None)
     series = SeriesCollector(args.series) if args.series else None
+    views = ViewCollector(args.views) if args.views else None
     session = None
     if args.profile:
         from repro.obs.hostprof import profile_session
@@ -233,8 +245,8 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
             kind, flavor, workload_maker(args.keys), n_clients,
             trace_path=args.trace, utilization=collector,
             primitives=primitives, n_keys=args.keys, faults=args.faults,
-            hostprof=hostprof, series=series, source_model=source_model,
-            **point_kwargs)
+            hostprof=hostprof, series=series, views=views,
+            source_model=source_model, **point_kwargs)
     finally:
         if session is not None:
             session.stop()
@@ -290,6 +302,10 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
         series_report = series.report(utilization=collector,
                                       faults=faults_report)
         print_series(f"{title}: time series", series_report)
+    views_report = None
+    if views is not None:
+        views_report = views.report()
+        print_views(f"{title}: online views", views_report)
     if args.json:
         from repro.bench.regress import (
             make_point,
@@ -312,7 +328,7 @@ def bench_main(kind, flavor, workload_maker, title, argv=None,
                            bottleneck=analyze(util_report),
                            primitives=primitives_report, critpath=profile,
                            faults=faults_report, host=host_report,
-                           series=series_report,
+                           series=series_report, views=views_report,
                            wall=wall_section(result))
         write_record(make_record(benchmark or title, [point]), args.json)
         print(f"result record written to {args.json}")

@@ -84,6 +84,10 @@ class RequestChannel:
         self._retry_rng = None
         self.retransmissions = 0
         self.timeouts = 0
+        #: connection id this channel's timeout/backoff view signals
+        #: attribute to (set by PrismClient); falls back to the host
+        #: name for channels outside the PRISM client path
+        self.view_conn = None
         if sim.utilization is not None:
             # In-flight request depth per channel: evidence for the
             # bottleneck analyzer (deep client queues with an idle
@@ -169,6 +173,10 @@ class RequestChannel:
                               req=request_id, dst=dst, timeout_us=timeout_us)
                 if sim.series is not None:
                     sim.series.count("timeouts")
+                if sim.views is not None:
+                    sim.views.note_timeout(
+                        self.view_conn if self.view_conn is not None
+                        else self.host_name)
                 raise TimeoutExpired(
                     timeout_us, what=f"request {request_id} to {dst}/{service}")
             result = value
@@ -242,6 +250,10 @@ class RequestChannel:
                     faults.note_retransmit()
                 if self.sim.series is not None:
                     self.sim.series.count("retransmissions")
+                if self.sim.views is not None:
+                    self.sim.views.note_backoff(
+                        self.view_conn if self.view_conn is not None
+                        else self.host_name)
                 if fl is not None:
                     fl.record("req.backoff", logical=logical_id,
                               attempt=attempt, backoff_us=backoff)

@@ -40,6 +40,12 @@ Three pieces, all driven by the simulated clock:
   retry/NAK counters) with MSER steady-state detection and
   changepoint annotation cross-referenced against injected faults;
   install a :class:`SeriesCollector` via ``sim.set_series``.
+* :mod:`repro.obs.views` — *online* sliding-window telemetry views:
+  per-connection/per-key CAS retry, NAK, pointer-chase, timeout, and
+  service-time signals maintained in O(1) rings and queryable
+  mid-run (``views.rate(...)``/``views.ewma(...)``), plus a bounded
+  decision log for shadow-mode policy probes; install a
+  :class:`ViewCollector` via ``sim.set_views``.
 """
 
 from repro.obs.bottleneck import (
@@ -88,6 +94,12 @@ from repro.obs.series import (
     detect_steady_state,
     merge_digests,
 )
+from repro.obs.views import (
+    DEFAULT_WINDOW_US as VIEWS_DEFAULT_WINDOW_US,
+    RfpCrossoverProbe,
+    ViewCollector,
+    crossover_vs_series,
+)
 from repro.obs.timeline import (
     ChargeMonitor,
     DepthMonitor,
@@ -102,7 +114,9 @@ __all__ = [
     "PHASES",
     "SATURATION_THRESHOLD",
     "SERIES_DEFAULT_WINDOW_US",
+    "VIEWS_DEFAULT_WINDOW_US",
     "analyze",
+    "crossover_vs_series",
     "breakdown",
     "breakdown_rows",
     "crash_windows",
@@ -140,10 +154,12 @@ __all__ = [
     "PrimitiveCollector",
     "ProfileSession",
     "ResourceMonitor",
+    "RfpCrossoverProbe",
     "SeriesCollector",
     "Span",
     "StackSampler",
     "TopK",
     "Tracer",
     "UtilizationCollector",
+    "ViewCollector",
 ]

@@ -20,6 +20,8 @@ item 1 ("10x events/sec") is judged against. Three pieces:
             memory integer codecs)
   hooks.obs     observability hook overhead (resource monitors)
   hooks.faults  fault-injection hook overhead (message fates)
+  hooks.views   sliding-window view maintenance + probe evaluation
+                (:mod:`repro.obs.views`)
   ========  =====================================================
 
   Attribution is *exclusive*: entering a nested bucket suspends the
@@ -58,7 +60,7 @@ from time import perf_counter
 
 #: attribution buckets, in report order
 BUCKETS = ("dispatch", "resume", "resource", "codec",
-           "hooks.obs", "hooks.faults")
+           "hooks.obs", "hooks.faults", "hooks.views")
 
 #: the ambient profiler: codec hooks (which have no simulator handle)
 #: read it, and ``Simulator.__init__`` adopts it when set. None means

@@ -1,0 +1,592 @@
+"""Online telemetry views: queryable sliding-window signals in-sim.
+
+Every other collector in :mod:`repro.obs` is post-hoc — signals are
+aggregated on the simulated clock but only *read* after the run. This
+module turns the same hook points (`prism.engine` CAS/NAK/pointer-chase
+outcomes, `prism` client round trips, `net.port` timeouts and backoffs)
+into **live** per-connection and per-key windowed views a policy layer
+can query *mid-run*:
+
+    view.rate("cas_retry", conn)          # windowed events/sec
+    view.rate("cas_retry", key=target)    # per hot address
+    view.ewma("chase_depth", conn)        # exponential average
+    view.quantile("chase_depth", 0.99, conn)
+
+Each signal is maintained incrementally in an O(1) ring of
+``n_buckets`` sub-windows (advance on touch, bounded by the ring
+length), so a query is a ring sum and an update is one increment —
+near-zero cost on the data path. Per-key maps are bounded
+(``max_keys``, stalest-entry eviction), so memory never grows with the
+address space.
+
+On top sits a structured **decision log**: :meth:`ViewCollector.probe`
+records would-be policy decisions (inputs snapshot + verdict + sim
+timestamp) into a bounded ring, and registered probe objects (see
+:class:`RfpCrossoverProbe`) are evaluated whenever a connection's
+signals cross into a new window — event-driven, never scheduled, so
+the bit-identical-when-off contract of every collector holds here too.
+
+Install contract (same as every collector)::
+
+    views = ViewCollector(window_us=50.0)
+    sim.set_views(views)            # BEFORE system construction
+    ... build system, run ...       # query views.rate(...) mid-run
+    views.finish(sim.now)
+    report = views.report()
+
+Off by default: with no collector installed every hook on the data
+path is a single ``is None`` check. The collector itself only reads
+``sim.now`` and appends to host-side structures — it never schedules
+simulator events — so a collected run is bit-identical in simulated
+time to a bare one. Host cost is accounted to the ``hooks.views``
+hostprof bucket (see :mod:`repro.obs.hostprof`).
+
+Reconciliation contract: the views' signal totals equal the post-hoc
+collectors' aggregates on the same run — CAS attempts/misses match
+:class:`~repro.obs.primitives.PrimitiveCollector`, timeout/backoff
+totals match the :class:`~repro.obs.series.SeriesCollector` window
+counters — tested in ``tests/obs/test_views.py``.
+"""
+
+from repro.obs import quantiles
+
+#: default sliding-window width, simulated microseconds
+DEFAULT_WINDOW_US = 50.0
+
+#: sub-buckets per sliding window (rate resolution vs ring memory)
+DEFAULT_N_BUCKETS = 8
+
+#: per-key ring maps are bounded to this many tracked keys
+DEFAULT_MAX_KEYS = 128
+
+#: decision-log ring capacity (decisions, not bytes)
+DEFAULT_DECISION_CAPACITY = 4096
+
+#: EWMA smoothing factor (weight of the newest sample)
+EWMA_ALPHA = 0.2
+
+#: counting signals exposed as windowed rates; ``cas_retry`` is also
+#: tracked per target address (the hot-key view)
+RATE_SIGNALS = ("cas_retry", "cas_attempt", "nak", "timeout", "backoff")
+
+#: signals exposed as EWMAs (``chase_depth`` also carries a quantile
+#: sketch — an exact bounded histogram, depths are tiny integers)
+EWMA_SIGNALS = ("chase_depth", "service_time_us")
+
+
+class _Ring:
+    """O(1) sliding-window counter: ``n`` sub-buckets of one window.
+
+    ``add``/``total`` advance the ring to the caller's absolute
+    sub-bucket index first, evicting expired buckets from the running
+    sum; a gap larger than the ring clears it outright, so advancing
+    is bounded by the ring length no matter how long the key idled.
+    """
+
+    __slots__ = ("counts", "head", "running", "bucket", "lifetime")
+
+    def __init__(self, n):
+        self.counts = [0.0] * n
+        self.head = 0
+        self.running = 0.0   # sum of live buckets
+        self.bucket = None   # absolute sub-bucket index of counts[head]
+        self.lifetime = 0.0  # total ever added (reconciliation)
+
+    def _advance(self, bucket):
+        if self.bucket is None:
+            self.bucket = bucket
+            return
+        gap = bucket - self.bucket
+        if gap <= 0:
+            return
+        counts = self.counts
+        n = len(counts)
+        if gap >= n:
+            for i in range(n):
+                counts[i] = 0.0
+            self.running = 0.0
+            self.head = 0
+        else:
+            head = self.head
+            for _ in range(gap):
+                head = (head + 1) % n
+                self.running -= counts[head]
+                counts[head] = 0.0
+            self.head = head
+        self.bucket = bucket
+
+    def add(self, bucket, weight=1.0):
+        self._advance(bucket)
+        self.counts[self.head] += weight
+        self.running += weight
+        self.lifetime += weight
+
+    def total(self, bucket):
+        """Windowed sum as of absolute sub-bucket ``bucket``."""
+        self._advance(bucket)
+        return self.running
+
+
+class _Ewma:
+    """Per-signal exponential average; first sample seeds the value."""
+
+    __slots__ = ("value", "count")
+
+    def __init__(self):
+        self.value = float("nan")
+        self.count = 0
+
+    def update(self, sample):
+        if self.count == 0:
+            self.value = float(sample)
+        else:
+            self.value = (EWMA_ALPHA * sample
+                          + (1.0 - EWMA_ALPHA) * self.value)
+        self.count += 1
+
+
+class ViewCollector:
+    """Bounded-memory sliding-window telemetry views on the sim clock.
+
+    See the module docstring for the install pattern, the off-by-
+    default guarantee, and the reconciliation contract. Hook methods
+    (``note_*``) are called by the engine, client, and net layers;
+    query methods (:meth:`rate`, :meth:`ewma`, :meth:`quantile`) are
+    safe to call from inside a running simulation process.
+    """
+
+    def __init__(self, window_us=DEFAULT_WINDOW_US,
+                 n_buckets=DEFAULT_N_BUCKETS, max_keys=DEFAULT_MAX_KEYS,
+                 decision_capacity=DEFAULT_DECISION_CAPACITY):
+        if window_us <= 0:
+            raise ValueError(f"window_us must be > 0, got {window_us}")
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        if max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1, got {max_keys}")
+        self.window_us = float(window_us)
+        self.n_buckets = int(n_buckets)
+        self.sub_us = self.window_us / self.n_buckets
+        self.max_keys = int(max_keys)
+        self._sim = None
+        #: (signal, conn) -> _Ring; conns are bounded by the population
+        self._conn_rings = {}
+        #: target address -> _Ring (cas_retry only), bounded by max_keys
+        self._key_rings = {}
+        self.evicted_keys = 0
+        #: signal -> _Ring over every connection (the global view)
+        self._global_rings = {signal: _Ring(self.n_buckets)
+                              for signal in RATE_SIGNALS}
+        #: (signal, conn) -> _Ewma, plus conn=None for the global one
+        self._ewmas = {}
+        #: conn -> {depth: count}, exact (depths are 0-2 per op)
+        self._chase_hist = {}
+        # decision log: bounded ring of probe verdicts
+        self.decision_capacity = int(decision_capacity)
+        self.decisions = []
+        self._decision_head = 0
+        self.decisions_recorded = 0
+        self._decision_seq = 0
+        # registered probe objects, evaluated on window transitions
+        self._probes = []
+        #: conn -> window index of the last probe evaluation
+        self._probe_windows = {}
+        self.end_us = None
+
+    def bind(self, sim):
+        """Attach to the simulator (``sim.set_views`` calls this)."""
+        self._sim = sim
+        return self
+
+    # -- hostprof accounting -------------------------------------------------
+
+    def _hp(self):
+        sim = self._sim
+        if sim is None:
+            return None
+        hp = sim.hostprof
+        if hp is not None and not hp._timing:
+            return None
+        return hp
+
+    # -- hot-path hooks ------------------------------------------------------
+
+    def _bucket(self):
+        return int(self._sim._now // self.sub_us)
+
+    def _count(self, signal, conn, bucket):
+        self._global_rings[signal].add(bucket)
+        ring = self._conn_rings.get((signal, conn))
+        if ring is None:
+            ring = self._conn_rings[(signal, conn)] = _Ring(self.n_buckets)
+        ring.add(bucket)
+
+    def _count_key(self, key, bucket):
+        ring = self._key_rings.get(key)
+        if ring is None:
+            if len(self._key_rings) >= self.max_keys:
+                # Evict the stalest tracked key (smallest last-touched
+                # bucket) — an O(max_keys) scan, paid only on eviction,
+                # like the TopK sketch's min scan.
+                victim = min(self._key_rings,
+                             key=lambda k: self._key_rings[k].bucket)
+                del self._key_rings[victim]
+                self.evicted_keys += 1
+            ring = self._key_rings[key] = _Ring(self.n_buckets)
+        ring.add(bucket)
+
+    def _ewma_update(self, signal, conn, sample):
+        for k in ((signal, conn), (signal, None)):
+            ewma = self._ewmas.get(k)
+            if ewma is None:
+                ewma = self._ewmas[k] = _Ewma()
+            ewma.update(sample)
+
+    def note_cas(self, conn, target, swapped):
+        """One CAS attempt by ``conn`` on ``target``; miss feeds the
+        retry-rate views (per connection and per address)."""
+        hp = self._hp()
+        if hp is not None:
+            hp.enter("hooks.views")
+        try:
+            bucket = self._bucket()
+            self._count("cas_attempt", conn, bucket)
+            if not swapped:
+                self._count("cas_retry", conn, bucket)
+                self._count_key(target, bucket)
+            self._tick_probes(conn)
+        finally:
+            if hp is not None:
+                hp.exit()
+
+    def note_chase(self, conn, opname, hops):
+        """Pointer-chase depth of one executed op (0 = direct)."""
+        hp = self._hp()
+        if hp is not None:
+            hp.enter("hooks.views")
+        try:
+            self._ewma_update("chase_depth", conn, hops)
+            hist = self._chase_hist.get(conn)
+            if hist is None:
+                hist = self._chase_hist[conn] = {}
+            hist[hops] = hist.get(hops, 0) + 1
+            self._tick_probes(conn)
+        finally:
+            if hp is not None:
+                hp.exit()
+
+    def note_nak(self, conn, opname):
+        """An op by ``conn`` hard-NAK'd at the engine."""
+        hp = self._hp()
+        if hp is not None:
+            hp.enter("hooks.views")
+        try:
+            self._count("nak", conn, self._bucket())
+            self._tick_probes(conn)
+        finally:
+            if hp is not None:
+                hp.exit()
+
+    def note_timeout(self, conn):
+        """A request by ``conn`` hit its ack timeout."""
+        hp = self._hp()
+        if hp is not None:
+            hp.enter("hooks.views")
+        try:
+            self._count("timeout", conn, self._bucket())
+            self._tick_probes(conn)
+        finally:
+            if hp is not None:
+                hp.exit()
+
+    def note_backoff(self, conn):
+        """A request by ``conn`` entered retransmission backoff."""
+        hp = self._hp()
+        if hp is not None:
+            hp.enter("hooks.views")
+        try:
+            self._count("backoff", conn, self._bucket())
+            self._tick_probes(conn)
+        finally:
+            if hp is not None:
+                hp.exit()
+
+    def note_service_time(self, conn, latency_us):
+        """One client round trip by ``conn`` took ``latency_us``."""
+        hp = self._hp()
+        if hp is not None:
+            hp.enter("hooks.views")
+        try:
+            self._ewma_update("service_time_us", conn, latency_us)
+            self._tick_probes(conn)
+        finally:
+            if hp is not None:
+                hp.exit()
+
+    # -- queries -------------------------------------------------------------
+
+    def rate(self, signal, conn=None, key=None):
+        """Windowed event rate (events/sec) as of now.
+
+        ``conn`` selects one connection's view; ``key`` (for
+        ``cas_retry``) selects one target address; neither selects the
+        global view. An untracked conn/key reads as 0.0 — absence of
+        evidence is a rate of zero, not an error.
+        """
+        if signal not in RATE_SIGNALS:
+            raise ValueError(f"unknown rate signal {signal!r} "
+                             f"(rate signals: {RATE_SIGNALS})")
+        bucket = self._bucket()
+        if key is not None:
+            if signal != "cas_retry":
+                raise ValueError("per-key views exist only for 'cas_retry'")
+            ring = self._key_rings.get(key)
+        elif conn is not None:
+            ring = self._conn_rings.get((signal, conn))
+        else:
+            ring = self._global_rings[signal]
+        if ring is None:
+            return 0.0
+        return ring.total(bucket) / self.window_us * 1e6
+
+    def ewma(self, signal, conn=None):
+        """Exponential average of ``signal`` (NaN before any sample)."""
+        if signal not in EWMA_SIGNALS:
+            raise ValueError(f"unknown ewma signal {signal!r} "
+                             f"(ewma signals: {EWMA_SIGNALS})")
+        ewma = self._ewmas.get((signal, conn))
+        return ewma.value if ewma is not None else float("nan")
+
+    def quantile(self, signal, q, conn=None):
+        """Quantile of the depth sketch (only ``chase_depth`` has one)."""
+        if signal != "chase_depth":
+            raise ValueError("quantile sketches exist only for 'chase_depth'")
+        if conn is None:
+            merged = {}
+            for hist in self._chase_hist.values():
+                for hops, count in hist.items():
+                    merged[hops] = merged.get(hops, 0) + count
+            hist = merged
+        else:
+            hist = self._chase_hist.get(conn) or {}
+        if not hist:
+            return float("nan")
+        items = sorted(hist.items())
+        return quantiles.percentile_weighted(items, q * 100.0)
+
+    def connections(self):
+        """Every connection any signal has been recorded for."""
+        conns = {conn for _signal, conn in self._conn_rings}
+        conns.update(conn for _signal, conn in self._ewmas
+                     if conn is not None)
+        conns.update(self._chase_hist)
+        return sorted(conns, key=str)
+
+    # -- decision log --------------------------------------------------------
+
+    def probe(self, name, inputs, verdict):
+        """Record one would-be policy decision; returns the entry.
+
+        ``inputs`` is a snapshot of the signals the decision read;
+        ``verdict`` is what the policy would have done. Entries land in
+        a bounded ring (oldest evicted first) stamped with the sim
+        clock, the bench record's ``views.decisions`` section, and the
+        human-readable report.
+        """
+        entry = {
+            "seq": self._decision_seq,
+            "t_us": self._sim._now if self._sim is not None else 0.0,
+            "name": name,
+            "inputs": dict(inputs),
+            "verdict": verdict,
+        }
+        self._decision_seq += 1
+        if len(self.decisions) < self.decision_capacity:
+            self.decisions.append(entry)
+        else:
+            self.decisions[self._decision_head] = entry
+            self._decision_head = ((self._decision_head + 1)
+                                   % self.decision_capacity)
+        self.decisions_recorded += 1
+        return entry
+
+    def decision_log(self):
+        """Decisions in record order (ring unrolled)."""
+        head = self._decision_head
+        return self.decisions[head:] + self.decisions[:head]
+
+    @property
+    def decisions_evicted(self):
+        return self.decisions_recorded - len(self.decisions)
+
+    # -- probes --------------------------------------------------------------
+
+    def add_probe(self, probe):
+        """Register a probe object evaluated on window transitions.
+
+        ``probe.evaluate(views, conn, window_start_us)`` runs the first
+        time any of ``conn``'s signals land in a new ``window_us``-wide
+        window — event-driven at hook time (no scheduled events), so
+        registration preserves bit-identical simulated timing.
+        """
+        self._probes.append(probe)
+        return probe
+
+    def _tick_probes(self, conn):
+        if not self._probes:
+            return
+        window = int(self._sim._now // self.window_us)
+        last = self._probe_windows.get(conn)
+        if last == window:
+            return
+        self._probe_windows[conn] = window
+        start = window * self.window_us
+        for probe in self._probes:
+            probe.evaluate(self, conn, start)
+
+    # -- lifecycle / reporting ----------------------------------------------
+
+    def finish(self, elapsed=None):
+        """Close the views at ``elapsed`` (default: now). Idempotent."""
+        if elapsed is None:
+            elapsed = self._sim._now if self._sim is not None else 0.0
+        if self.end_us is None or elapsed > self.end_us:
+            self.end_us = elapsed
+        return self
+
+    def report(self, top=8):
+        """JSON-ready snapshot: totals, per-conn views, decision log."""
+        nan = float("nan")
+        signals = {}
+        for signal in RATE_SIGNALS:
+            ring = self._global_rings[signal]
+            signals[signal] = {"total": ring.lifetime,
+                               "rate_per_s": self.rate(signal)}
+        conns = {}
+        for conn in self.connections():
+            hist = self._chase_hist.get(conn) or {}
+            row = {
+                "chase_depth_ewma": self.ewma("chase_depth", conn),
+                "chase_depth_p99": (self.quantile("chase_depth", 0.99, conn)
+                                    if hist else nan),
+                "chase_ops": sum(hist.values()),
+                "service_time_ewma_us": self.ewma("service_time_us", conn),
+            }
+            for signal in RATE_SIGNALS:
+                ring = self._conn_rings.get((signal, conn))
+                row[f"{signal}_total"] = ring.lifetime if ring else 0.0
+                row[f"{signal}_per_s"] = self.rate(signal, conn)
+            conns[str(conn)] = row
+        hot = sorted(self._key_rings.items(),
+                     key=lambda item: (-item[1].lifetime, str(item[0])))
+        return {
+            "window_us": self.window_us,
+            "n_buckets": self.n_buckets,
+            "end_us": self.end_us,
+            "signals": signals,
+            "connections": conns,
+            "hot_keys": [{"key": key, "cas_retry_total": ring.lifetime,
+                          "cas_retry_per_s": self.rate("cas_retry", key=key)}
+                         for key, ring in hot[:top]],
+            "tracked_keys": len(self._key_rings),
+            "evicted_keys": self.evicted_keys,
+            "probes": [getattr(p, "name", type(p).__name__)
+                       for p in self._probes],
+            "decisions": {
+                "recorded": self.decisions_recorded,
+                "evicted": self.decisions_evicted,
+                "capacity": self.decision_capacity,
+                "log": self.decision_log(),
+            },
+        }
+
+
+class RfpCrossoverProbe:
+    """Shadow-mode RFP crossover detector (the demonstration probe).
+
+    The RFP argument ("RDMA vs. RPC for Implementing Distributed Data
+    Structures", PAPERS.md; ROADMAP open item 3): RPC beats one-sided
+    access exactly when contention is high — hot-key CAS retry storms,
+    deep pointer chases — because the server CPU resolves conflicts
+    locally instead of the client burning round trips. This probe
+    watches each connection's online views once per window and logs
+    which transport the RFP rule *would* pick; it never switches
+    anything (shadow mode — the policy layer is a later PR).
+
+    A decision is logged on the first evaluation of a connection and on
+    every verdict transition, so a steady contended run yields one
+    decision per connection rather than one per window.
+    """
+
+    name = "rfp-crossover"
+
+    def __init__(self, cas_retry_per_s=50_000.0, chase_depth=1.5,
+                 timeout_per_s=1_000.0):
+        self.cas_retry_per_s = cas_retry_per_s
+        self.chase_depth = chase_depth
+        self.timeout_per_s = timeout_per_s
+        self._last_verdict = {}
+
+    def evaluate(self, views, conn, window_start_us):
+        cas_rate = views.rate("cas_retry", conn)
+        chase = views.ewma("chase_depth", conn)
+        timeout_rate = views.rate("timeout", conn)
+        contended = (cas_rate >= self.cas_retry_per_s
+                     or (chase == chase and chase >= self.chase_depth)
+                     or timeout_rate >= self.timeout_per_s)
+        verdict = "rpc" if contended else "one-sided"
+        if self._last_verdict.get(conn) == verdict:
+            return
+        self._last_verdict[conn] = verdict
+        views.probe(self.name, {
+            "conn": conn,
+            "window_start_us": window_start_us,
+            "cas_retry_per_s": cas_rate,
+            "chase_depth_ewma": chase,
+            "timeout_per_s": timeout_rate,
+            "service_time_ewma_us": views.ewma("service_time_us", conn),
+        }, verdict)
+
+
+def crossover_vs_series(decisions, series_report):
+    """Validate shadow-probe verdicts against post-hoc changepoints.
+
+    ``decisions`` is the views' decision log (rfp-crossover entries);
+    ``series_report`` is :meth:`repro.obs.series.SeriesCollector.report`
+    output from the *same run*. The two layers watch the same run
+    through different lenses, so they must not contradict each other: a
+    switch-to-RPC decision (contention seen online) landing inside a
+    window the series flagged as a latency *dip* is a conflict, as is a
+    switch-to-one-sided decision inside a latency-*spike* window.
+    Steady runs — no changepoints at all — agree vacuously, which is
+    the expected outcome on a stationary contention sweep.
+
+    Returns ``{"decisions", "changepoints", "conflicts", "agree"}``.
+    """
+    spans = {"latency-spike": [], "latency-dip": []}
+    for annotation in series_report.get("annotations", []):
+        if annotation["kind"] in spans:
+            spans[annotation["kind"]].append(
+                (annotation["start_us"], annotation["end_us"]))
+
+    def inside(t, intervals):
+        return any(start <= t < end for start, end in intervals)
+
+    conflicts = []
+    relevant = [d for d in decisions
+                if d.get("name") == RfpCrossoverProbe.name]
+    for decision in relevant:
+        t = decision["inputs"].get("window_start_us", decision["t_us"])
+        if decision["verdict"] == "rpc" and inside(t, spans["latency-dip"]):
+            conflicts.append({"decision": decision,
+                              "against": "latency-dip"})
+        elif (decision["verdict"] == "one-sided"
+              and inside(t, spans["latency-spike"])):
+            conflicts.append({"decision": decision,
+                              "against": "latency-spike"})
+    return {
+        "decisions": len(relevant),
+        "changepoints": sum(len(v) for v in spans.values()),
+        "conflicts": conflicts,
+        "agree": not conflicts,
+    }

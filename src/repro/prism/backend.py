@@ -173,6 +173,8 @@ class Backend:
             engine.primitives = sim.primitives
         if sim.flight is not None and engine.flight is None:
             engine.flight = sim.flight
+        if sim.views is not None and engine.views is None:
+            engine.views = sim.views
 
     # -- per-backend hooks -------------------------------------------------
 

@@ -41,6 +41,14 @@ class PrismClient:
             retry_policy = sim.faults.plan.retry
         self.retry_policy = retry_policy
         self.round_trips = 0
+        # The live TelemetryView handle: application code (and future
+        # policy layers) query sliding-window signals mid-run through
+        # it — views.rate("cas_retry", client.connection.id), etc.
+        # Tagging the channel attributes its timeout/backoff signals
+        # to this connection instead of the whole client host.
+        self.views = sim.views
+        if sim.views is not None:
+            self.channel.view_conn = self.connection.id
 
     @property
     def sram_slot(self):
@@ -78,6 +86,8 @@ class PrismClient:
         else:
             chain = Chain(ops)
         policy = self.retry_policy
+        views = self.sim.views
+        submitted = self.sim._now if views is not None else 0.0
         if self.sim.flight is not None:
             self.sim.flight.record(
                 "chain.submit", ops=len(chain.ops),
@@ -105,6 +115,9 @@ class PrismClient:
                         (self.connection.id, chain), chain.request_bytes(),
                         timeout_us=policy.timeout_us, span=trip)
         self.round_trips += 1
+        if views is not None:
+            views.note_service_time(self.connection.id,
+                                    self.sim._now - submitted)
         return result
 
     # -- Table 1 convenience wrappers --------------------------------------

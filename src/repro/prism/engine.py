@@ -148,6 +148,11 @@ class PrismEngine:
         #: and NAK events on the executing operation's causal timeline
         #: (wired by the owning backend from sim.flight)
         self.flight = None
+        #: optional repro.obs.views.ViewCollector receiving per-
+        #: connection CAS/NAK/pointer-chase signals for the online
+        #: sliding-window views (wired by the owning backend from
+        #: sim.views)
+        self.views = None
 
     # -- protection helpers ------------------------------------------------
 
@@ -249,6 +254,8 @@ class PrismEngine:
         except (AccessViolation, AllocationFailure, InvalidOperation) as exc:
             if self.primitives is not None:
                 self.primitives.note_nak(op.opname, exc)
+            if self.views is not None:
+                self.views.note_nak(connection.id, op.opname)
             if self.flight is not None:
                 self.flight.record("op.nak", opname=op.opname,
                                    error=type(exc).__name__)
@@ -264,6 +271,8 @@ class PrismEngine:
         if self.primitives is not None:
             self.primitives.note_deref("READ", int(op.indirect),
                                        bounded=op.bounded)
+        if self.views is not None:
+            self.views.note_chase(connection.id, "READ", int(op.indirect))
         data = self.space.read(target, length)
         accesses.append(Access("r", self.space.domain(target), length))
         if op.redirect_to is not None:
@@ -290,6 +299,10 @@ class PrismEngine:
         if self.primitives is not None:
             self.primitives.note_deref(
                 "WRITE", int(op.addr_indirect) + int(op.data_indirect))
+        if self.views is not None:
+            self.views.note_chase(
+                connection.id, "WRITE",
+                int(op.addr_indirect) + int(op.data_indirect))
         data = self._source_data(connection, op, op.length, accesses,
                                  "WRITE data source")
         data = data[:length]
@@ -362,6 +375,11 @@ class PrismEngine:
             self.primitives.note_deref(
                 "CAS", int(op.target_indirect) + int(op.data_indirect))
             self.primitives.note_cas(connection.id, target, op.mode, swapped)
+        if self.views is not None:
+            self.views.note_chase(
+                connection.id, "CAS",
+                int(op.target_indirect) + int(op.data_indirect))
+            self.views.note_cas(connection.id, target, swapped)
         if self.flight is not None and not swapped:
             # Only misses are flight-worthy: they are what retry storms
             # on hot addresses are made of (forensics groups by target).

@@ -265,6 +265,7 @@ class Simulator:
         self.faults = None
         self.flight = None
         self.series = None
+        self.views = None
         # Adopt the ambient host profiler, if one is active (None in
         # normal runs; standalone --profile scripts activate one).
         self.hostprof = _hostprof.ACTIVE
@@ -285,6 +286,28 @@ class Simulator:
         self.utilization = collector.bind(self)
         return collector
 
+    def _install_collector(self, attr, collector):
+        """Shared install-before-construction contract for collectors.
+
+        Every ``set_<attr>`` routes through here: the collector is
+        bound to this simulator and stored on ``self.<attr>`` so hook
+        sites see it with one attribute read. Installation after the
+        simulation has started executing is a programming error — the
+        collector would have missed registrations and transitions and
+        its counts would silently disagree with the run — so it raises
+        instead of half-collecting.
+        """
+        if self._now > 0.0 or self.events_executed:
+            raise SimulationError(
+                f"set_{attr}: collectors must be installed before the "
+                f"simulation runs (now={self._now:g} µs, "
+                f"{self.events_executed} events executed) — install via "
+                f"sim.set_{attr}(...) before system construction so every "
+                "registration and transition is seen from time zero")
+        bound = collector.bind(self)
+        setattr(self, attr, bound)
+        return bound
+
     def set_primitives(self, collector):
         """Install (and bind) a primitive-telemetry collector; returns it.
 
@@ -293,8 +316,7 @@ class Simulator:
         only increments counters at transitions the run already makes,
         so timing stays bit-identical (see :mod:`repro.obs.primitives`).
         """
-        self.primitives = collector.bind(self)
-        return collector
+        return self._install_collector("primitives", collector)
 
     def set_faults(self, plan):
         """Install (and bind) a fault injector for ``plan``; returns it.
@@ -309,8 +331,7 @@ class Simulator:
         from repro.faults.injector import FaultInjector
         injector = (plan if isinstance(plan, FaultInjector)
                     else FaultInjector(plan))
-        self.faults = injector.bind(self)
-        return self.faults
+        return self._install_collector("faults", injector)
 
     def set_flight(self, recorder):
         """Install (and bind) a flight recorder; returns it for chaining.
@@ -325,8 +346,7 @@ class Simulator:
         reads or schedules simulator events — so a recorded run stays
         bit-identical in simulated time (see :mod:`repro.obs.flight`).
         """
-        self.flight = recorder.bind(self)
-        return recorder
+        return self._install_collector("flight", recorder)
 
     def set_series(self, collector):
         """Install a windowed time-series collector; returns it.
@@ -339,8 +359,25 @@ class Simulator:
         host-side dictionaries at transitions the run already makes,
         so a collected run stays bit-identical in simulated time.
         """
-        self.series = collector.bind(self)
-        return collector
+        return self._install_collector("series", collector)
+
+    def set_views(self, collector):
+        """Install sliding-window telemetry views; returns the collector.
+
+        Install *before* system construction — same contract as the
+        other collectors. The engine, clients, and net layer then feed
+        per-connection/per-key windowed signals (CAS retry rate, NAK
+        rate, pointer-chase depth, timeout/backoff rate, service-time
+        EWMA) that are queryable *mid-run* via
+        :meth:`repro.obs.views.ViewCollector.rate` /
+        :meth:`~repro.obs.views.ViewCollector.ewma`, and registered
+        probes log shadow policy decisions. The collector only reads
+        the simulated clock and updates host-side rings at transitions
+        the run already makes — it never schedules events — so a
+        collected run stays bit-identical in simulated time (see
+        :mod:`repro.obs.views`).
+        """
+        return self._install_collector("views", collector)
 
     def set_hostprof(self, profiler):
         """Install a host-side self-profiler; returns it for chaining.

@@ -89,7 +89,7 @@ def test_point_profile_writes_host_record(tmp_path, monkeypatch, capsys):
     assert "events/s" in out
     assert "profile artifact written" in out
     data = json.loads(record.read_text())
-    assert data["schema_version"] == 5
+    assert data["schema_version"] == 6
     host = data["points"][0]["host"]
     assert host["events_per_sec"] > 0
     assert host["wall_s"] > 0
@@ -330,7 +330,7 @@ def test_series_json_embeds_report(tmp_path, capsys):
                  "--series", "--json", str(record)]) == 0
     capsys.readouterr()
     data = json.loads(record.read_text())
-    assert data["schema_version"] == 5
+    assert data["schema_version"] == 6
     series = data["points"][0]["series"]
     assert series["windows"]
     assert series["steady_state"]["detector"] == "mser"
@@ -384,12 +384,29 @@ def test_compare_series_flag(tmp_path, capsys):
     assert "compare: PASS" in out
 
 
-def test_compare_host_and_series_exclusive(tmp_path, capsys):
+def test_compare_host_and_series_combined(tmp_path, monkeypatch, capsys):
+    # --host and --series compose: one invocation checks both band
+    # families, and a trip in either fails the compare.
+    monkeypatch.chdir(tmp_path)
     record = tmp_path / "run.json"
     assert main(["point", "--kind", "kv", "--flavor", "prism-sw",
                  "--clients", "2", "--keys", "200",
-                 "--json", str(record)]) == 0
+                 "--series", "--profile", "--json", str(record)]) == 0
     capsys.readouterr()
     assert main(["compare", str(record), str(record),
-                 "--host", "--series"]) == 2
-    assert "exclusive" in capsys.readouterr().err
+                 "--host", "--series"]) == 0
+    out = capsys.readouterr().out
+    assert "host.events_per_sec" in out
+    assert "series.steady_mean_us" in out
+    assert "compare: PASS" in out
+    # A tripped series band still fails while host passes.
+    import json as json_mod
+    data = json_mod.loads(record.read_text())
+    worse = json_mod.loads(record.read_text())
+    worse["points"][0]["series"]["steady_state"]["steady_mean_us"] *= 2
+    run = tmp_path / "worse.json"
+    run.write_text(json_mod.dumps(worse))
+    assert data["points"][0]["host"]["events_per_sec"] > 0
+    assert main(["compare", str(record), str(run),
+                 "--host", "--series"]) == 1
+    assert "compare: FAIL" in capsys.readouterr().out

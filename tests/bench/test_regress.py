@@ -417,9 +417,9 @@ class TestSchemaV4:
                            series=_series_section())
         return make_record("test", [point])
 
-    def test_current_version_is_v5(self):
-        assert SCHEMA_VERSION == 5
-        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2, 3, 4, 5)
+    def test_current_version_is_v6(self):
+        assert SCHEMA_VERSION == 6
+        assert SUPPORTED_SCHEMA_VERSIONS == (1, 2, 3, 4, 5, 6)
 
     def test_series_field_is_optional(self, small_result, config):
         bare = make_point("kv", "prism-sw", small_result, config)
@@ -432,7 +432,7 @@ class TestSchemaV4:
         path = tmp_path / "v4.json"
         write_record(v4_record, path)
         loaded = load_record(path)
-        assert loaded["schema_version"] == 5
+        assert loaded["schema_version"] == 6
         assert loaded["points"][0]["series"]["window_us"] == 50.0
 
     def test_v4_compares_against_older_baselines(self, small_result,
@@ -494,9 +494,49 @@ class TestSchemaV4:
             compare(v4_record, v4_record,
                     tolerances={"series.steady_mean_us": 0.1})
 
-    def test_host_and_series_modes_exclusive(self, v4_record):
-        with pytest.raises(ValueError, match="exclusive"):
-            compare(v4_record, v4_record, host=True, series=True)
+    def test_host_and_series_modes_combine(self, small_result, config):
+        both = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            series=_series_section(),
+            host={"events_per_sec": 1e6, "wall_s": 0.5})])
+        report = compare(both, both, host=True, series=True)
+        assert report["ok"]
+        assert {f["metric"] for f in report["findings"]} == \
+            set(SERIES_TOLERANCES) | set(HOST_TOLERANCES)
+
+    def test_combined_mode_fails_when_either_band_trips(
+            self, small_result, config):
+        both = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            series=_series_section(),
+            host={"events_per_sec": 1e6, "wall_s": 0.5})])
+        slow_host = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            series=_series_section(),
+            host={"events_per_sec": 1e5, "wall_s": 5.0})])
+        report = compare(both, slow_host, host=True, series=True)
+        assert not report["ok"]
+        assert {f["metric"] for f in report["regressions"]} == \
+            set(HOST_TOLERANCES)
+        slow_series = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            series=_series_section(mean_us=20.0),
+            host={"events_per_sec": 1e6, "wall_s": 0.5})])
+        assert not compare(both, slow_series, host=True, series=True)["ok"]
+
+    def test_combined_mode_tolerance_lookup_spans_both_families(
+            self, small_result, config):
+        both = make_record("test", [make_point(
+            "kv", "prism-sw", small_result, config,
+            series=_series_section(),
+            host={"events_per_sec": 1e6, "wall_s": 0.5})])
+        report = compare(both, both, host=True, series=True,
+                         tolerances={"host.wall_s": 0.5,
+                                     "series.steady_p99_us": 0.01})
+        assert report["ok"]
+        with pytest.raises(ValueError, match="no tolerance band"):
+            compare(both, both, host=True, series=True,
+                    tolerances={"p99_us": 0.1})
 
 
 class TestPrimitivesCli:
